@@ -1,0 +1,81 @@
+//! Wire-format codec micro-benchmarks: the per-packet work every node in
+//! the reproduction performs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use inc_dns::{Name, Query, TYPE_A};
+use inc_kvs::{decode as mc_decode, encode_request, FrameHeader, Request};
+use inc_net::{build_udp, Endpoint, UdpFrame};
+use inc_paxos::{MsgType, PaxosMsg};
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codecs");
+
+    let a = Endpoint::host(1, 40_000);
+    let b = Endpoint::host(2, 11_211);
+    g.bench_function("udp_build", |bench| {
+        bench.iter(|| black_box(build_udp(black_box(a), black_box(b), b"payload-16-bytes")))
+    });
+
+    let pkt = build_udp(a, b, &[0xAB; 64]);
+    g.bench_function("udp_parse", |bench| {
+        bench.iter(|| black_box(UdpFrame::parse(black_box(&pkt)).unwrap().udp.dst_port))
+    });
+
+    let req = Request::Set {
+        key: b"key-12345".to_vec(),
+        value: vec![0xCD; 128],
+        flags: 7,
+        expiry: 0,
+    };
+    let frame = FrameHeader {
+        request_id: 1,
+        seq: 0,
+        total: 1,
+    };
+    g.bench_function("memcached_encode_set", |bench| {
+        bench.iter(|| black_box(encode_request(black_box(frame), black_box(&req), 42)))
+    });
+    let bytes = encode_request(frame, &req, 42);
+    g.bench_function("memcached_decode_set", |bench| {
+        bench.iter(|| black_box(mc_decode(black_box(&bytes)).unwrap()))
+    });
+
+    let query = Query {
+        id: 7,
+        name: Name::parse("host-123.example.com").unwrap(),
+        qtype: TYPE_A,
+        recursion_desired: false,
+    };
+    g.bench_function("dns_encode_query", |bench| {
+        bench.iter(|| black_box(black_box(&query).encode()))
+    });
+    let qbytes = query.encode();
+    g.bench_function("dns_decode_query", |bench| {
+        bench.iter(|| black_box(Query::decode(black_box(&qbytes)).unwrap()))
+    });
+
+    let paxos = PaxosMsg::new(MsgType::Phase2a, 123_456, 3, vec![0xEF; 32]);
+    g.bench_function("paxos_encode", |bench| {
+        bench.iter(|| black_box(black_box(&paxos).encode()))
+    });
+    let pbytes = paxos.encode();
+    g.bench_function("paxos_decode", |bench| {
+        bench.iter(|| black_box(PaxosMsg::decode(black_box(&pbytes)).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
+    targets = bench_codecs
+}
+criterion_main!(benches);

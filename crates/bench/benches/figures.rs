@@ -1,0 +1,112 @@
+//! Figure-regeneration benchmarks: one Criterion target per paper
+//! artifact, timing the analytic computation behind each table/figure
+//! (the event-driven validations live in the `src/bin` harnesses).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use inc_hw::{TofinoModel, TofinoProgram};
+use inc_ondemand::apps::{crossover, dns_models, kvs_models, paxos_models};
+use inc_ondemand::{OnDemandEnvelope, TorRack};
+use inc_power::{calib, CpuModel};
+use inc_sim::{Nanos, Rng};
+use inc_workloads::{variation, GoogleTrace, PowerTrace, WorkloadClass};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+
+    g.bench_function("fig3a_kvs_sweep_and_crossover", |b| {
+        b.iter(|| {
+            let models = kvs_models();
+            black_box(crossover(&models[0], &models[1], 1e6))
+        })
+    });
+
+    g.bench_function("fig3b_paxos_sweep", |b| {
+        b.iter(|| {
+            let models = paxos_models();
+            let total: f64 = models
+                .iter()
+                .flat_map(|m| (0..=40).map(move |i| m.power_w(1e6 * i as f64 / 40.0)))
+                .sum();
+            black_box(total)
+        })
+    });
+
+    g.bench_function("fig3c_dns_crossover", |b| {
+        b.iter(|| {
+            let models = dns_models();
+            black_box(crossover(&models[0], &models[1], 1e6))
+        })
+    });
+
+    g.bench_function("fig5_envelope_sampling", |b| {
+        let models = kvs_models();
+        let env = OnDemandEnvelope {
+            software: models[0].clone(),
+            hardware: models[1].clone(),
+            parked_card_w: calib::NETFPGA_REFERENCE_NIC_W + calib::LAKE_PARKED_GAP_W,
+            software_nic_w: calib::MELLANOX_NIC_W,
+        };
+        b.iter(|| black_box(env.sample(1.2e6, 48).len()))
+    });
+
+    g.bench_function("tab_asic_normalized_power", |b| {
+        let t = TofinoModel::snake_32x40();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in [
+                TofinoProgram::L2Forward,
+                TofinoProgram::L2WithP4xos,
+                TofinoProgram::Diag,
+            ] {
+                for i in 0..=20 {
+                    acc += t.power_norm(p, i as f64 / 20.0);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("tab_server_xeon_curve", |b| {
+        let xeon = CpuModel::xeon_e5_2660_v4_dual();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for u in 0..=280 {
+                acc += xeon.power_w(u as f64 / 10.0);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("tab_trace_google_analysis", |b| {
+        let mut rng = Rng::new(7);
+        let trace = GoogleTrace::synthesize(&mut rng, 20, Nanos::from_secs(24 * 3600), 200);
+        b.iter(|| black_box(trace.mean_candidate_cores_per_node(0.10, Nanos::from_secs(300))))
+    });
+
+    g.bench_function("tab_trace_dynamo_variation", |b| {
+        let mut rng = Rng::new(8);
+        let t = PowerTrace::synthesize(&mut rng, WorkloadClass::Cache, 2_000);
+        b.iter(|| black_box(variation(&t.series, Nanos::from_secs(30))))
+    });
+
+    g.bench_function("tab_tor_tipping_point", |b| {
+        let rack = TorRack::typical();
+        b.iter(|| black_box(rack.tipping_point_pps()))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(benches);

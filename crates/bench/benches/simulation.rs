@@ -1,0 +1,89 @@
+//! Whole-simulation benchmarks: events per second through the kernel and
+//! the end-to-end application rigs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use inc_bench::rigs::{DnsRig, KvsRig, PaxosRig};
+use inc_kvs::UniformGen;
+use inc_sim::{impl_node_any, Ctx, LinkSpec, Nanos, Node, PortId, Simulator, Timer};
+
+/// Two nodes bouncing a message as fast as the kernel can carry it.
+struct PingPong;
+impl Node<u64> for PingPong {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.schedule_in(Nanos::from_nanos(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _t: Timer) {
+        ctx.send(PortId::P0, 0);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _p: PortId, msg: u64) {
+        ctx.send(PortId::P0, msg + 1);
+    }
+    impl_node_any!();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+
+    g.bench_function("kernel_event_throughput_100k", |bench| {
+        bench.iter(|| {
+            let mut sim = Simulator::new(0);
+            let a = sim.add_node(PingPong);
+            let b = sim.add_node(PingPong);
+            sim.connect_duplex(
+                a,
+                PortId::P0,
+                b,
+                PortId::P0,
+                LinkSpec::with_latency(Nanos::from_nanos(100)),
+            );
+            // ~100k deliveries.
+            sim.run_until(Nanos::from_millis(10));
+            black_box(sim.events_processed())
+        })
+    });
+
+    g.bench_function("kvs_rig_100ms_at_100kpps", |bench| {
+        bench.iter(|| {
+            let gen = Box::new(UniformGen {
+                keys: 256,
+                get_ratio: 1.0,
+                value_len: 64,
+            });
+            let mut rig = KvsRig::new(1, 100_000.0, 256, 64, gen, true);
+            rig.sim.run_until(Nanos::from_millis(100));
+            black_box(rig.sim.events_processed())
+        })
+    });
+
+    g.bench_function("dns_rig_100ms_at_100kpps", |bench| {
+        bench.iter(|| {
+            let mut rig = DnsRig::new(2, 100_000.0, 512, true);
+            rig.sim.run_until(Nanos::from_millis(100));
+            black_box(rig.sim.events_processed())
+        })
+    });
+
+    g.bench_function("paxos_rig_200ms", |bench| {
+        bench.iter(|| {
+            let mut rig = PaxosRig::new(3, 2, Nanos::from_millis(100));
+            rig.sim.run_until(Nanos::from_millis(200));
+            black_box(rig.total_acked())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10);
+    targets = bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! §6 "Lessons from an ASIC": normalized Tofino power for L2 forwarding,
+//! L2+P4xos, and diag.p4; the ×1000 throughput-at-10 %-utilization claim;
+//! and the messages-per-watt ladder.
+
+use inc_bench::{note, print_csv, print_table, Series};
+use inc_hw::{TofinoModel, TofinoProgram};
+use inc_ondemand::apps::paxos_models;
+use inc_power::{calib, ops_per_dynamic_watt, ops_per_watt, EfficiencyClass};
+
+fn main() {
+    let tofino = TofinoModel::snake_32x40();
+    note(
+        "table",
+        "§6 — Tofino normalized power and efficiency ladder",
+    );
+
+    // Normalized power sweep for the three programs.
+    let programs = [
+        ("L2 forwarding", TofinoProgram::L2Forward),
+        ("L2 + P4xos", TofinoProgram::L2WithP4xos),
+        ("diag.p4", TofinoProgram::Diag),
+    ];
+    let series: Vec<Series> = programs
+        .iter()
+        .map(|(name, p)| Series {
+            name: name.to_string(),
+            points: (0..=20)
+                .map(|i| {
+                    let r = i as f64 / 20.0;
+                    (r, tofino.power_norm(*p, r))
+                })
+                .collect(),
+        })
+        .collect();
+
+    let l2_full = tofino.power_norm(TofinoProgram::L2Forward, 1.0);
+    let p4_full = tofino.power_norm(TofinoProgram::L2WithP4xos, 1.0);
+    let diag_full = tofino.power_norm(TofinoProgram::Diag, 1.0);
+    note(
+        "P4xos overhead at full load (paper: no more than 2%)",
+        format!("{:.1}%", (p4_full - l2_full) / l2_full * 100.0),
+    );
+    note(
+        "diag.p4 overhead (paper: 4.8%, more than twice P4xos)",
+        format!("{:.1}%", (diag_full - l2_full) / l2_full * 100.0),
+    );
+    note(
+        "idle equality (paper: idle power the same for both)",
+        format!(
+            "L2 {:.3} vs P4xos {:.3}",
+            tofino.power_norm(TofinoProgram::L2Forward, 0.0),
+            tofino.power_norm(TofinoProgram::L2WithP4xos, 0.0)
+        ),
+    );
+    note(
+        "min-max spread (paper: less than 20%)",
+        format!(
+            "{:.1}%",
+            (p4_full - tofino.power_norm(TofinoProgram::L2WithP4xos, 0.0)) / p4_full * 100.0
+        ),
+    );
+
+    // ×1000 throughput at 10 % utilization versus a server at 180 Kpps,
+    // with 1/3 the dynamic power.
+    let asic_rate = tofino.p4xos_peak_mps() * 0.10;
+    let server_rate = 180_000.0;
+    note(
+        "throughput at 10% util vs server (paper: x1000)",
+        format!(
+            "{:.2e} vs {server_rate:.2e} msg/s = x{:.0}",
+            asic_rate,
+            asic_rate / server_rate
+        ),
+    );
+    let models = paxos_models();
+    let lib = models
+        .iter()
+        .find(|m| m.name == "libpaxos Acceptor")
+        .unwrap();
+    let server_dyn = lib.power_w(server_rate) - lib.idle_w;
+    let asic_dyn = tofino.dynamic_w(TofinoProgram::L2WithP4xos, 0.10);
+    note(
+        "dynamic power ASIC@10% vs server@180Kpps (paper: 1/3)",
+        format!(
+            "{asic_dyn:.1} W vs {server_dyn:.1} W = {:.2}",
+            asic_dyn / server_dyn
+        ),
+    );
+
+    // Ops/W ladder (§6): software 10K's, FPGA 100K's, ASIC 10M's.
+    let fpga = models
+        .iter()
+        .find(|m| m.name == "Standalone Acceptor")
+        .unwrap();
+    let sw_eff = ops_per_dynamic_watt(lib.peak_pps, lib.power_w(lib.peak_pps), lib.idle_w)
+        .expect("positive dynamic power");
+    let fpga_eff = ops_per_watt(fpga.peak_pps, fpga.power_w(fpga.peak_pps));
+    let asic_eff = ops_per_watt(
+        calib::P4XOS_ASIC_PEAK_MPS,
+        tofino.power_w(TofinoProgram::L2WithP4xos, 1.0),
+    );
+    print_table(
+        &["platform", "msg/s", "msg/W", "class (paper)"],
+        &[
+            vec![
+                "software".into(),
+                format!("{:.2e}", lib.peak_pps),
+                format!("{sw_eff:.0}"),
+                format!("{} (10K's)", EfficiencyClass::of(sw_eff)),
+            ],
+            vec![
+                "FPGA".into(),
+                format!("{:.2e}", fpga.peak_pps),
+                format!("{fpga_eff:.0}"),
+                format!("{} (100K's)", EfficiencyClass::of(fpga_eff)),
+            ],
+            vec![
+                "ASIC".into(),
+                format!("{:.2e}", calib::P4XOS_ASIC_PEAK_MPS),
+                format!("{asic_eff:.0}"),
+                format!("{} (10M's)", EfficiencyClass::of(asic_eff)),
+            ],
+        ],
+    );
+    note(
+        "absolute-power assumption",
+        format!(
+            "ASIC envelope {} W (documented in EXPERIMENTS.md; §6 reports normalized only)",
+            tofino.max_power_w
+        ),
+    );
+
+    print_csv("rate_fraction", &series);
+}

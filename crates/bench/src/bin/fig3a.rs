@@ -1,0 +1,73 @@
+//! Figure 3(a): KVS power versus throughput.
+//!
+//! Series: memcached (software), LaKe inside the server, LaKe standalone,
+//! plus the §4.2 Intel X520 variant. Reports the crossing points and
+//! validates two spot rates against the full event simulation.
+
+use inc_bench::rigs::KvsRig;
+use inc_bench::{note, print_csv, rel_diff, sweep_power};
+use inc_kvs::{KvsClient, LakeDevice, UniformGen};
+use inc_ondemand::apps::{crossover, kvs_memcached_x520, kvs_models};
+use inc_sim::Nanos;
+
+fn main() {
+    let mut models = kvs_models();
+    models.push(kvs_memcached_x520());
+    let series = sweep_power(&models, 2_000_000.0, 40);
+
+    note("figure", "3a — KVS power vs throughput");
+    let x = crossover(&models[0], &models[1], 1e6).expect("curves cross");
+    note(
+        "crossover memcached/LaKe (paper ~80 Kpps)",
+        format!("{:.0} pps", x),
+    );
+    let x520 = crossover(&models[3], &models[1], 1e6).expect("curves cross");
+    note(
+        "crossover with Intel X520 (paper: over 300 Kpps)",
+        format!("{:.0} pps", x520),
+    );
+    note(
+        "LaKe at line rate (paper: same power up to 13 Mpps)",
+        format!(
+            "{:.1} W at 13 Mpps vs {:.1} W idle",
+            models[1].power_w(13e6),
+            models[1].idle_w
+        ),
+    );
+
+    // Spot-check the analytic curves against the event simulation.
+    for (rate, label) in [(20_000.0, "20 Kpps"), (200_000.0, "200 Kpps")] {
+        let gen = Box::new(UniformGen {
+            keys: 512,
+            get_ratio: 1.0,
+            value_len: 64,
+        });
+        // Hardware placement mirrors the LaKe curve; measure device+host.
+        let mut rig = KvsRig::new(1, rate, 512, 64, gen, true);
+        rig.sim.run_until(Nanos::from_secs(1));
+        let sim_w = rig.sim.instant_power(&[rig.device, rig.server]);
+        let model_w = models[1].power_w(rate);
+        note(
+            &format!("sim check LaKe @ {label}"),
+            format!(
+                "sim {:.1} W vs model {:.1} W ({:.1}% diff)",
+                sim_w,
+                model_w,
+                rel_diff(sim_w, model_w) * 100.0
+            ),
+        );
+        let served = rig.sim.node_ref::<LakeDevice>(rig.device).stats().served_hw;
+        let stats = rig.sim.node_ref::<KvsClient>(rig.client).stats();
+        note(
+            &format!("sim check correctness @ {label}"),
+            format!(
+                "{} hw-served, {} corrupt, {} lost",
+                served,
+                stats.corrupt,
+                stats.sent - stats.received
+            ),
+        );
+    }
+
+    print_csv("rate_pps", &series);
+}

@@ -1,0 +1,45 @@
+//! Figure 3(b): Paxos power versus throughput — eight series (libpaxos,
+//! DPDK, P4xos-in-host, P4xos standalone, for leader and acceptor roles).
+
+use inc_bench::{note, print_csv, sweep_power};
+use inc_ondemand::apps::{crossover, paxos_models};
+
+fn main() {
+    let models = paxos_models();
+    let series = sweep_power(&models, 1_000_000.0, 40);
+
+    note("figure", "3b — Paxos power vs throughput");
+    let lib_acc = models
+        .iter()
+        .find(|m| m.name == "libpaxos Acceptor")
+        .unwrap();
+    let p4_acc = models.iter().find(|m| m.name == "P4xos Acceptor").unwrap();
+    let x = crossover(lib_acc, p4_acc, 1e6).expect("curves cross");
+    note(
+        "crossover libpaxos/P4xos (paper: 150 Kmsg/s)",
+        format!("{:.0} msg/s", x),
+    );
+    let dpdk = models.iter().find(|m| m.name == "DPDK Acceptor").unwrap();
+    note(
+        "DPDK flatness (paper: high even under low load, almost constant)",
+        format!(
+            "idle {:.1} W, peak {:.1} W",
+            dpdk.idle_w,
+            dpdk.power_w(dpdk.peak_pps)
+        ),
+    );
+    let p4_leader = models.iter().find(|m| m.name == "P4xos Leader").unwrap();
+    note(
+        "P4xos base power is ~10 W below LaKe (paper §4.3)",
+        format!("{:.1} W in-host idle", p4_leader.idle_w),
+    );
+    note(
+        "peaks (paper: libpaxos acceptor 178 K, FPGA 10 M msg/s)",
+        format!(
+            "libpaxos {:.0}, dpdk {:.0}, fpga {:.0}",
+            lib_acc.peak_pps, dpdk.peak_pps, p4_acc.peak_pps
+        ),
+    );
+
+    print_csv("rate_mps", &series);
+}

@@ -1,0 +1,59 @@
+//! Figure 3(c): DNS power versus throughput — NSD (software), Emu DNS
+//! (hardware in host), and the standalone card.
+
+use inc_bench::rigs::DnsRig;
+use inc_bench::{note, print_csv, rel_diff, sweep_power};
+use inc_dns::DnsClient;
+use inc_ondemand::apps::{crossover, dns_models};
+use inc_sim::Nanos;
+
+fn main() {
+    let models = dns_models();
+    let series = sweep_power(&models, 1_000_000.0, 40);
+
+    note("figure", "3c — DNS power vs throughput");
+    let nsd = &models[0];
+    let emu = &models[1];
+    let x = crossover(nsd, emu, 1e6).expect("curves cross");
+    note(
+        "crossover NSD/Emu (paper: <200 Kpps)",
+        format!("{:.0} qps", x),
+    );
+    note(
+        "Emu span (paper: 47.5 W to <48 W)",
+        format!("{:.2} W .. {:.2} W", emu.idle_w, emu.power_w(emu.peak_pps)),
+    );
+    note(
+        "peak power ratio NSD/Emu (paper: about 2x)",
+        format!(
+            "{:.2}",
+            nsd.power_w(nsd.peak_pps) / emu.power_w(emu.peak_pps)
+        ),
+    );
+    note(
+        "peaks (paper: Emu ~1 M, NSD 956 K)",
+        format!("emu {:.0} rps, nsd {:.0} rps", emu.peak_pps, nsd.peak_pps),
+    );
+
+    // Event-simulation spot check at 100 Kqps in hardware placement.
+    let mut rig = DnsRig::new(3, 100_000.0, 1_000, true);
+    rig.sim.run_until(Nanos::from_secs(1));
+    let sim_w = rig.sim.instant_power(&[rig.device, rig.server]);
+    let model_w = emu.power_w(100_000.0);
+    note(
+        "sim check Emu @ 100 Kqps",
+        format!(
+            "sim {:.1} W vs model {:.1} W ({:.1}% diff)",
+            sim_w,
+            model_w,
+            rel_diff(sim_w, model_w) * 100.0
+        ),
+    );
+    let stats = rig.sim.node_ref::<DnsClient>(rig.client).stats();
+    note(
+        "sim check correctness",
+        format!("{} answered, {} wrong", stats.received, stats.wrong),
+    );
+
+    print_csv("rate_qps", &series);
+}

@@ -1,0 +1,117 @@
+//! Figure 4: the effect of LaKe's design trade-offs on power consumption.
+//!
+//! Nine standalone configurations, regenerated from the module-composed
+//! power model: reference NIC, 1 PE & no memories, no memories, max load &
+//! no memories, memories reset & clock gating, memories reset, server
+//! without cards, clock gating, and full LaKe.
+
+use inc_bench::{note, print_csv, Series};
+use inc_hw::{modules, SumeCard};
+use inc_power::{calib, ModuleState};
+
+fn lake_card(pes: u32) -> SumeCard {
+    SumeCard::reference_nic()
+        .with_logic(
+            calib::LAKE_LOGIC_W - calib::LAKE_PE_W * pes as f64,
+            calib::LAKE_DYNAMIC_MAX_W,
+        )
+        .with_pes(pes)
+        .with_external_memories()
+}
+
+fn main() {
+    note("figure", "4 — LaKe design trade-offs (standalone watts)");
+
+    let mut bars: Vec<(&str, f64)> = Vec::new();
+
+    bars.push(("Ref NIC", SumeCard::reference_nic().power_w(0.0)));
+
+    // 1 PE & no memories: power-gate 4 of 5 PEs, remove memories.
+    let mut c = lake_card(5);
+    c.power_mut()
+        .set_state_prefix(modules::MEM_PREFIX, ModuleState::PowerGated);
+    for i in 1..5 {
+        c.power_mut()
+            .set_state(
+                &format!("{}{i}", modules::PE_PREFIX),
+                ModuleState::PowerGated,
+            )
+            .unwrap();
+    }
+    bars.push(("1 PE & no mem", c.power_w(0.0)));
+
+    // No memories.
+    let mut c = lake_card(5);
+    c.power_mut()
+        .set_state_prefix(modules::MEM_PREFIX, ModuleState::PowerGated);
+    bars.push(("No mem", c.power_w(0.0)));
+
+    // Max load & no memories.
+    let mut c = lake_card(5);
+    c.power_mut()
+        .set_state_prefix(modules::MEM_PREFIX, ModuleState::PowerGated);
+    bars.push(("Max load & no mem", c.power_w(1.0)));
+
+    // Memories reset + clock gating.
+    let mut c = lake_card(5);
+    c.power_mut()
+        .set_state_prefix(modules::MEM_PREFIX, ModuleState::Reset);
+    c.power_mut()
+        .set_state(modules::LOGIC, ModuleState::ClockGated)
+        .unwrap();
+    bars.push(("Reset mem & clk gating", c.power_w(0.0)));
+
+    // Memories reset only.
+    let mut c = lake_card(5);
+    c.power_mut()
+        .set_state_prefix(modules::MEM_PREFIX, ModuleState::Reset);
+    bars.push(("Reset mem", c.power_w(0.0)));
+
+    // Idle server without any cards (the red comparison bar).
+    bars.push(("Server no cards", calib::I7_PLATFORM_IDLE_W));
+
+    // Clock gating only.
+    let mut c = lake_card(5);
+    c.power_mut()
+        .set_state(modules::LOGIC, ModuleState::ClockGated)
+        .unwrap();
+    bars.push(("Clk gating", c.power_w(0.0)));
+
+    // Full LaKe.
+    bars.push(("LaKe", lake_card(5).power_w(0.0)));
+
+    // Headline §5.1 relations.
+    let full = bars.last().unwrap().1;
+    let clk = bars[7].1;
+    note(
+        "clock gating saving (paper: <1 W)",
+        format!("{:.2} W", full - clk),
+    );
+    let reset = bars[5].1;
+    note(
+        "memory reset saving (paper: 40% of >=10 W)",
+        format!("{:.2} W", full - reset),
+    );
+    note(
+        "per-PE power (paper: ~0.25 W)",
+        format!("{:.2} W", calib::LAKE_PE_W),
+    );
+    note(
+        "standalone LaKe vs idle server (paper: roughly equivalent)",
+        format!("{:.1} W vs {:.1} W", full, calib::I7_PLATFORM_IDLE_W),
+    );
+
+    let series: Vec<Series> = vec![Series {
+        name: "power_w".to_string(),
+        points: bars
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, w))| (i as f64, w))
+            .collect(),
+    }];
+    println!(
+        "# bar order: {}",
+        bars.iter().map(|b| b.0).collect::<Vec<_>>().join(" | ")
+    );
+    print_csv("bar_index", &series);
+}

@@ -1,0 +1,95 @@
+//! Figure 5: power consumption with in-network computing on demand
+//! (solid) versus software-only (dashed), for KVS, Paxos and DNS.
+
+use inc_bench::{note, print_csv, Series};
+use inc_ondemand::apps::{dns_models, kvs_models, paxos_models};
+use inc_ondemand::OnDemandEnvelope;
+use inc_power::calib;
+
+fn main() {
+    note("figure", "5 — on-demand power vs throughput");
+
+    let kvs = kvs_models();
+    let paxos = paxos_models();
+    let dns = dns_models();
+    let parked_lake = calib::NETFPGA_REFERENCE_NIC_W + calib::LAKE_PARKED_GAP_W;
+    // Cards without external memories park to clock-gated logic only.
+    let parked_p4xos = calib::NETFPGA_REFERENCE_NIC_W + 1.0;
+    let parked_emu = calib::NETFPGA_REFERENCE_NIC_W + 0.9;
+
+    let envelopes = [
+        (
+            "KVS",
+            OnDemandEnvelope {
+                software: kvs[0].clone(),
+                hardware: kvs[1].clone(),
+                parked_card_w: parked_lake,
+                software_nic_w: calib::MELLANOX_NIC_W,
+            },
+        ),
+        (
+            "Paxos",
+            OnDemandEnvelope {
+                software: paxos
+                    .iter()
+                    .find(|m| m.name == "libpaxos Acceptor")
+                    .unwrap()
+                    .clone(),
+                hardware: paxos
+                    .iter()
+                    .find(|m| m.name == "P4xos Acceptor")
+                    .unwrap()
+                    .clone(),
+                parked_card_w: parked_p4xos,
+                software_nic_w: calib::INTEL_X520_NIC_W,
+            },
+        ),
+        (
+            "DNS",
+            OnDemandEnvelope {
+                software: dns[0].clone(),
+                hardware: dns[1].clone(),
+                parked_card_w: parked_emu,
+                software_nic_w: calib::INTEL_X520_NIC_W,
+            },
+        ),
+    ];
+
+    let max_rate = 1_200_000.0;
+    let points = 48;
+    let mut series: Vec<Series> = Vec::new();
+    for (name, env) in &envelopes {
+        let pts = env.sample(max_rate, points);
+        note(
+            &format!("{name} shift rate"),
+            format!("{:.0} pps", env.shift_rate()),
+        );
+        // Compare at the highest rate the software system can actually
+        // serve (beyond it the dashed line is a saturated system, not a
+        // served workload).
+        let peak = env.software.peak_pps.min(max_rate);
+        let od_at_peak = env
+            .hardware_placement_w(peak)
+            .min(env.software_placement_w(peak));
+        note(
+            &format!(
+                "{name} saving at software peak ({:.0} pps) vs software-only (paper: up to ~50%)",
+                peak
+            ),
+            format!(
+                "{:.0}%",
+                (1.0 - od_at_peak / env.software.power_w(peak)) * 100.0
+            ),
+        );
+        series.push(Series {
+            name: format!("{name} (On demand)"),
+            points: pts.iter().map(|p| (p.rate_pps, p.on_demand_w)).collect(),
+        });
+        series.push(Series {
+            name: format!("{name} (SW)"),
+            points: pts.iter().map(|p| (p.rate_pps, p.software_w)).collect(),
+        });
+    }
+
+    print_csv("rate_pps", &series);
+}

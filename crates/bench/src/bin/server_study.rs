@@ -1,0 +1,79 @@
+//! §7 "Lessons from a Server": the dual-socket Xeon E5-2660 v4 power
+//! profile under a synthetic, I/O-free load, monitored via RAPL.
+
+use inc_bench::{note, print_csv, print_table, Series};
+use inc_power::{CpuModel, RaplCounter, RaplDomain, RaplSampler};
+use inc_sim::Nanos;
+
+fn main() {
+    let xeon = CpuModel::xeon_e5_2660_v4_dual();
+    note("table", "§7 — Xeon-class server power under synthetic load");
+
+    print_table(
+        &["condition", "model W", "paper W"],
+        &[
+            vec![
+                "idle".into(),
+                format!("{:.1}", xeon.power_w(0.0)),
+                "56".into(),
+            ],
+            vec![
+                "one core 10%".into(),
+                format!("{:.1}", xeon.power_w(0.1)),
+                "86".into(),
+            ],
+            vec![
+                "one core 100%".into(),
+                format!("{:.1}", xeon.power_w(1.0)),
+                "91".into(),
+            ],
+            vec![
+                "all 28 cores".into(),
+                format!("{:.1}", xeon.power_w(28.0)),
+                "134".into(),
+            ],
+        ],
+    );
+
+    let marginal = xeon.power_w(2.0) - xeon.power_w(1.0);
+    note(
+        "additional core cost (paper: 1W-2W)",
+        format!("{marginal:.2} W"),
+    );
+    note(
+        "uncore jump spreads across sockets (paper: both sockets rise)",
+        format!(
+            "{:.1} W at first busy core",
+            xeon.power_w(1.0) - xeon.power_w(0.0)
+        ),
+    );
+
+    // RAPL-monitored sweep, as the paper measures it: advance a counter
+    // under each load level and difference readings one second apart.
+    let mut counter = RaplCounter::new(RaplDomain::Package, Nanos::from_millis(1));
+    let mut sampler = RaplSampler::new();
+    let mut series = Series {
+        name: "rapl_w".to_string(),
+        points: Vec::new(),
+    };
+    let mut model_series = Series {
+        name: "model_w".to_string(),
+        points: Vec::new(),
+    };
+    let mut t = Nanos::ZERO;
+    for step in 0..=28 {
+        let util = step as f64;
+        let w = xeon.power_w(util);
+        // Hold this load for one second.
+        t += Nanos::from_secs(1);
+        counter.advance(t, w);
+        if let Some(measured) = sampler.sample(&counter, t) {
+            series.points.push((util, measured));
+            model_series.points.push((util, w));
+        } else {
+            sampler.sample(&counter, t);
+        }
+    }
+
+    print_csv("busy_cores", &[model_series, series]);
+}

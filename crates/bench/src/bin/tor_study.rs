@@ -1,0 +1,64 @@
+//! §9.4 "Switch On-Demand?": offloading to a Top-of-Rack programmable
+//! switch — the tipping point sits at (almost) zero, and partial offload
+//! benefit is a function of the hit ratio.
+
+use inc_bench::{note, print_table};
+use inc_ondemand::TorRack;
+
+fn main() {
+    note("table", "§9.4 — ToR switch on-demand analysis");
+
+    let rack = TorRack::typical();
+    note(
+        "switch envelope",
+        format!(
+            "{} x 100G ports x 5 W = {:.0} W (paper: <5 W per 100G port)",
+            rack.switch_ports_100g,
+            rack.switch_power_w()
+        ),
+    );
+    note(
+        "switch dynamic power at 1 Mqps (paper: <1 W)",
+        format!("{:.2} W", rack.switch_dynamic_w(1e6)),
+    );
+    let tp = rack.tipping_point_pps();
+    note(
+        "tipping point PNd(R)=PSd(R) (paper: R is almost zero)",
+        format!(
+            "{tp:.0} pps = {:.3}% of server peak",
+            tp / rack.server_peak_pps * 100.0
+        ),
+    );
+
+    // Dynamic power comparison across rates.
+    let mut rows = Vec::new();
+    for rate in [1e4, 1e5, 5e5, 1e6] {
+        rows.push(vec![
+            format!("{:.0} Kpps", rate / 1e3),
+            format!("{:.2} W", rack.switch_dynamic_w(rate)),
+            format!("{:.1} W", rack.server_dynamic_w(rate)),
+        ]);
+    }
+    print_table(&["rate", "switch dyn", "server dyn"], &rows);
+
+    // Partial offload: the switch caches a fraction of requests.
+    let mut rows = Vec::new();
+    for hit in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+        let (combined, host_only) = rack.partial_offload_dynamic_w(5e5, hit);
+        rows.push(vec![
+            format!("{:.0}%", hit * 100.0),
+            format!("{combined:.1} W"),
+            format!("{host_only:.1} W"),
+            format!("{:.0}%", (1.0 - combined / host_only) * 100.0),
+        ]);
+    }
+    print_table(
+        &["hit ratio", "switch+host dyn", "host-only dyn", "saving"],
+        &rows,
+    );
+    note(
+        "conclusion (paper)",
+        "for an installed programmable ToR the offload pays from the first packet; \
+         with partial offload, efficiency is a function of the hit:miss ratio",
+    );
+}

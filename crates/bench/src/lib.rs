@@ -1,0 +1,120 @@
+//! Shared harness utilities for regenerating the paper's figures and
+//! tables.
+//!
+//! Each binary in `src/bin/` regenerates one artifact (see `DESIGN.md` for
+//! the index) and prints:
+//!
+//! * `# ...` comment lines with the headline observations and the
+//!   paper-reported values they reproduce;
+//! * CSV rows (`x,series1,series2,...`) with the figure data.
+//!
+//! The analytic sweeps come from `inc_ondemand::apps`; spot points are
+//! cross-checked against full event simulations built by [`rigs`].
+
+pub mod rigs;
+
+use inc_ondemand::Deployment;
+
+/// A named data series (one figure line).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Sweeps deployment power models over `0..=max_x` in `points` steps.
+pub fn sweep_power(models: &[Deployment], max_x: f64, points: usize) -> Vec<Series> {
+    models
+        .iter()
+        .map(|m| Series {
+            name: m.name.to_string(),
+            points: (0..=points)
+                .map(|i| {
+                    let x = max_x * i as f64 / points as f64;
+                    (x, m.power_w(x))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Prints series as CSV: a header row, then one row per x value.
+///
+/// All series must share their x grid (as [`sweep_power`] guarantees).
+pub fn print_csv(x_label: &str, series: &[Series]) {
+    let mut header = vec![x_label.to_string()];
+    header.extend(series.iter().map(|s| s.name.clone()));
+    println!("{}", header.join(","));
+    if series.is_empty() {
+        return;
+    }
+    for i in 0..series[0].points.len() {
+        let mut row = vec![format!("{}", series[0].points[i].0)];
+        for s in series {
+            row.push(format!("{:.2}", s.points[i].1));
+        }
+        println!("{}", row.join(","));
+    }
+}
+
+/// Prints a `# key: value` annotation line.
+pub fn note(key: &str, value: impl std::fmt::Display) {
+    println!("# {key}: {value}");
+}
+
+/// Prints a markdown-ish aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "# {}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("# {}", fmt_row(row));
+    }
+}
+
+/// Relative difference |a-b| / max(|b|, eps).
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inc_ondemand::apps::kvs_models;
+
+    #[test]
+    fn sweep_produces_shared_grid() {
+        let s = sweep_power(&kvs_models(), 1e6, 10);
+        assert_eq!(s.len(), 3);
+        for series in &s {
+            assert_eq!(series.points.len(), 11);
+            assert_eq!(series.points[0].0, 0.0);
+            assert_eq!(series.points[10].0, 1e6);
+        }
+    }
+
+    #[test]
+    fn rel_diff_basics() {
+        assert!(rel_diff(100.0, 100.0) < 1e-12);
+        assert!((rel_diff(110.0, 100.0) - 0.1).abs() < 1e-9);
+    }
+}

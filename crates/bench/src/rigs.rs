@@ -1,0 +1,284 @@
+//! Reusable simulation topologies for the event-driven experiments.
+
+use inc_dns::{DnsClient, DnsServer, DnsServerConfig, EmuDevice, Zone};
+use inc_hw::HOST_DMA_PORT;
+use inc_kvs::{
+    expected_value, key_name, KvsClient, LakeCacheConfig, LakeDevice, MemcachedConfig,
+    MemcachedServer, OpGen, MEMCACHED_PORT,
+};
+use inc_net::{Endpoint, Packet};
+use inc_net::{L2Switch, Match};
+use inc_paxos::{
+    Acceptor, AcceptorStorage, AddressBook, HostConfig, Leader, Learner, PaxosClient, PaxosNode,
+    Platform, RoleEngine, PAXOS_ACCEPTOR_PORT, PAXOS_LEADER_PORT, PAXOS_LEARNER_PORT,
+};
+use inc_sim::{LinkSpec, Nanos, NodeId, PortId, Simulator};
+
+/// The Figure 1 KVS topology: client ↔ LaKe ↔ memcached.
+pub struct KvsRig {
+    /// The simulator.
+    pub sim: Simulator<Packet>,
+    /// Load generator node.
+    pub client: NodeId,
+    /// LaKe card node.
+    pub device: NodeId,
+    /// memcached host node.
+    pub server: NodeId,
+}
+
+impl KvsRig {
+    /// Builds the rig with `keys` preloaded keys of `value_len` bytes and
+    /// an arbitrary op generator.
+    pub fn new(
+        seed: u64,
+        rate_pps: f64,
+        keys: u64,
+        value_len: usize,
+        gen: Box<dyn OpGen>,
+        hardware: bool,
+    ) -> Self {
+        let mut sim = Simulator::new(seed);
+        let client_ep = Endpoint::host(1, 40_000);
+        let server_ep = Endpoint::host(2, MEMCACHED_PORT);
+        let mut server = MemcachedServer::new(MemcachedConfig::i7_behind_lake());
+        server.preload((0..keys).map(|i| {
+            let k = key_name(i);
+            let v = expected_value(&k, value_len);
+            (k, v)
+        }));
+        let server = sim.add_node(server);
+        let mut dev = LakeDevice::new(LakeCacheConfig::tiny(2_048, 65_536), 5);
+        if hardware {
+            dev = dev.started_in_hardware();
+        }
+        let device = sim.add_node(dev);
+        let client = sim.add_node(KvsClient::open_loop(client_ep, server_ep, rate_pps, gen));
+        sim.connect_duplex(
+            client,
+            PortId::P0,
+            device,
+            PortId::P0,
+            LinkSpec::ten_gbe(Nanos::from_nanos(500)),
+        );
+        sim.connect_duplex(device, HOST_DMA_PORT, server, PortId::P0, LinkSpec::ideal());
+        KvsRig {
+            sim,
+            client,
+            device,
+            server,
+        }
+    }
+}
+
+/// The DNS topology: client ↔ Emu ↔ NSD, sharing one zone.
+pub struct DnsRig {
+    /// The simulator.
+    pub sim: Simulator<Packet>,
+    /// Query generator node.
+    pub client: NodeId,
+    /// Emu DNS card node.
+    pub device: NodeId,
+    /// NSD host node.
+    pub server: NodeId,
+}
+
+impl DnsRig {
+    /// Builds the rig over a synthetic zone of `names` records.
+    pub fn new(seed: u64, rate_pps: f64, names: u64, hardware: bool) -> Self {
+        let mut sim = Simulator::new(seed);
+        let zone = Zone::synthetic(names);
+        let server = sim.add_node(DnsServer::new(
+            DnsServerConfig::nsd_behind_emu(),
+            zone.clone(),
+        ));
+        let mut dev = EmuDevice::new(zone);
+        if hardware {
+            dev = dev.started_in_hardware();
+        }
+        let device = sim.add_node(dev);
+        let client = sim.add_node(DnsClient::new(
+            Endpoint::host(1, 40_000),
+            Endpoint::host(2, inc_dns::DNS_PORT),
+            rate_pps,
+            names,
+        ));
+        sim.connect_duplex(
+            client,
+            PortId::P0,
+            device,
+            PortId::P0,
+            LinkSpec::ten_gbe(Nanos::from_nanos(500)),
+        );
+        sim.connect_duplex(device, HOST_DMA_PORT, server, PortId::P0, LinkSpec::ideal());
+        DnsRig {
+            sim,
+            client,
+            device,
+            server,
+        }
+    }
+}
+
+/// The Figure 7 Paxos topology: clients + software/hardware leaders +
+/// three acceptors + learner, joined by a steerable switch.
+pub struct PaxosRig {
+    /// The simulator.
+    pub sim: Simulator<Packet>,
+    /// The switch.
+    pub switch: NodeId,
+    /// Closed-loop clients.
+    pub clients: Vec<NodeId>,
+    /// The libpaxos leader node.
+    pub sw_leader: NodeId,
+    /// The P4xos (FPGA) leader node.
+    pub hw_leader: NodeId,
+    /// Acceptor nodes.
+    pub acceptors: Vec<NodeId>,
+    /// Learner node.
+    pub learner: NodeId,
+    /// Switch port of the software leader.
+    pub sw_leader_port: PortId,
+    /// Switch port of the hardware leader.
+    pub hw_leader_port: PortId,
+    next_round: u16,
+}
+
+impl PaxosRig {
+    const N_ACCEPTORS: usize = 3;
+
+    fn book(own: Endpoint) -> AddressBook {
+        AddressBook {
+            own,
+            leader: Endpoint::host(99, PAXOS_LEADER_PORT),
+            acceptors: (0..Self::N_ACCEPTORS as u32)
+                .map(|i| Endpoint::host(10 + i, PAXOS_ACCEPTOR_PORT))
+                .collect(),
+            learners: vec![Endpoint::host(30, PAXOS_LEARNER_PORT)],
+        }
+    }
+
+    /// Builds the rig with `n_clients` closed-loop clients (one
+    /// outstanding command each) and the given retry timeout.
+    pub fn new(seed: u64, n_clients: u32, timeout: Nanos) -> Self {
+        let mut sim = Simulator::new(seed);
+        let n_ports = 4 + n_clients as u16 + Self::N_ACCEPTORS as u16;
+        let switch = sim.add_node(L2Switch::new(n_ports));
+        let mut next_port = 0u16;
+        let mut attach = |sim: &mut Simulator<Packet>, node: NodeId| -> PortId {
+            let p = PortId(next_port);
+            next_port += 1;
+            sim.connect_duplex(
+                node,
+                PortId::P0,
+                switch,
+                p,
+                LinkSpec::ten_gbe(Nanos::from_micros(1)),
+            );
+            p
+        };
+        let sw_leader = sim.add_node(PaxosNode::new(
+            RoleEngine::Leader(Leader::bootstrap(1, Self::N_ACCEPTORS)),
+            Platform::host(HostConfig::libpaxos_leader()),
+            Self::book(Endpoint::host(20, PAXOS_LEADER_PORT)),
+        ));
+        let sw_leader_port = attach(&mut sim, sw_leader);
+        let hw_leader = sim.add_node(PaxosNode::new(
+            RoleEngine::Idle,
+            Platform::fpga(),
+            Self::book(Endpoint::host(21, PAXOS_LEADER_PORT)),
+        ));
+        let hw_leader_port = attach(&mut sim, hw_leader);
+        let mut acceptors = Vec::new();
+        for i in 0..Self::N_ACCEPTORS as u32 {
+            let ep = Endpoint::host(10 + i, PAXOS_ACCEPTOR_PORT);
+            let n = sim.add_node(PaxosNode::new(
+                RoleEngine::Acceptor(Acceptor::new(i as u8, AcceptorStorage::unbounded())),
+                Platform::host(HostConfig::libpaxos_acceptor()),
+                Self::book(ep),
+            ));
+            attach(&mut sim, n);
+            acceptors.push(n);
+        }
+        let learner = sim.add_node(PaxosNode::new(
+            RoleEngine::Learner(Learner::new(Self::N_ACCEPTORS)),
+            Platform::host(HostConfig::libpaxos_learner()),
+            Self::book(Endpoint::host(30, PAXOS_LEARNER_PORT)),
+        ));
+        attach(&mut sim, learner);
+        let mut clients = Vec::new();
+        for id in 0..n_clients {
+            let c = sim.add_node(PaxosClient::new(
+                100 + id,
+                Endpoint::host(99, PAXOS_LEADER_PORT),
+                1,
+                timeout,
+            ));
+            attach(&mut sim, c);
+            clients.push(c);
+        }
+        sim.node_mut::<L2Switch>(switch)
+            .steer(Match::udp_dst(PAXOS_LEADER_PORT), sw_leader_port);
+        PaxosRig {
+            sim,
+            switch,
+            clients,
+            sw_leader,
+            hw_leader,
+            acceptors,
+            learner,
+            sw_leader_port,
+            hw_leader_port,
+            next_round: 2,
+        }
+    }
+
+    /// Shifts the leader role to the hardware node (§9.2).
+    ///
+    /// Rule replacement is not atomic in a real switch: the old leader is
+    /// stopped first, and for a brief window leader-bound traffic still
+    /// reaches it and is lost — the loss the client retry timeout covers
+    /// (the ~100 ms zero-throughput dip of Figure 7).
+    pub fn shift_leader_to_hardware(&mut self) {
+        self.shift_leader(
+            self.sw_leader,
+            self.hw_leader,
+            self.sw_leader_port,
+            self.hw_leader_port,
+        );
+    }
+
+    /// Shifts the leader role back to the software node.
+    pub fn shift_leader_to_software(&mut self) {
+        self.shift_leader(
+            self.hw_leader,
+            self.sw_leader,
+            self.hw_leader_port,
+            self.sw_leader_port,
+        );
+    }
+
+    fn shift_leader(&mut self, from: NodeId, to: NodeId, from_port: PortId, to_port: PortId) {
+        let round = self.next_round;
+        self.next_round += 1;
+        // Stop the old leader; traffic keeps flowing to it (and dying)
+        // while the controller replaces the forwarding rule.
+        self.sim.node_mut::<PaxosNode>(from).deactivate();
+        let now = self.sim.now();
+        self.sim.run_until(now + Nanos::from_millis(1));
+        {
+            let sw = self.sim.node_mut::<L2Switch>(self.switch);
+            sw.unsteer_port(from_port);
+            sw.steer(Match::udp_dst(PAXOS_LEADER_PORT), to_port);
+        }
+        self.sim
+            .with_node_ctx::<PaxosNode, _>(to, |n, ctx| n.activate_leader(ctx, round));
+    }
+
+    /// Total commands acknowledged across clients.
+    pub fn total_acked(&self) -> u64 {
+        self.clients
+            .iter()
+            .map(|&c| self.sim.node_ref::<PaxosClient>(c).stats().acked)
+            .sum()
+    }
+}

@@ -1,0 +1,203 @@
+//! Harness for running host-controlled on-demand experiments.
+//!
+//! The host controller is a daemon *outside* the dataplane: it periodically
+//! reads RAPL and CPU usage on the host and the packet-rate feedback from
+//! the device, then reconfigures placement. [`run_host_controlled`] plays
+//! that daemon against a simulation: it steps the simulator one sampling
+//! interval at a time, gathers a [`HostSample`] through a caller-provided
+//! probe, and applies the controller's decisions — while recording the
+//! timeline that Figure 6 plots.
+
+use inc_hw::Placement;
+use inc_sim::{Nanos, Payload, Simulator};
+
+use crate::host::{HostController, HostSample};
+
+/// One timeline row (the Figure 6/7 plot data).
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineRow {
+    /// Sample time.
+    pub t: Nanos,
+    /// Application throughput over the interval, packets/second.
+    pub throughput_pps: f64,
+    /// Median request latency over the interval, nanoseconds (0 if no
+    /// requests completed).
+    pub latency_p50_ns: u64,
+    /// 99th percentile latency, nanoseconds.
+    pub latency_p99_ns: u64,
+    /// Metered system power, watts.
+    pub power_w: f64,
+    /// Placement in effect at the end of the interval.
+    pub placement: Placement,
+}
+
+/// The recorded timeline of a run.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// Rows, one per sampling interval.
+    pub rows: Vec<TimelineRow>,
+    /// Times at which the placement changed.
+    pub shifts: Vec<(Nanos, Placement)>,
+}
+
+impl Timeline {
+    /// Mean power over rows in `[from, to)`.
+    pub fn mean_power_w(&self, from: Nanos, to: Nanos) -> f64 {
+        let rows: Vec<_> = self
+            .rows
+            .iter()
+            .filter(|r| r.t >= from && r.t < to)
+            .collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.power_w).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Mean throughput over rows in `[from, to)`.
+    pub fn mean_throughput_pps(&self, from: Nanos, to: Nanos) -> f64 {
+        let rows: Vec<_> = self
+            .rows
+            .iter()
+            .filter(|r| r.t >= from && r.t < to)
+            .collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.throughput_pps).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Median of the per-row median latencies in `[from, to)`, ignoring
+    /// empty rows.
+    pub fn median_latency_ns(&self, from: Nanos, to: Nanos) -> u64 {
+        let mut l: Vec<u64> = self
+            .rows
+            .iter()
+            .filter(|r| r.t >= from && r.t < to && r.latency_p50_ns > 0)
+            .map(|r| r.latency_p50_ns)
+            .collect();
+        if l.is_empty() {
+            return 0;
+        }
+        l.sort_unstable();
+        l[l.len() / 2]
+    }
+}
+
+/// Everything the harness needs to observe per interval.
+#[derive(Clone, Copy, Debug)]
+pub struct IntervalObservation {
+    /// The controller inputs.
+    pub sample: HostSample,
+    /// Responses completed in the interval.
+    pub completed: u64,
+    /// Median latency over the interval, nanoseconds.
+    pub latency_p50_ns: u64,
+    /// p99 latency over the interval, nanoseconds.
+    pub latency_p99_ns: u64,
+    /// Metered power, watts.
+    pub power_w: f64,
+}
+
+/// Runs a host-controlled on-demand experiment until `until`.
+///
+/// * `probe` inspects the simulation and returns the interval observation
+///   (it may mutate nodes to drain measurement windows);
+/// * `apply` executes a placement decision on the simulated hardware.
+pub fn run_host_controlled<M: Payload>(
+    sim: &mut Simulator<M>,
+    controller: &mut HostController,
+    until: Nanos,
+    mut probe: impl FnMut(&mut Simulator<M>) -> IntervalObservation,
+    mut apply: impl FnMut(&mut Simulator<M>, Nanos, Placement),
+) -> Timeline {
+    let interval = controller.config().interval;
+    let mut timeline = Timeline::default();
+    let mut t = sim.now();
+    while t < until {
+        t += interval;
+        sim.run_until(t);
+        let obs = probe(sim);
+        if let Some(p) = controller.sample(t, obs.sample) {
+            apply(sim, t, p);
+            timeline.shifts.push((t, p));
+        }
+        timeline.rows.push(TimelineRow {
+            t,
+            throughput_pps: obs.completed as f64 / interval.as_secs_f64(),
+            latency_p50_ns: obs.latency_p50_ns,
+            latency_p99_ns: obs.latency_p99_ns,
+            power_w: obs.power_w,
+            placement: controller.placement(),
+        });
+    }
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostControllerConfig;
+
+    /// A synthetic closed-form "system": software latency is high, power
+    /// grows with rate; hardware flips both. Exercises the full control
+    /// loop without network machinery.
+    #[test]
+    fn control_loop_shifts_and_records() {
+        let mut sim: Simulator<()> = Simulator::new(0);
+        let cfg = HostControllerConfig {
+            interval: Nanos::from_millis(100),
+            power_up_w: 60.0,
+            cpu_up_util: 0.2,
+            rate_down_pps: 5_000.0,
+            power_down_w: 55.0,
+            sustain_samples: 3,
+        };
+        let mut ctl = HostController::new(cfg);
+        // Offered rate: low for 2 s, high for 3 s, low again.
+        let offered = |t: Nanos| -> f64 {
+            let s = t.as_secs_f64();
+            if (2.0..5.0).contains(&s) {
+                50_000.0
+            } else {
+                1_000.0
+            }
+        };
+        let placement = std::cell::Cell::new(Placement::Software);
+        let timeline = run_host_controlled(
+            &mut sim,
+            &mut ctl,
+            Nanos::from_secs(8),
+            |sim| {
+                let rate = offered(sim.now());
+                let sw = placement.get() == Placement::Software;
+                IntervalObservation {
+                    sample: HostSample {
+                        rapl_w: if sw { 39.0 + rate / 1_000.0 } else { 30.0 },
+                        app_cpu_util: if sw { rate / 100_000.0 } else { 0.0 },
+                        hw_app_rate: if sw { 0.0 } else { rate },
+                    },
+                    completed: (rate / 10.0) as u64,
+                    latency_p50_ns: if sw { 13_500 } else { 1_400 },
+                    latency_p99_ns: if sw { 20_000 } else { 2_000 },
+                    power_w: if sw { 39.0 + rate / 1_500.0 } else { 59.0 },
+                }
+            },
+            |_sim, _t, p| placement.set(p),
+        );
+        // One shift up (during the burst) and one back down (after).
+        assert_eq!(timeline.shifts.len(), 2);
+        assert_eq!(timeline.shifts[0].1, Placement::Hardware);
+        assert_eq!(timeline.shifts[1].1, Placement::Software);
+        // The up-shift came after the 3-sample sustain inside the burst.
+        let up_at = timeline.shifts[0].0;
+        assert!(up_at >= Nanos::from_millis(2_200), "shift at {up_at}");
+        assert!(up_at <= Nanos::from_millis(2_600), "shift at {up_at}");
+        // Latency on the timeline drops ~10x across the shift.
+        let before = timeline.median_latency_ns(Nanos::from_secs(1), Nanos::from_secs(2));
+        let after = timeline.median_latency_ns(Nanos::from_secs(3), Nanos::from_secs(5));
+        assert_eq!(before, 13_500);
+        assert_eq!(after, 1_400);
+        assert_eq!(timeline.rows.len(), 80);
+    }
+}

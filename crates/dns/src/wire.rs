@@ -1,0 +1,461 @@
+//! DNS wire format (RFC 1035 subset).
+//!
+//! Emu DNS supports non-recursive name → IPv4 resolution (§3.3); this
+//! module implements the corresponding wire format for real: the 12-byte
+//! header, QNAME label encoding (including decompression of pointers when
+//! parsing), the question section, and A-record answers. Both the hardware
+//! and software servers operate on these exact bytes.
+
+use std::net::Ipv4Addr;
+
+/// Errors decoding a DNS message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DnsError {
+    /// Ran off the end of the buffer.
+    Truncated,
+    /// A label exceeded 63 bytes or the name exceeded 255.
+    BadName,
+    /// A compression pointer loop or forward pointer.
+    BadPointer,
+    /// The message had no question.
+    NoQuestion,
+    /// Unsupported query type for this server.
+    Unsupported,
+}
+
+impl std::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnsError::Truncated => write!(f, "message truncated"),
+            DnsError::BadName => write!(f, "malformed name"),
+            DnsError::BadPointer => write!(f, "bad compression pointer"),
+            DnsError::NoQuestion => write!(f, "no question section"),
+            DnsError::Unsupported => write!(f, "unsupported query"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// Response codes (RCODE).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Query kind not implemented.
+    NotImp,
+}
+
+impl Rcode {
+    fn to_u4(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+        }
+    }
+
+    fn from_u4(v: u16) -> Rcode {
+        match v & 0xf {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            _ => Rcode::NotImp,
+        }
+    }
+}
+
+/// Record/query type A (IPv4 host address).
+pub const TYPE_A: u16 = 1;
+/// Record/query type AAAA (not served by Emu DNS).
+pub const TYPE_AAAA: u16 = 28;
+/// Class IN.
+pub const CLASS_IN: u16 = 1;
+
+/// The standard DNS UDP port.
+pub const DNS_PORT: u16 = 53;
+
+/// A domain name held as lowercase labels.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(Vec<Vec<u8>>);
+
+impl Name {
+    /// Parses a dotted name (e.g. `"host.example.com"`), lowercasing it.
+    ///
+    /// Returns an error for empty/oversized labels or total length > 255.
+    pub fn parse(s: &str) -> Result<Name, DnsError> {
+        let s = s.trim_end_matches('.');
+        if s.is_empty() {
+            return Ok(Name(Vec::new()));
+        }
+        let mut labels = Vec::new();
+        let mut total = 1; // Root byte.
+        for part in s.split('.') {
+            let bytes = part.as_bytes();
+            if bytes.is_empty() || bytes.len() > 63 {
+                return Err(DnsError::BadName);
+            }
+            total += bytes.len() + 1;
+            if total > 255 {
+                return Err(DnsError::BadName);
+            }
+            labels.push(bytes.to_ascii_lowercase());
+        }
+        Ok(Name(labels))
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Encoded length in bytes (uncompressed).
+    pub fn encoded_len(&self) -> usize {
+        self.0.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// Encodes as an uncompressed sequence of length-prefixed labels.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for label in &self.0 {
+            out.push(label.len() as u8);
+            out.extend_from_slice(label);
+        }
+        out.push(0);
+    }
+
+    /// Decodes a (possibly compressed) name starting at `pos` inside
+    /// `msg`. Returns the name and the offset just past its in-place
+    /// encoding.
+    pub fn decode(msg: &[u8], pos: usize) -> Result<(Name, usize), DnsError> {
+        let mut labels = Vec::new();
+        let mut i = pos;
+        let mut end = None; // Set at the first pointer.
+        let mut jumps = 0;
+        let mut total = 1;
+        loop {
+            let &len = msg.get(i).ok_or(DnsError::Truncated)?;
+            if len & 0xC0 == 0xC0 {
+                // Compression pointer.
+                let &lo = msg.get(i + 1).ok_or(DnsError::Truncated)?;
+                let target = (((len & 0x3F) as usize) << 8) | lo as usize;
+                if end.is_none() {
+                    end = Some(i + 2);
+                }
+                if target >= i {
+                    return Err(DnsError::BadPointer); // Must point backwards.
+                }
+                jumps += 1;
+                if jumps > 32 {
+                    return Err(DnsError::BadPointer);
+                }
+                i = target;
+                continue;
+            }
+            if len & 0xC0 != 0 {
+                return Err(DnsError::BadName);
+            }
+            if len == 0 {
+                let end = end.unwrap_or(i + 1);
+                return Ok((Name(labels), end));
+            }
+            let len = len as usize;
+            total += len + 1;
+            if total > 255 {
+                return Err(DnsError::BadName);
+            }
+            let label = msg.get(i + 1..i + 1 + len).ok_or(DnsError::Truncated)?;
+            labels.push(label.to_ascii_lowercase());
+            i += 1 + len;
+        }
+    }
+}
+
+impl std::fmt::Display for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, ".");
+        }
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{}", String::from_utf8_lossy(l))?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed DNS query (single question).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Transaction id.
+    pub id: u16,
+    /// Queried name.
+    pub name: Name,
+    /// Query type (e.g. [`TYPE_A`]).
+    pub qtype: u16,
+    /// Recursion desired flag (Emu DNS serves non-recursive only).
+    pub recursion_desired: bool,
+}
+
+impl Query {
+    /// Encodes the query message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.name.encoded_len() + 4);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        let flags: u16 = if self.recursion_desired { 0x0100 } else { 0 };
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // ANCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // NSCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // ARCOUNT
+        self.name.encode(&mut out);
+        out.extend_from_slice(&self.qtype.to_be_bytes());
+        out.extend_from_slice(&CLASS_IN.to_be_bytes());
+        out
+    }
+
+    /// Decodes a query message.
+    pub fn decode(msg: &[u8]) -> Result<Query, DnsError> {
+        if msg.len() < 12 {
+            return Err(DnsError::Truncated);
+        }
+        let id = u16::from_be_bytes([msg[0], msg[1]]);
+        let flags = u16::from_be_bytes([msg[2], msg[3]]);
+        let qdcount = u16::from_be_bytes([msg[4], msg[5]]);
+        if qdcount == 0 {
+            return Err(DnsError::NoQuestion);
+        }
+        let (name, pos) = Name::decode(msg, 12)?;
+        let qtype = u16::from_be_bytes([
+            *msg.get(pos).ok_or(DnsError::Truncated)?,
+            *msg.get(pos + 1).ok_or(DnsError::Truncated)?,
+        ]);
+        Ok(Query {
+            id,
+            name,
+            qtype,
+            recursion_desired: flags & 0x0100 != 0,
+        })
+    }
+}
+
+/// A parsed DNS response (answers limited to A records).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnsResponse {
+    /// Transaction id echoed from the query.
+    pub id: u16,
+    /// Response code.
+    pub rcode: Rcode,
+    /// The question being answered.
+    pub name: Name,
+    /// A-record answers.
+    pub answers: Vec<(Ipv4Addr, u32)>,
+}
+
+impl DnsResponse {
+    /// Encodes the response, compressing answer names with a pointer to
+    /// the question (offset 12), as real servers do.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(12 + self.name.encoded_len() + 4 + self.answers.len() * 16);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        // QR=1, AA=1 (authoritative), RCODE.
+        let flags: u16 = 0x8400 | self.rcode.to_u4();
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes());
+        out.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes());
+        self.name.encode(&mut out);
+        out.extend_from_slice(&TYPE_A.to_be_bytes());
+        out.extend_from_slice(&CLASS_IN.to_be_bytes());
+        for (addr, ttl) in &self.answers {
+            out.extend_from_slice(&[0xC0, 12]); // Pointer to the question name.
+            out.extend_from_slice(&TYPE_A.to_be_bytes());
+            out.extend_from_slice(&CLASS_IN.to_be_bytes());
+            out.extend_from_slice(&ttl.to_be_bytes());
+            out.extend_from_slice(&4u16.to_be_bytes());
+            out.extend_from_slice(&addr.octets());
+        }
+        out
+    }
+
+    /// Decodes a response message.
+    pub fn decode(msg: &[u8]) -> Result<DnsResponse, DnsError> {
+        if msg.len() < 12 {
+            return Err(DnsError::Truncated);
+        }
+        let id = u16::from_be_bytes([msg[0], msg[1]]);
+        let flags = u16::from_be_bytes([msg[2], msg[3]]);
+        let rcode = Rcode::from_u4(flags);
+        let qdcount = u16::from_be_bytes([msg[4], msg[5]]);
+        let ancount = u16::from_be_bytes([msg[6], msg[7]]);
+        if qdcount == 0 {
+            return Err(DnsError::NoQuestion);
+        }
+        let (name, mut pos) = Name::decode(msg, 12)?;
+        pos += 4; // QTYPE + QCLASS.
+        let mut answers = Vec::new();
+        for _ in 0..ancount {
+            let (_rr_name, p) = Name::decode(msg, pos)?;
+            pos = p;
+            let rr_type = u16::from_be_bytes([
+                *msg.get(pos).ok_or(DnsError::Truncated)?,
+                *msg.get(pos + 1).ok_or(DnsError::Truncated)?,
+            ]);
+            let ttl = u32::from_be_bytes([
+                *msg.get(pos + 4).ok_or(DnsError::Truncated)?,
+                *msg.get(pos + 5).ok_or(DnsError::Truncated)?,
+                *msg.get(pos + 6).ok_or(DnsError::Truncated)?,
+                *msg.get(pos + 7).ok_or(DnsError::Truncated)?,
+            ]);
+            let rdlen = u16::from_be_bytes([
+                *msg.get(pos + 8).ok_or(DnsError::Truncated)?,
+                *msg.get(pos + 9).ok_or(DnsError::Truncated)?,
+            ]) as usize;
+            let rdata = msg
+                .get(pos + 10..pos + 10 + rdlen)
+                .ok_or(DnsError::Truncated)?;
+            if rr_type == TYPE_A && rdlen == 4 {
+                answers.push((Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3]), ttl));
+            }
+            pos += 10 + rdlen;
+        }
+        Ok(DnsResponse {
+            id,
+            rcode,
+            name,
+            answers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_parse_and_display() {
+        let n = Name::parse("Host.Example.COM").unwrap();
+        assert_eq!(n.to_string(), "host.example.com");
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(Name::parse("a.b.").unwrap().to_string(), "a.b");
+        assert_eq!(Name::parse("").unwrap().label_count(), 0);
+    }
+
+    #[test]
+    fn name_rejects_bad_labels() {
+        assert_eq!(Name::parse("a..b"), Err(DnsError::BadName));
+        let long_label = "x".repeat(64);
+        assert_eq!(Name::parse(&long_label), Err(DnsError::BadName));
+        let long_name = (0..50).map(|_| "abcde").collect::<Vec<_>>().join(".");
+        assert_eq!(Name::parse(&long_name), Err(DnsError::BadName));
+    }
+
+    #[test]
+    fn name_encode_decode_round_trip() {
+        let n = Name::parse("www.example.org").unwrap();
+        let mut buf = vec![0xFF; 3]; // Leading junk to offset the name.
+        n.encode(&mut buf);
+        let (got, end) = Name::decode(&buf, 3).unwrap();
+        assert_eq!(got, n);
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn name_decodes_compression_pointer() {
+        // "example.com" at offset 2; pointer to it at the end.
+        let mut buf = vec![0u8, 0];
+        Name::parse("example.com").unwrap().encode(&mut buf);
+        let ptr_at = buf.len();
+        buf.extend_from_slice(&[0xC0, 2]);
+        let (got, end) = Name::decode(&buf, ptr_at).unwrap();
+        assert_eq!(got.to_string(), "example.com");
+        assert_eq!(end, ptr_at + 2);
+    }
+
+    #[test]
+    fn name_decodes_partial_compression() {
+        // "com" at offset 0; "example" + pointer at offset 5.
+        let mut buf = Vec::new();
+        Name::parse("com").unwrap().encode(&mut buf); // 5 bytes
+        let start = buf.len();
+        buf.push(7);
+        buf.extend_from_slice(b"example");
+        buf.extend_from_slice(&[0xC0, 0]);
+        let (got, _) = Name::decode(&buf, start).unwrap();
+        assert_eq!(got.to_string(), "example.com");
+    }
+
+    #[test]
+    fn pointer_loops_rejected() {
+        // Forward/self pointers are invalid.
+        let buf = [0xC0u8, 0x00];
+        assert_eq!(Name::decode(&buf, 0), Err(DnsError::BadPointer));
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Query {
+            id: 0xBEEF,
+            name: Name::parse("host-7.example.com").unwrap(),
+            qtype: TYPE_A,
+            recursion_desired: false,
+        };
+        let bytes = q.encode();
+        let got = Query::decode(&bytes).unwrap();
+        assert_eq!(got, q);
+    }
+
+    #[test]
+    fn response_round_trip_with_answers() {
+        let r = DnsResponse {
+            id: 7,
+            rcode: Rcode::NoError,
+            name: Name::parse("a.b.c").unwrap(),
+            answers: vec![
+                (Ipv4Addr::new(10, 1, 2, 3), 300),
+                (Ipv4Addr::new(10, 1, 2, 4), 300),
+            ],
+        };
+        let bytes = r.encode();
+        let got = DnsResponse::decode(&bytes).unwrap();
+        assert_eq!(got, r);
+    }
+
+    #[test]
+    fn nxdomain_round_trip() {
+        let r = DnsResponse {
+            id: 9,
+            rcode: Rcode::NxDomain,
+            name: Name::parse("missing.example.com").unwrap(),
+            answers: vec![],
+        };
+        let got = DnsResponse::decode(&r.encode()).unwrap();
+        assert_eq!(got.rcode, Rcode::NxDomain);
+        assert!(got.answers.is_empty());
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        assert_eq!(Query::decode(&[0u8; 5]), Err(DnsError::Truncated));
+        let q = Query {
+            id: 1,
+            name: Name::parse("x.y").unwrap(),
+            qtype: TYPE_A,
+            recursion_desired: false,
+        };
+        let bytes = q.encode();
+        assert!(Query::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Programmable network hardware models for the *in-network computing on
+//! demand* reproduction.
+//!
+//! The paper runs its applications on a NetFPGA SUME (§3–§5) and, for
+//! consensus, on a Barefoot Tofino (§6); §10 extends the discussion to
+//! SmartNICs. With no such hardware available, this crate provides
+//! calibrated device models that the application crates embed:
+//!
+//! * [`SumeCard`] — the shared FPGA platform: module-composed power,
+//!   gating/reset/parking (§5.1, §9.2), port conventions, DMA timing.
+//! * [`MemorySpec`] — BRAM/SRAM/DRAM capacity, latency and power (§5.3).
+//! * [`RegisterArray`], [`MatchTable`], [`PipelineBudget`] — P4-style
+//!   state and resource admission (§6, §10).
+//! * [`TofinoModel`] — the normalized-power ASIC model (§6).
+//! * [`SmartNicModel`] — the §10 architecture survey.
+
+pub mod asic;
+pub mod memory;
+pub mod netfpga;
+pub mod offload;
+pub mod pipeline;
+pub mod smartnic;
+
+pub use asic::{TofinoModel, TofinoProgram};
+pub use memory::{MemoryKind, MemorySpec};
+pub use netfpga::{
+    modules, SumeCard, HOST_DMA_PORT, NET_PORT_COUNT, PCIE_DMA_ONE_WAY, SHELL_PIPELINE_LATENCY,
+};
+pub use offload::{NetControllerConfig, NetRateController, Placement, RateTrigger};
+pub use pipeline::{MatchTable, PipelineBudget, PipelineError, ProgramResources, RegisterArray};
+pub use smartnic::{survey, SmartNicArch, SmartNicModel, PCIE_SLOT_BUDGET_W};

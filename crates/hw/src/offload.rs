@@ -1,0 +1,288 @@
+//! The network-controlled on-demand controller (§9.1).
+//!
+//! The paper implements this controller "in 40 lines of code within the
+//! FPGA's classifier module": it watches the average application message
+//! rate over a sliding window and shifts the workload to the network when
+//! the rate exceeds a threshold — with a *mirrored* pair of parameters for
+//! shifting back, providing hysteresis against rapid back-and-forth
+//! bouncing. It sees only the packet rate; it cannot observe host power
+//! (that is the host-controlled design's advantage, implemented in
+//! `inc-ondemand`).
+//!
+//! The controller lives here, in the hardware crate, because the
+//! application device models embed it directly in their classifier path,
+//! exactly as the paper's prototype does.
+
+use inc_sim::{Nanos, WindowRate};
+
+/// Where an application currently executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// The host software serves requests; the device acts as a plain NIC.
+    Software,
+    /// The network device terminates requests.
+    Hardware,
+}
+
+impl Placement {
+    /// The opposite placement.
+    pub fn flipped(self) -> Placement {
+        match self {
+            Placement::Software => Placement::Hardware,
+            Placement::Hardware => Placement::Software,
+        }
+    }
+}
+
+/// One direction's trigger: sustained average rate over a window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateTrigger {
+    /// Average message rate that arms the transition, packets/second.
+    pub rate_pps: f64,
+    /// Averaging period (the sliding window length).
+    pub window: Nanos,
+}
+
+/// Configuration of the network-controlled controller: a pair of triggers,
+/// one per direction (§9.1: "A mirror pair of parameters is used to shift
+/// workloads from the network back to the host").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetControllerConfig {
+    /// Shift to hardware when the rate *exceeds* this trigger.
+    pub up: RateTrigger,
+    /// Shift back to software when the rate *falls below* this trigger.
+    pub down: RateTrigger,
+    /// Number of sliding-window epochs (resolution of the average).
+    pub epochs: usize,
+}
+
+impl NetControllerConfig {
+    /// A configuration around a crossover rate: shift up at
+    /// `1.25 × crossover` sustained for `window`, back down at
+    /// `0.5 × crossover` — an asymmetric band that keeps the workload
+    /// where it is unless the evidence is clear.
+    pub fn around_crossover(crossover_pps: f64, window: Nanos) -> Self {
+        NetControllerConfig {
+            up: RateTrigger {
+                rate_pps: crossover_pps * 1.25,
+                window,
+            },
+            down: RateTrigger {
+                rate_pps: crossover_pps * 0.5,
+                window,
+            },
+            epochs: 8,
+        }
+    }
+}
+
+/// The in-dataplane rate-threshold controller with hysteresis.
+///
+/// # Examples
+///
+/// ```
+/// use inc_hw::{NetControllerConfig, NetRateController, Placement};
+/// use inc_sim::Nanos;
+///
+/// let cfg = NetControllerConfig::around_crossover(100_000.0, Nanos::from_millis(200));
+/// let mut ctl = NetRateController::new(cfg, Nanos::ZERO);
+/// assert_eq!(ctl.placement(), Placement::Software);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetRateController {
+    config: NetControllerConfig,
+    placement: Placement,
+    window: WindowRate,
+    shifts: u64,
+}
+
+impl NetRateController {
+    /// Creates a controller starting in [`Placement::Software`] (the paper:
+    /// "at the start of the day all traffic can be sent and processed by
+    /// the software").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured windows are zero or `epochs` is zero.
+    pub fn new(config: NetControllerConfig, now: Nanos) -> Self {
+        let epoch = config
+            .up
+            .window
+            .div(config.epochs as u64)
+            .max(Nanos::from_nanos(1));
+        let mut window = WindowRate::new(epoch, config.epochs);
+        window.reset(now);
+        NetRateController {
+            config,
+            placement: Placement::Software,
+            window,
+            shifts: 0,
+        }
+    }
+
+    /// Returns the current placement decision.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Returns how many shifts have been triggered since creation.
+    pub fn shifts(&self) -> u64 {
+        self.shifts
+    }
+
+    /// Returns the controller's current rate estimate.
+    pub fn rate(&mut self, now: Nanos) -> f64 {
+        self.window.rate(now)
+    }
+
+    /// Accounts one classified application packet. Returns a new placement
+    /// if this packet's evidence triggers a shift.
+    pub fn on_app_packet(&mut self, now: Nanos) -> Option<Placement> {
+        self.window.record(now, 1);
+        self.evaluate(now)
+    }
+
+    /// Periodic evaluation (needed to shift *down* when traffic stops
+    /// entirely, since no packets means no `on_app_packet` calls).
+    pub fn on_tick(&mut self, now: Nanos) -> Option<Placement> {
+        self.evaluate(now)
+    }
+
+    fn evaluate(&mut self, now: Nanos) -> Option<Placement> {
+        if !self.window.primed() {
+            return None;
+        }
+        let rate = self.window.rate(now);
+        let next = match self.placement {
+            Placement::Software if rate > self.config.up.rate_pps => Placement::Hardware,
+            Placement::Hardware if rate < self.config.down.rate_pps => Placement::Software,
+            _ => return None,
+        };
+        self.placement = next;
+        self.shifts += 1;
+        // Restart the averaging window so the mirrored trigger measures a
+        // fresh period rather than reusing pre-shift history.
+        self.window.reset(now);
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NetControllerConfig {
+        NetControllerConfig {
+            up: RateTrigger {
+                rate_pps: 1_000.0,
+                window: Nanos::from_millis(100),
+            },
+            down: RateTrigger {
+                rate_pps: 200.0,
+                window: Nanos::from_millis(100),
+            },
+            epochs: 10,
+        }
+    }
+
+    /// Drives `pps` packets/second into the controller for `dur`, starting
+    /// at `start`. Returns the last decision observed.
+    fn drive(ctl: &mut NetRateController, start: Nanos, dur: Nanos, pps: f64) -> Option<Placement> {
+        let mut last = None;
+        if pps <= 0.0 {
+            // Idle period: tick every epoch.
+            let mut t = start;
+            while t < start + dur {
+                if let Some(d) = ctl.on_tick(t) {
+                    last = Some(d);
+                }
+                t += Nanos::from_millis(10);
+            }
+            return last;
+        }
+        let gap = Nanos::from_secs_f64(1.0 / pps);
+        let mut t = start;
+        while t < start + dur {
+            if let Some(d) = ctl.on_app_packet(t) {
+                last = Some(d);
+            }
+            t += gap;
+        }
+        last
+    }
+
+    #[test]
+    fn starts_in_software() {
+        let ctl = NetRateController::new(cfg(), Nanos::ZERO);
+        assert_eq!(ctl.placement(), Placement::Software);
+    }
+
+    #[test]
+    fn sustained_high_rate_shifts_up() {
+        let mut ctl = NetRateController::new(cfg(), Nanos::ZERO);
+        let d = drive(&mut ctl, Nanos::ZERO, Nanos::from_millis(300), 5_000.0);
+        assert_eq!(d, Some(Placement::Hardware));
+        assert_eq!(ctl.placement(), Placement::Hardware);
+        assert_eq!(ctl.shifts(), 1);
+    }
+
+    #[test]
+    fn short_burst_does_not_shift() {
+        let mut ctl = NetRateController::new(cfg(), Nanos::ZERO);
+        // A 20 ms burst cannot prime the 100 ms window.
+        let d = drive(&mut ctl, Nanos::ZERO, Nanos::from_millis(20), 50_000.0);
+        assert_eq!(d, None);
+        assert_eq!(ctl.placement(), Placement::Software);
+    }
+
+    #[test]
+    fn hysteresis_band_prevents_bouncing() {
+        let mut ctl = NetRateController::new(cfg(), Nanos::ZERO);
+        drive(&mut ctl, Nanos::ZERO, Nanos::from_millis(300), 5_000.0);
+        assert_eq!(ctl.placement(), Placement::Hardware);
+        // 500 pps sits inside the band (below up=1000, above down=200):
+        // no shift in either direction, no matter how long it persists.
+        let d = drive(
+            &mut ctl,
+            Nanos::from_millis(300),
+            Nanos::from_secs(2),
+            500.0,
+        );
+        assert_eq!(d, None);
+        assert_eq!(ctl.placement(), Placement::Hardware);
+        assert_eq!(ctl.shifts(), 1);
+    }
+
+    #[test]
+    fn low_rate_shifts_back_down() {
+        let mut ctl = NetRateController::new(cfg(), Nanos::ZERO);
+        drive(&mut ctl, Nanos::ZERO, Nanos::from_millis(300), 5_000.0);
+        let d = drive(&mut ctl, Nanos::from_millis(300), Nanos::from_secs(1), 50.0);
+        assert_eq!(d, Some(Placement::Software));
+        assert_eq!(ctl.shifts(), 2);
+    }
+
+    #[test]
+    fn traffic_stop_shifts_down_via_ticks() {
+        let mut ctl = NetRateController::new(cfg(), Nanos::ZERO);
+        drive(&mut ctl, Nanos::ZERO, Nanos::from_millis(300), 5_000.0);
+        assert_eq!(ctl.placement(), Placement::Hardware);
+        // Silence: only ticks arrive.
+        let d = drive(&mut ctl, Nanos::from_millis(300), Nanos::from_secs(1), 0.0);
+        assert_eq!(d, Some(Placement::Software));
+    }
+
+    #[test]
+    fn around_crossover_band_is_asymmetric() {
+        let c = NetControllerConfig::around_crossover(80_000.0, Nanos::from_millis(500));
+        assert!(c.up.rate_pps > 80_000.0);
+        assert!(c.down.rate_pps < 80_000.0);
+        assert!(c.up.rate_pps > c.down.rate_pps);
+    }
+
+    #[test]
+    fn placement_flip() {
+        assert_eq!(Placement::Software.flipped(), Placement::Hardware);
+        assert_eq!(Placement::Hardware.flipped(), Placement::Software);
+    }
+}

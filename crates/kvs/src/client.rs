@@ -1,0 +1,377 @@
+//! KVS load generation and measurement.
+//!
+//! The paper uses OSNT for open-loop rate control (§4.1) and a
+//! mutilate-based client for the on-demand timeline experiment (§9.2).
+//! [`KvsClient`] provides both modes: open-loop (fixed offered rate) and
+//! closed-loop (fixed outstanding window). Values are derived
+//! deterministically from keys so every GET hit can be verified
+//! end-to-end, including across placement shifts.
+
+use inc_net::{build_udp, Endpoint, Packet, UdpFrame};
+use inc_sim::{impl_node_any, Ctx, Histogram, Nanos, Node, PortId, Rng, Timer};
+
+use crate::protocol::{decode, encode_request, FrameHeader, Message, Opcode, Request, Status};
+
+/// One generated operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// GET of a key.
+    Get(Vec<u8>),
+    /// SET of a key with a value of the given size.
+    Set(Vec<u8>, usize),
+    /// DELETE of a key.
+    Delete(Vec<u8>),
+}
+
+/// A stream of operations (key popularity + op mix).
+pub trait OpGen {
+    /// Produces the next operation.
+    fn next_op(&mut self, rng: &mut Rng) -> KvOp;
+}
+
+/// Uniform key popularity with a fixed GET ratio.
+#[derive(Clone, Debug)]
+pub struct UniformGen {
+    /// Number of distinct keys (`key-0` .. `key-{n-1}`).
+    pub keys: u64,
+    /// Fraction of GETs (the rest are SETs).
+    pub get_ratio: f64,
+    /// Value size for SETs.
+    pub value_len: usize,
+}
+
+impl OpGen for UniformGen {
+    fn next_op(&mut self, rng: &mut Rng) -> KvOp {
+        let key = key_name(rng.range_u64(0, self.keys));
+        if rng.chance(self.get_ratio) {
+            KvOp::Get(key)
+        } else {
+            KvOp::Set(key, self.value_len)
+        }
+    }
+}
+
+/// Canonical key encoding used by generators and verification.
+pub fn key_name(i: u64) -> Vec<u8> {
+    format!("key-{i}").into_bytes()
+}
+
+/// The deterministic value every store holds for a key: derived from the
+/// key bytes, repeated to `len`. Lets clients verify GET payloads.
+pub fn expected_value(key: &[u8], len: usize) -> Vec<u8> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let seed = h.to_be_bytes();
+    (0..len).map(|i| seed[i % 8]).collect()
+}
+
+/// Client pacing mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pacing {
+    /// Open loop at a fixed offered rate (OSNT-style).
+    OpenLoop {
+        /// Offered rate, requests/second.
+        rate_pps: f64,
+    },
+    /// Closed loop with a fixed number of outstanding requests
+    /// (mutilate-style).
+    ClosedLoop {
+        /// Outstanding window size.
+        concurrency: u32,
+        /// Retransmit timeout for lost requests.
+        timeout: Nanos,
+    },
+}
+
+const TAG_SEND: u64 = 1;
+const TAG_TIMEOUT_BASE: u64 = 1 << 32;
+
+/// Cumulative client statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// Requests sent (excluding retransmissions).
+    pub sent: u64,
+    /// Retransmissions (closed loop only).
+    pub retries: u64,
+    /// Responses received.
+    pub received: u64,
+    /// GET responses whose value failed verification.
+    pub corrupt: u64,
+    /// GET misses (KeyNotFound).
+    pub not_found: u64,
+}
+
+/// The measuring load generator.
+pub struct KvsClient {
+    src: Endpoint,
+    dst: Endpoint,
+    pacing: Pacing,
+    gen: Box<dyn OpGen + 'static>,
+    verify: bool,
+    stats: ClientStats,
+    /// All-time latency distribution.
+    pub latency: Histogram,
+    /// Resettable window histogram for timeline plots.
+    pub window_latency: Histogram,
+    /// Received count at the last window reset (for throughput windows).
+    window_received_base: u64,
+    next_opaque: u32,
+    /// Outstanding requests: opaque → (send time, op).
+    outstanding: std::collections::HashMap<u32, (Nanos, KvOp)>,
+    stopped: bool,
+}
+
+impl KvsClient {
+    /// Creates a client talking to `dst` from `src`.
+    pub fn new(src: Endpoint, dst: Endpoint, pacing: Pacing, gen: Box<dyn OpGen>) -> Self {
+        KvsClient {
+            src,
+            dst,
+            pacing,
+            gen,
+            verify: true,
+            stats: ClientStats::default(),
+            latency: Histogram::new(),
+            window_latency: Histogram::new(),
+            window_received_base: 0,
+            next_opaque: 0,
+            outstanding: std::collections::HashMap::new(),
+            stopped: false,
+        }
+    }
+
+    /// Convenience: client to a standard memcached endpoint.
+    pub fn open_loop(src: Endpoint, dst: Endpoint, rate_pps: f64, gen: Box<dyn OpGen>) -> Self {
+        KvsClient::new(src, dst, Pacing::OpenLoop { rate_pps }, gen)
+    }
+
+    /// Disables value verification (for raw throughput harnesses).
+    pub fn without_verification(mut self) -> Self {
+        self.verify = false;
+        self
+    }
+
+    /// Changes the offered rate (open loop only; takes effect at the next
+    /// send timer).
+    pub fn set_rate(&mut self, rate_pps: f64) {
+        if let Pacing::OpenLoop { rate_pps: r } = &mut self.pacing {
+            *r = rate_pps;
+        }
+    }
+
+    /// Stops offering load.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Drains the measurement window: returns (responses in window,
+    /// window latency histogram) and resets both.
+    pub fn take_window(&mut self) -> (u64, Histogram) {
+        let n = self.stats.received - self.window_received_base;
+        self.window_received_base = self.stats.received;
+        let h = std::mem::take(&mut self.window_latency);
+        (n, h)
+    }
+
+    fn build_request(&mut self, op: &KvOp) -> (Packet, u32) {
+        self.next_opaque = self.next_opaque.wrapping_add(1);
+        let opaque = self.next_opaque;
+        let request = match op {
+            KvOp::Get(key) => Request::Get { key: key.clone() },
+            KvOp::Set(key, len) => Request::Set {
+                key: key.clone(),
+                value: expected_value(key, *len),
+                flags: 0,
+                expiry: 0,
+            },
+            KvOp::Delete(key) => Request::Delete { key: key.clone() },
+        };
+        let frame = FrameHeader {
+            request_id: (opaque & 0xffff) as u16,
+            seq: 0,
+            total: 1,
+        };
+        let payload = encode_request(frame, &request, opaque);
+        let pkt = build_udp(self.src, self.dst, &payload);
+        (pkt, opaque)
+    }
+
+    fn send_one(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        let op = self.gen.next_op(ctx.rng());
+        let (mut pkt, opaque) = self.build_request(&op);
+        let now = ctx.now();
+        pkt.sent_at = now;
+        pkt.id = opaque as u64;
+        self.outstanding.insert(opaque, (now, op));
+        self.stats.sent += 1;
+        ctx.send(PortId::P0, pkt);
+        if let Pacing::ClosedLoop { timeout, .. } = self.pacing {
+            ctx.schedule_in(timeout, TAG_TIMEOUT_BASE + opaque as u64);
+        }
+    }
+
+    fn schedule_next_send(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        if self.stopped {
+            return;
+        }
+        if let Pacing::OpenLoop { rate_pps } = self.pacing {
+            if rate_pps > 0.0 {
+                ctx.schedule_in(Nanos::from_secs_f64(1.0 / rate_pps), TAG_SEND);
+            } else {
+                // Idle: re-check for a new rate every 10 ms.
+                ctx.schedule_in(Nanos::from_millis(10), TAG_SEND);
+            }
+        }
+    }
+}
+
+impl Node<Packet> for KvsClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        match self.pacing {
+            Pacing::OpenLoop { .. } => self.schedule_next_send(ctx),
+            Pacing::ClosedLoop { concurrency, .. } => {
+                for _ in 0..concurrency {
+                    self.send_one(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, timer: Timer) {
+        if timer.tag == TAG_SEND {
+            if self.stopped {
+                return;
+            }
+            if let Pacing::OpenLoop { rate_pps } = self.pacing {
+                if rate_pps > 0.0 {
+                    self.send_one(ctx);
+                }
+            }
+            self.schedule_next_send(ctx);
+        } else if timer.tag >= TAG_TIMEOUT_BASE {
+            // Closed-loop retransmission timeout.
+            let opaque = (timer.tag - TAG_TIMEOUT_BASE) as u32;
+            if self.outstanding.remove(&opaque).is_some() && !self.stopped {
+                self.stats.retries += 1;
+                self.send_one(ctx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, msg: Packet) {
+        let Ok(frame) = UdpFrame::parse(&msg) else {
+            return;
+        };
+        let Ok(Message::Response { response, .. }) = decode(frame.payload) else {
+            return;
+        };
+        let Some((sent_at, op)) = self.outstanding.remove(&response.opaque) else {
+            return; // Late duplicate (already retried or completed).
+        };
+        let now = ctx.now();
+        self.stats.received += 1;
+        let lat = (now - sent_at).as_nanos();
+        self.latency.record(lat);
+        self.window_latency.record(lat);
+        if response.opcode == Opcode::Get {
+            match response.status {
+                Status::Ok if self.verify => {
+                    if let KvOp::Get(key) = &op {
+                        let expect = expected_value(key, response.value.len());
+                        if response.value != expect {
+                            self.stats.corrupt += 1;
+                        }
+                    }
+                }
+                Status::KeyNotFound => self.stats.not_found += 1,
+                _ => {}
+            }
+        }
+        if let Pacing::ClosedLoop { .. } = self.pacing {
+            if !self.stopped {
+                self.send_one(ctx);
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        "kvs-client".to_string()
+    }
+
+    impl_node_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::MEMCACHED_PORT;
+
+    #[test]
+    fn expected_value_is_deterministic_and_key_dependent() {
+        let a = expected_value(b"key-1", 64);
+        let b = expected_value(b"key-1", 64);
+        let c = expected_value(b"key-2", 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 64);
+        assert!(expected_value(b"k", 0).is_empty());
+    }
+
+    #[test]
+    fn uniform_gen_mix() {
+        let mut g = UniformGen {
+            keys: 10,
+            get_ratio: 0.9,
+            value_len: 32,
+        };
+        let mut rng = Rng::new(1);
+        let n = 10_000;
+        let gets = (0..n)
+            .filter(|_| matches!(g.next_op(&mut rng), KvOp::Get(_)))
+            .count();
+        let ratio = gets as f64 / n as f64;
+        assert!((ratio - 0.9).abs() < 0.02, "{ratio}");
+    }
+
+    #[test]
+    fn request_build_round_trip() {
+        let mut c = KvsClient::open_loop(
+            Endpoint::host(1, 4000),
+            Endpoint::host(2, MEMCACHED_PORT),
+            1000.0,
+            Box::new(UniformGen {
+                keys: 4,
+                get_ratio: 1.0,
+                value_len: 8,
+            }),
+        );
+        let (pkt, opaque) = c.build_request(&KvOp::Get(b"key-3".to_vec()));
+        let frame = UdpFrame::parse(&pkt).unwrap();
+        assert_eq!(frame.udp.dst_port, MEMCACHED_PORT);
+        match decode(frame.payload).unwrap() {
+            Message::Request {
+                request, opaque: o, ..
+            } => {
+                assert_eq!(
+                    request,
+                    Request::Get {
+                        key: b"key-3".to_vec()
+                    }
+                );
+                assert_eq!(o, opaque);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

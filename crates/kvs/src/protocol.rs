@@ -1,0 +1,536 @@
+//! The memcached binary protocol over UDP.
+//!
+//! LaKe "supports standard memcached functionality" (§3.1), so this module
+//! implements the real wire format: the 8-byte memcached UDP frame header
+//! followed by a 24-byte binary-protocol header, extras, key and value.
+//! Both the hardware (LaKe) and software (memcached) models parse and emit
+//! these exact bytes, which is what lets the on-demand shift be invisible
+//! to clients.
+
+/// Memcached binary protocol opcodes (subset used by the paper's workloads).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Retrieve a value.
+    Get,
+    /// Store a value.
+    Set,
+    /// Remove a key.
+    Delete,
+}
+
+impl Opcode {
+    fn to_byte(self) -> u8 {
+        match self {
+            Opcode::Get => 0x00,
+            Opcode::Set => 0x01,
+            Opcode::Delete => 0x04,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x00 => Some(Opcode::Get),
+            0x01 => Some(Opcode::Set),
+            0x04 => Some(Opcode::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// Binary-protocol response status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Success.
+    Ok,
+    /// Key not found.
+    KeyNotFound,
+    /// Value too large for the store.
+    TooLarge,
+    /// Any other error.
+    InternalError,
+}
+
+impl Status {
+    fn to_u16(self) -> u16 {
+        match self {
+            Status::Ok => 0x0000,
+            Status::KeyNotFound => 0x0001,
+            Status::TooLarge => 0x0003,
+            Status::InternalError => 0x0084,
+        }
+    }
+
+    fn from_u16(v: u16) -> Status {
+        match v {
+            0x0000 => Status::Ok,
+            0x0001 => Status::KeyNotFound,
+            0x0003 => Status::TooLarge,
+            _ => Status::InternalError,
+        }
+    }
+}
+
+/// Errors decoding a memcached datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Shorter than the frame + binary headers.
+    Truncated,
+    /// Magic byte is neither request (0x80) nor response (0x81).
+    BadMagic(u8),
+    /// Unsupported opcode.
+    BadOpcode(u8),
+    /// Header lengths disagree with the buffer.
+    BadLength,
+    /// Multi-datagram UDP responses are not supported (requests always fit).
+    Fragmented,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "datagram truncated"),
+            ProtocolError::BadMagic(m) => write!(f, "bad magic 0x{m:02x}"),
+            ProtocolError::BadOpcode(o) => write!(f, "unsupported opcode 0x{o:02x}"),
+            ProtocolError::BadLength => write!(f, "length fields inconsistent"),
+            ProtocolError::Fragmented => write!(f, "fragmented udp response unsupported"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The 8-byte memcached UDP frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct FrameHeader {
+    /// Client-chosen request id echoed in the response.
+    pub request_id: u16,
+    /// Sequence number of this datagram.
+    pub seq: u16,
+    /// Total datagrams in the message.
+    pub total: u16,
+}
+
+impl FrameHeader {
+    const LEN: usize = 8;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.request_id.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.total.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // Reserved.
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Self, &[u8]), ProtocolError> {
+        if buf.len() < Self::LEN {
+            return Err(ProtocolError::Truncated);
+        }
+        Ok((
+            FrameHeader {
+                request_id: u16::from_be_bytes([buf[0], buf[1]]),
+                seq: u16::from_be_bytes([buf[2], buf[3]]),
+                total: u16::from_be_bytes([buf[4], buf[5]]),
+            },
+            &buf[Self::LEN..],
+        ))
+    }
+}
+
+/// A decoded memcached request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// GET key.
+    Get {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// SET key = value.
+    Set {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+        /// Client flags stored with the value.
+        flags: u32,
+        /// Expiry in seconds (0 = never); stored but not enforced.
+        expiry: u32,
+    },
+    /// DELETE key.
+    Delete {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// The opcode of this request.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Get { .. } => Opcode::Get,
+            Request::Set { .. } => Opcode::Set,
+            Request::Delete { .. } => Opcode::Delete,
+        }
+    }
+
+    /// The key this request addresses.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Request::Get { key } | Request::Delete { key } => key,
+            Request::Set { key, .. } => key,
+        }
+    }
+}
+
+/// A decoded memcached response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Opcode being answered.
+    pub opcode: Opcode,
+    /// Outcome.
+    pub status: Status,
+    /// Value (GET hits only).
+    pub value: Vec<u8>,
+    /// Flags stored with the value (GET hits only).
+    pub flags: u32,
+    /// Opaque value echoed from the request.
+    pub opaque: u32,
+}
+
+const BIN_HLEN: usize = 24;
+const MAGIC_REQUEST: u8 = 0x80;
+const MAGIC_RESPONSE: u8 = 0x81;
+
+// The binary header simply has this many independent fields.
+#[allow(clippy::too_many_arguments)]
+fn encode_binary(
+    magic: u8,
+    opcode: Opcode,
+    status_or_vbucket: u16,
+    extras: &[u8],
+    key: &[u8],
+    value: &[u8],
+    opaque: u32,
+    out: &mut Vec<u8>,
+) {
+    let body_len = (extras.len() + key.len() + value.len()) as u32;
+    out.push(magic);
+    out.push(opcode.to_byte());
+    out.extend_from_slice(&(key.len() as u16).to_be_bytes());
+    out.push(extras.len() as u8);
+    out.push(0); // Data type.
+    out.extend_from_slice(&status_or_vbucket.to_be_bytes());
+    out.extend_from_slice(&body_len.to_be_bytes());
+    out.extend_from_slice(&opaque.to_be_bytes());
+    out.extend_from_slice(&0u64.to_be_bytes()); // CAS.
+    out.extend_from_slice(extras);
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+}
+
+/// Encodes a request datagram (frame header + binary message).
+pub fn encode_request(frame: FrameHeader, req: &Request, opaque: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    frame.encode(&mut out);
+    match req {
+        Request::Get { key } => encode_binary(
+            MAGIC_REQUEST,
+            Opcode::Get,
+            0,
+            &[],
+            key,
+            &[],
+            opaque,
+            &mut out,
+        ),
+        Request::Set {
+            key,
+            value,
+            flags,
+            expiry,
+        } => {
+            let mut extras = [0u8; 8];
+            extras[..4].copy_from_slice(&flags.to_be_bytes());
+            extras[4..].copy_from_slice(&expiry.to_be_bytes());
+            encode_binary(
+                MAGIC_REQUEST,
+                Opcode::Set,
+                0,
+                &extras,
+                key,
+                value,
+                opaque,
+                &mut out,
+            )
+        }
+        Request::Delete { key } => encode_binary(
+            MAGIC_REQUEST,
+            Opcode::Delete,
+            0,
+            &[],
+            key,
+            &[],
+            opaque,
+            &mut out,
+        ),
+    }
+    out
+}
+
+/// Encodes a response datagram answering `frame`.
+pub fn encode_response(frame: FrameHeader, resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + resp.value.len());
+    frame.encode(&mut out);
+    // GET hits carry the stored flags as 4 bytes of extras.
+    let extras_buf = resp.flags.to_be_bytes();
+    let extras: &[u8] = if resp.opcode == Opcode::Get && resp.status == Status::Ok {
+        &extras_buf
+    } else {
+        &[]
+    };
+    encode_binary(
+        MAGIC_RESPONSE,
+        resp.opcode,
+        resp.status.to_u16(),
+        extras,
+        &[],
+        &resp.value,
+        resp.opaque,
+        &mut out,
+    );
+    out
+}
+
+/// A decoded datagram: either direction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// A client request.
+    Request {
+        /// UDP frame header.
+        frame: FrameHeader,
+        /// The request.
+        request: Request,
+        /// Client opaque token.
+        opaque: u32,
+    },
+    /// A server response.
+    Response {
+        /// UDP frame header.
+        frame: FrameHeader,
+        /// The response.
+        response: Response,
+    },
+}
+
+/// Decodes a memcached datagram (either direction).
+pub fn decode(buf: &[u8]) -> Result<Message, ProtocolError> {
+    let (frame, rest) = FrameHeader::decode(buf)?;
+    if frame.total > 1 {
+        return Err(ProtocolError::Fragmented);
+    }
+    if rest.len() < BIN_HLEN {
+        return Err(ProtocolError::Truncated);
+    }
+    let magic = rest[0];
+    let opcode = Opcode::from_byte(rest[1]).ok_or(ProtocolError::BadOpcode(rest[1]))?;
+    let key_len = u16::from_be_bytes([rest[2], rest[3]]) as usize;
+    let extras_len = rest[4] as usize;
+    let status_or_vbucket = u16::from_be_bytes([rest[6], rest[7]]);
+    let body_len = u32::from_be_bytes([rest[8], rest[9], rest[10], rest[11]]) as usize;
+    let opaque = u32::from_be_bytes([rest[12], rest[13], rest[14], rest[15]]);
+    if rest.len() < BIN_HLEN + body_len || extras_len + key_len > body_len {
+        return Err(ProtocolError::BadLength);
+    }
+    let body = &rest[BIN_HLEN..BIN_HLEN + body_len];
+    let extras = &body[..extras_len];
+    let key = &body[extras_len..extras_len + key_len];
+    let value = &body[extras_len + key_len..];
+    match magic {
+        MAGIC_REQUEST => {
+            let request = match opcode {
+                Opcode::Get => Request::Get { key: key.to_vec() },
+                Opcode::Delete => Request::Delete { key: key.to_vec() },
+                Opcode::Set => {
+                    if extras.len() != 8 {
+                        return Err(ProtocolError::BadLength);
+                    }
+                    Request::Set {
+                        key: key.to_vec(),
+                        value: value.to_vec(),
+                        flags: u32::from_be_bytes([extras[0], extras[1], extras[2], extras[3]]),
+                        expiry: u32::from_be_bytes([extras[4], extras[5], extras[6], extras[7]]),
+                    }
+                }
+            };
+            Ok(Message::Request {
+                frame,
+                request,
+                opaque,
+            })
+        }
+        MAGIC_RESPONSE => {
+            let flags = if extras.len() >= 4 {
+                u32::from_be_bytes([extras[0], extras[1], extras[2], extras[3]])
+            } else {
+                0
+            };
+            Ok(Message::Response {
+                frame,
+                response: Response {
+                    opcode,
+                    status: Status::from_u16(status_or_vbucket),
+                    value: value.to_vec(),
+                    flags,
+                    opaque,
+                },
+            })
+        }
+        m => Err(ProtocolError::BadMagic(m)),
+    }
+}
+
+/// The conventional memcached UDP port.
+pub const MEMCACHED_PORT: u16 = 11211;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u16) -> FrameHeader {
+        FrameHeader {
+            request_id: id,
+            seq: 0,
+            total: 1,
+        }
+    }
+
+    #[test]
+    fn get_request_round_trip() {
+        let req = Request::Get {
+            key: b"user:42".to_vec(),
+        };
+        let bytes = encode_request(frame(7), &req, 99);
+        match decode(&bytes).unwrap() {
+            Message::Request {
+                frame: f,
+                request,
+                opaque,
+            } => {
+                assert_eq!(f.request_id, 7);
+                assert_eq!(request, req);
+                assert_eq!(opaque, 99);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_request_round_trip() {
+        let req = Request::Set {
+            key: b"k".to_vec(),
+            value: vec![0xAB; 100],
+            flags: 0xDEADBEEF,
+            expiry: 3600,
+        };
+        let bytes = encode_request(frame(1), &req, 5);
+        match decode(&bytes).unwrap() {
+            Message::Request { request, .. } => assert_eq!(request, req),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_round_trip() {
+        let req = Request::Delete {
+            key: b"gone".to_vec(),
+        };
+        let bytes = encode_request(frame(2), &req, 0);
+        match decode(&bytes).unwrap() {
+            Message::Request { request, .. } => assert_eq!(request, req),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_hit_response_round_trip() {
+        let resp = Response {
+            opcode: Opcode::Get,
+            status: Status::Ok,
+            value: b"the-value".to_vec(),
+            flags: 42,
+            opaque: 17,
+        };
+        let bytes = encode_response(frame(3), &resp);
+        match decode(&bytes).unwrap() {
+            Message::Response { response, .. } => {
+                assert_eq!(response.status, Status::Ok);
+                assert_eq!(response.value, b"the-value");
+                assert_eq!(response.flags, 42);
+                assert_eq!(response.opaque, 17);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_response_round_trip() {
+        let resp = Response {
+            opcode: Opcode::Get,
+            status: Status::KeyNotFound,
+            value: vec![],
+            flags: 0,
+            opaque: 0,
+        };
+        let bytes = encode_response(frame(4), &resp);
+        match decode(&bytes).unwrap() {
+            Message::Response { response, .. } => {
+                assert_eq!(response.status, Status::KeyNotFound);
+                assert!(response.value.is_empty());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(decode(&[0u8; 4]), Err(ProtocolError::Truncated));
+        assert_eq!(decode(&[0u8; 20]), Err(ProtocolError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let req = Request::Get { key: b"k".to_vec() };
+        let mut bytes = encode_request(frame(0), &req, 0);
+        bytes[8] = 0x55;
+        assert_eq!(decode(&bytes), Err(ProtocolError::BadMagic(0x55)));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let req = Request::Get { key: b"k".to_vec() };
+        let mut bytes = encode_request(frame(0), &req, 0);
+        bytes[9] = 0x7f;
+        assert_eq!(decode(&bytes), Err(ProtocolError::BadOpcode(0x7f)));
+    }
+
+    #[test]
+    fn inconsistent_lengths_rejected() {
+        let req = Request::Get {
+            key: b"key".to_vec(),
+        };
+        let mut bytes = encode_request(frame(0), &req, 0);
+        // Claim a larger body than present.
+        bytes[16..20].copy_from_slice(&100u32.to_be_bytes());
+        assert_eq!(decode(&bytes), Err(ProtocolError::BadLength));
+    }
+
+    #[test]
+    fn fragmented_rejected() {
+        let req = Request::Get { key: b"k".to_vec() };
+        let f = FrameHeader {
+            request_id: 1,
+            seq: 0,
+            total: 3,
+        };
+        let bytes = encode_request(f, &req, 0);
+        assert_eq!(decode(&bytes), Err(ProtocolError::Fragmented));
+    }
+}

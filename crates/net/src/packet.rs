@@ -1,0 +1,248 @@
+//! The simulation's network frame.
+
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use inc_sim::{Nanos, Payload};
+
+use crate::addr::MacAddr;
+use crate::wire::{
+    EthernetHeader, Ipv4Header, UdpHeader, WireError, ETHERTYPE_IPV4, IPPROTO_UDP, IPV4_HLEN,
+    UDP_HLEN,
+};
+
+/// An Ethernet frame in flight, with measurement metadata.
+///
+/// The frame bytes are reference-counted ([`Bytes`]), so forwarding a
+/// packet through switches and classifiers does not copy the payload.
+/// `sent_at` plays the role of the paper's Endace DAG capture timestamps:
+/// it is stamped by traffic sources and read by sinks to measure latency.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// The complete frame, starting at the Ethernet header.
+    pub data: Bytes,
+    /// When the original request left its source (for latency measurement).
+    pub sent_at: Nanos,
+    /// Source-assigned identifier correlating requests and replies.
+    pub id: u64,
+}
+
+impl Payload for Packet {
+    fn wire_bytes(&self) -> usize {
+        // Frame + preamble/SFD (8) + FCS (4) + minimum IFG (12): the
+        // per-packet cost on the wire, which is what line-rate limits see.
+        self.data.len() + 24
+    }
+}
+
+impl Packet {
+    /// Wraps raw frame bytes.
+    pub fn from_bytes(data: Bytes) -> Self {
+        Packet {
+            data,
+            sent_at: Nanos::ZERO,
+            id: 0,
+        }
+    }
+
+    /// Frame length in bytes (excluding preamble/FCS/IFG overhead).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for an empty buffer (never valid on the wire).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A fully parsed UDP-over-IPv4-over-Ethernet view of a [`Packet`].
+#[derive(Clone, Debug)]
+pub struct UdpFrame<'a> {
+    /// Ethernet header.
+    pub eth: EthernetHeader,
+    /// IPv4 header.
+    pub ip: Ipv4Header,
+    /// UDP header.
+    pub udp: UdpHeader,
+    /// Application payload.
+    pub payload: &'a [u8],
+}
+
+impl<'a> UdpFrame<'a> {
+    /// Parses and verifies all three headers of `packet`.
+    pub fn parse(packet: &'a Packet) -> Result<Self, WireError> {
+        let (eth, rest) = EthernetHeader::decode(&packet.data)?;
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return Err(WireError::WrongEtherType(eth.ethertype));
+        }
+        let (ip, rest) = Ipv4Header::decode(rest)?;
+        if ip.protocol != IPPROTO_UDP {
+            return Err(WireError::WrongProtocol(ip.protocol));
+        }
+        let (udp, payload) = UdpHeader::decode(ip.src, ip.dst, rest)?;
+        Ok(UdpFrame {
+            eth,
+            ip,
+            udp,
+            payload,
+        })
+    }
+}
+
+/// Endpoint identity used when building frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// MAC address.
+    pub mac: MacAddr,
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    /// UDP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Builds a deterministic endpoint from a small integer and port,
+    /// convenient for topology construction.
+    pub fn host(n: u32, port: u16) -> Self {
+        let b = n.to_be_bytes();
+        Endpoint {
+            mac: MacAddr::local(n),
+            ip: Ipv4Addr::new(10, b[1], b[2], b[3]),
+            port,
+        }
+    }
+}
+
+/// Builds a complete UDP frame from `src` to `dst`.
+///
+/// # Examples
+///
+/// ```
+/// use inc_net::{build_udp, Endpoint, UdpFrame};
+///
+/// let a = Endpoint::host(1, 4000);
+/// let b = Endpoint::host(2, 11211);
+/// let pkt = build_udp(a, b, b"get foo");
+/// let frame = UdpFrame::parse(&pkt).unwrap();
+/// assert_eq!(frame.udp.dst_port, 11211);
+/// assert_eq!(frame.payload, b"get foo");
+/// ```
+pub fn build_udp(src: Endpoint, dst: Endpoint, payload: &[u8]) -> Packet {
+    build_udp_with_ident(src, dst, payload, 0)
+}
+
+/// Like [`build_udp`] with an explicit IPv4 identification field.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds the 65,507-byte UDP maximum (fragmentation
+/// is not modelled; the paper's applications use small datagrams).
+pub fn build_udp_with_ident(src: Endpoint, dst: Endpoint, payload: &[u8], ident: u16) -> Packet {
+    assert!(
+        payload.len() <= 65_507,
+        "payload of {} bytes does not fit one UDP datagram",
+        payload.len()
+    );
+    let total_len = (IPV4_HLEN + UDP_HLEN + payload.len()) as u16;
+    let mut buf = Vec::with_capacity(total_len as usize + 14);
+    EthernetHeader {
+        dst: dst.mac,
+        src: src.mac,
+        ethertype: ETHERTYPE_IPV4,
+    }
+    .encode(&mut buf);
+    Ipv4Header {
+        src: src.ip,
+        dst: dst.ip,
+        protocol: IPPROTO_UDP,
+        ttl: 64,
+        total_len,
+        ident,
+    }
+    .encode(&mut buf);
+    UdpHeader::encode_with_payload(src.port, dst.port, src.ip, dst.ip, payload, &mut buf);
+    Packet::from_bytes(Bytes::from(buf))
+}
+
+/// Builds the reply to a parsed request: swaps MAC/IP/ports and carries a
+/// new payload. This is exactly what the in-network services do (§10: the
+/// request "enters as the request, and comes out as the reply").
+pub fn build_reply(request: &UdpFrame<'_>, payload: &[u8]) -> Packet {
+    let src = Endpoint {
+        mac: request.eth.dst,
+        ip: request.ip.dst,
+        port: request.udp.dst_port,
+    };
+    let dst = Endpoint {
+        mac: request.eth.src,
+        ip: request.ip.src,
+        port: request.udp.src_port,
+    };
+    build_udp(src, dst, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_parse_round_trip() {
+        let a = Endpoint::host(1, 1234);
+        let b = Endpoint::host(2, 53);
+        let pkt = build_udp(a, b, b"query");
+        let f = UdpFrame::parse(&pkt).unwrap();
+        assert_eq!(f.eth.src, a.mac);
+        assert_eq!(f.eth.dst, b.mac);
+        assert_eq!(f.ip.src, a.ip);
+        assert_eq!(f.ip.dst, b.ip);
+        assert_eq!(f.udp.src_port, 1234);
+        assert_eq!(f.udp.dst_port, 53);
+        assert_eq!(f.payload, b"query");
+    }
+
+    #[test]
+    fn reply_swaps_direction() {
+        let a = Endpoint::host(1, 1234);
+        let b = Endpoint::host(2, 53);
+        let req = build_udp(a, b, b"query");
+        let parsed = UdpFrame::parse(&req).unwrap();
+        let rep = build_reply(&parsed, b"answer");
+        let f = UdpFrame::parse(&rep).unwrap();
+        assert_eq!(f.eth.dst, a.mac);
+        assert_eq!(f.ip.dst, a.ip);
+        assert_eq!(f.udp.dst_port, 1234);
+        assert_eq!(f.udp.src_port, 53);
+        assert_eq!(f.payload, b"answer");
+    }
+
+    #[test]
+    fn non_ip_frame_rejected() {
+        let mut buf = Vec::new();
+        EthernetHeader {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: 0x0806, // ARP
+        }
+        .encode(&mut buf);
+        let pkt = Packet::from_bytes(Bytes::from(buf));
+        assert_eq!(
+            UdpFrame::parse(&pkt).unwrap_err(),
+            WireError::WrongEtherType(0x0806)
+        );
+    }
+
+    #[test]
+    fn wire_bytes_include_overhead() {
+        let pkt = build_udp(Endpoint::host(1, 1), Endpoint::host(2, 2), &[0u8; 18]);
+        // 14 (eth) + 20 (ip) + 8 (udp) + 18 payload = 60; +24 overhead.
+        assert_eq!(pkt.len(), 60);
+        assert_eq!(pkt.wire_bytes(), 84);
+    }
+
+    #[test]
+    fn endpoint_host_deterministic() {
+        assert_eq!(Endpoint::host(3, 9), Endpoint::host(3, 9));
+        assert_ne!(Endpoint::host(3, 9).ip, Endpoint::host(4, 9).ip);
+    }
+}

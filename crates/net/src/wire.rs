@@ -1,0 +1,382 @@
+//! Ethernet II, IPv4 and UDP wire formats.
+//!
+//! All three applications in the paper are UDP-based (§3.4); this module
+//! implements real header encoding/decoding with checksums so that the
+//! hardware and software models exchange byte-accurate frames.
+
+use std::net::Ipv4Addr;
+
+use crate::addr::MacAddr;
+
+/// Errors decoding a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the header demands.
+    Truncated,
+    /// An EtherType other than the one expected by the caller.
+    WrongEtherType(u16),
+    /// An IP protocol other than the one expected by the caller.
+    WrongProtocol(u8),
+    /// The IPv4 header checksum does not verify.
+    BadIpChecksum,
+    /// The UDP checksum is present and does not verify.
+    BadUdpChecksum,
+    /// An unsupported IPv4 header length (options are not supported).
+    BadIhl(u8),
+    /// The UDP length field disagrees with the buffer.
+    BadLength,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::WrongEtherType(t) => write!(f, "unexpected ethertype 0x{t:04x}"),
+            WireError::WrongProtocol(p) => write!(f, "unexpected ip protocol {p}"),
+            WireError::BadIpChecksum => write!(f, "bad ipv4 header checksum"),
+            WireError::BadUdpChecksum => write!(f, "bad udp checksum"),
+            WireError::BadIhl(v) => write!(f, "unsupported ihl {v}"),
+            WireError::BadLength => write!(f, "udp length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+
+/// Length of an Ethernet II header.
+pub const ETH_HLEN: usize = 14;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HLEN: usize = 20;
+
+/// Length of a UDP header.
+pub const UDP_HLEN: usize = 8;
+
+/// Combined length of the three headers this stack uses.
+pub const UDP_STACK_HLEN: usize = ETH_HLEN + IPV4_HLEN + UDP_HLEN;
+
+/// A parsed Ethernet II header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Encodes the header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    /// Decodes a header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<(Self, &[u8]), WireError> {
+        if buf.len() < ETH_HLEN {
+            return Err(WireError::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        let mut src = [0u8; 6];
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = u16::from_be_bytes([buf[12], buf[13]]);
+        Ok((
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            &buf[ETH_HLEN..],
+        ))
+    }
+}
+
+/// A parsed IPv4 header (no options).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol.
+    pub protocol: u8,
+    /// Time to live.
+    pub ttl: u8,
+    /// Total length (header + payload) as carried on the wire.
+    pub total_len: u16,
+    /// Identification field.
+    pub ident: u16,
+}
+
+/// Computes the Internet checksum (RFC 1071) over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl Ipv4Header {
+    /// Encodes the header (with a valid checksum) into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(0x45); // Version 4, IHL 5.
+        out.push(0); // DSCP/ECN.
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&[0x40, 0]); // Flags: DF; fragment offset 0.
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // Checksum placeholder.
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        let csum = internet_checksum(&out[start..start + IPV4_HLEN]);
+        out[start + 10..start + 12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Decodes and checksum-verifies a header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<(Self, &[u8]), WireError> {
+        if buf.len() < IPV4_HLEN {
+            return Err(WireError::Truncated);
+        }
+        let ihl = buf[0] & 0x0f;
+        if buf[0] >> 4 != 4 || ihl != 5 {
+            return Err(WireError::BadIhl(buf[0]));
+        }
+        if internet_checksum(&buf[..IPV4_HLEN]) != 0 {
+            return Err(WireError::BadIpChecksum);
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        if (total_len as usize) < IPV4_HLEN || total_len as usize > buf.len() {
+            return Err(WireError::BadLength);
+        }
+        let hdr = Ipv4Header {
+            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+            protocol: buf[9],
+            ttl: buf[8],
+            total_len,
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+        };
+        Ok((hdr, &buf[IPV4_HLEN..total_len as usize]))
+    }
+}
+
+/// A parsed UDP header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length including the 8-byte header.
+    pub length: u16,
+    /// Checksum (0 means absent, as UDP over IPv4 permits).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Encodes header and payload, computing the checksum over the
+    /// pseudo-header as RFC 768 requires.
+    pub fn encode_with_payload(
+        src_port: u16,
+        dst_port: u16,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        let length = (UDP_HLEN + payload.len()) as u16;
+        let start = out.len();
+        out.extend_from_slice(&src_port.to_be_bytes());
+        out.extend_from_slice(&dst_port.to_be_bytes());
+        out.extend_from_slice(&length.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // Checksum placeholder.
+        out.extend_from_slice(payload);
+        let csum = udp_checksum(src_ip, dst_ip, &out[start..]);
+        // RFC 768: a computed zero checksum is transmitted as 0xffff.
+        let csum = if csum == 0 { 0xffff } else { csum };
+        out[start + 6..start + 8].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Decodes and (if present) checksum-verifies a datagram.
+    ///
+    /// Returns the header and the payload slice.
+    pub fn decode(
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        buf: &[u8],
+    ) -> Result<(Self, &[u8]), WireError> {
+        if buf.len() < UDP_HLEN {
+            return Err(WireError::Truncated);
+        }
+        let length = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        if length < UDP_HLEN || length > buf.len() {
+            return Err(WireError::BadLength);
+        }
+        let hdr = UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length: length as u16,
+            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+        };
+        if hdr.checksum != 0 && udp_checksum(src_ip, dst_ip, &buf[..length]) != 0 {
+            return Err(WireError::BadUdpChecksum);
+        }
+        Ok((hdr, &buf[UDP_HLEN..length]))
+    }
+}
+
+fn udp_checksum(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, datagram: &[u8]) -> u16 {
+    let mut pseudo = Vec::with_capacity(12 + datagram.len());
+    pseudo.extend_from_slice(&src_ip.octets());
+    pseudo.extend_from_slice(&dst_ip.octets());
+    pseudo.push(0);
+    pseudo.push(IPPROTO_UDP);
+    pseudo.extend_from_slice(&(datagram.len() as u16).to_be_bytes());
+    pseudo.extend_from_slice(datagram);
+    internet_checksum(&pseudo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_round_trip() {
+        let hdr = EthernetHeader {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        buf.extend_from_slice(b"payload");
+        let (got, rest) = EthernetHeader::decode(&buf).unwrap();
+        assert_eq!(got, hdr);
+        assert_eq!(rest, b"payload");
+    }
+
+    #[test]
+    fn ethernet_truncated() {
+        assert_eq!(
+            EthernetHeader::decode(&[0u8; 13]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn internet_checksum_known_vector() {
+        // Example from RFC 1071 §3: checksum of the sequence is its
+        // complement-folded sum.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let c = internet_checksum(&data);
+        assert_eq!(c, !0xddf2u16);
+    }
+
+    #[test]
+    fn ipv4_round_trip_and_verify() {
+        let hdr = Ipv4Header {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            protocol: IPPROTO_UDP,
+            ttl: 64,
+            total_len: (IPV4_HLEN + 4) as u16,
+            ident: 0x1234,
+        };
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let (got, payload) = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(got, hdr);
+        assert_eq!(payload, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ipv4_detects_corruption() {
+        let hdr = Ipv4Header {
+            src: Ipv4Addr::new(192, 168, 1, 1),
+            dst: Ipv4Addr::new(192, 168, 1, 2),
+            protocol: IPPROTO_UDP,
+            ttl: 64,
+            total_len: IPV4_HLEN as u16,
+            ident: 0,
+        };
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        buf[12] ^= 0xff; // Corrupt source IP.
+        assert_eq!(Ipv4Header::decode(&buf), Err(WireError::BadIpChecksum));
+    }
+
+    #[test]
+    fn udp_round_trip_with_checksum() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut buf = Vec::new();
+        UdpHeader::encode_with_payload(1111, 53, src, dst, b"hello dns", &mut buf);
+        let (hdr, payload) = UdpHeader::decode(src, dst, &buf).unwrap();
+        assert_eq!(hdr.src_port, 1111);
+        assert_eq!(hdr.dst_port, 53);
+        assert_eq!(payload, b"hello dns");
+        assert_ne!(hdr.checksum, 0);
+    }
+
+    #[test]
+    fn udp_detects_payload_corruption() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut buf = Vec::new();
+        UdpHeader::encode_with_payload(1, 2, src, dst, b"data!", &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert_eq!(
+            UdpHeader::decode(src, dst, &buf),
+            Err(WireError::BadUdpChecksum)
+        );
+    }
+
+    #[test]
+    fn udp_zero_checksum_accepted() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        // Hand-build a datagram with checksum 0 (not verified).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u16.to_be_bytes());
+        buf.extend_from_slice(&200u16.to_be_bytes());
+        buf.extend_from_slice(&((UDP_HLEN + 2) as u16).to_be_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        buf.extend_from_slice(&[9, 9]);
+        let (hdr, payload) = UdpHeader::decode(src, dst, &buf).unwrap();
+        assert_eq!(hdr.checksum, 0);
+        assert_eq!(payload, &[9, 9]);
+    }
+
+    #[test]
+    fn udp_bad_length_rejected() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        let mut buf = vec![0u8; UDP_HLEN];
+        buf[4..6].copy_from_slice(&3u16.to_be_bytes()); // length < 8
+        assert_eq!(UdpHeader::decode(src, dst, &buf), Err(WireError::BadLength));
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes()); // length > buffer
+        assert_eq!(UdpHeader::decode(src, dst, &buf), Err(WireError::BadLength));
+    }
+}

@@ -1,0 +1,164 @@
+//! The Paxos client: closed-loop request generation with the §9.2
+//! timeout-and-retry behaviour.
+//!
+//! "The clients resend requests after a time-out period if the learner has
+//! not acknowledged" — this retry is load-bearing for the leader shift:
+//! retried requests reach the new leader and advance its sequence number.
+//! The ~100 ms zero-throughput window in Figure 7 is exactly this timeout.
+
+use inc_net::{build_udp, Endpoint, Packet, UdpFrame};
+use inc_sim::{impl_node_any, Ctx, Histogram, Nanos, Node, PortId, Timer};
+
+use crate::msg::{ClientCommand, MsgType, PaxosMsg, PAXOS_CLIENT_PORT};
+
+const TAG_TIMEOUT_BASE: u64 = 1 << 32;
+
+/// Cumulative client statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PaxosClientStats {
+    /// Distinct commands issued.
+    pub issued: u64,
+    /// Retransmissions after timeout.
+    pub retries: u64,
+    /// Commands acknowledged.
+    pub acked: u64,
+}
+
+/// A closed-loop Paxos client.
+pub struct PaxosClient {
+    id: u32,
+    own: Endpoint,
+    leader: Endpoint,
+    concurrency: u32,
+    timeout: Nanos,
+    payload_len: usize,
+    next_seq: u64,
+    /// Outstanding: seq → (first-send time, retry count).
+    outstanding: std::collections::HashMap<u64, (Nanos, u32)>,
+    stats: PaxosClientStats,
+    /// End-to-end command latency (first send → ack).
+    pub latency: Histogram,
+    /// Resettable window histogram.
+    pub window_latency: Histogram,
+    window_acked_base: u64,
+    stopped: bool,
+}
+
+impl PaxosClient {
+    /// Creates a client. Its receive endpoint is the conventional
+    /// `Endpoint::host(id, PAXOS_CLIENT_PORT)` that learners reply to.
+    pub fn new(id: u32, leader: Endpoint, concurrency: u32, timeout: Nanos) -> Self {
+        PaxosClient {
+            id,
+            own: Endpoint::host(id, PAXOS_CLIENT_PORT),
+            leader,
+            concurrency,
+            timeout,
+            payload_len: 16,
+            next_seq: 0,
+            outstanding: std::collections::HashMap::new(),
+            stats: PaxosClientStats::default(),
+            latency: Histogram::new(),
+            window_latency: Histogram::new(),
+            window_acked_base: 0,
+            stopped: false,
+        }
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> PaxosClientStats {
+        self.stats
+    }
+
+    /// Stops issuing new commands.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Drains the measurement window: (acks in window, latency histogram).
+    pub fn take_window(&mut self) -> (u64, Histogram) {
+        let n = self.stats.acked - self.window_acked_base;
+        self.window_acked_base = self.stats.acked;
+        (n, std::mem::take(&mut self.window_latency))
+    }
+
+    fn request_packet(&self, seq: u64) -> Packet {
+        let cmd = ClientCommand {
+            client: self.id,
+            seq,
+            payload: vec![0xAB; self.payload_len],
+        };
+        let msg = PaxosMsg::new(MsgType::ClientRequest, 0, 0, cmd.encode());
+        build_udp(self.own, self.leader, &msg.encode())
+    }
+
+    fn issue_new(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        self.outstanding.insert(seq, (ctx.now(), 0));
+        self.stats.issued += 1;
+        ctx.send(PortId::P0, self.request_packet(seq));
+        ctx.schedule_in(self.timeout, TAG_TIMEOUT_BASE + seq);
+    }
+}
+
+impl Node<Packet> for PaxosClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        for _ in 0..self.concurrency {
+            self.issue_new(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, timer: Timer) {
+        if timer.tag < TAG_TIMEOUT_BASE {
+            return;
+        }
+        let seq = timer.tag - TAG_TIMEOUT_BASE;
+        if self.stopped {
+            self.outstanding.remove(&seq);
+            return;
+        }
+        if let Some((_, retries)) = self.outstanding.get_mut(&seq) {
+            // §9.2: resend the same command; the learner deduplicates.
+            *retries += 1;
+            self.stats.retries += 1;
+            ctx.send(PortId::P0, self.request_packet(seq));
+            ctx.schedule_in(self.timeout, TAG_TIMEOUT_BASE + seq);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        let Ok(frame) = UdpFrame::parse(&pkt) else {
+            return;
+        };
+        let Ok(msg) = PaxosMsg::decode(frame.payload) else {
+            return;
+        };
+        if msg.mtype != MsgType::ClientReply {
+            return;
+        }
+        let Some(cmd) = ClientCommand::decode(&msg.value) else {
+            return;
+        };
+        if cmd.client != self.id {
+            return;
+        }
+        let Some((first_sent, _)) = self.outstanding.remove(&cmd.seq) else {
+            return; // Duplicate ack from a retried command.
+        };
+        let now = ctx.now();
+        self.stats.acked += 1;
+        let lat = (now - first_sent).as_nanos();
+        self.latency.record(lat);
+        self.window_latency.record(lat);
+        if !self.stopped {
+            self.issue_new(ctx);
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("paxos-client-{}", self.id)
+    }
+
+    impl_node_any!();
+}

@@ -1,0 +1,29 @@
+//! The consensus case study: P4xos and libpaxos (§3.2).
+//!
+//! P4xos is the P4 implementation of Paxos from *Paxos Made Switch-y*,
+//! interchangeable with the libpaxos software library and its DPDK port.
+//! This crate implements the protocol once and deploys it four ways, as
+//! the paper compares: libpaxos, libpaxos+DPDK, P4xos-on-FPGA and
+//! P4xos-on-ASIC.
+//!
+//! * [`msg`] — the P4xos wire format and the client-command encoding.
+//! * [`roles`] — pure leader/acceptor/learner state machines, including
+//!   the §9.2 leader-handover recovery (instance sync from `last_voted`,
+//!   client retry, learner gap detection, safe no-op filling) and the
+//!   bounded ring storage that models ASIC register arrays.
+//! * [`node`] — deployment wrappers with per-platform timing and power.
+//! * [`client`] — the closed-loop client whose retry timeout produces the
+//!   ~100 ms outage visible in Figure 7.
+
+pub mod client;
+pub mod msg;
+pub mod node;
+pub mod roles;
+
+pub use client::{PaxosClient, PaxosClientStats};
+pub use msg::{
+    ClientCommand, MsgError, MsgType, PaxosMsg, NOOP_VALUE, PAXOS_ACCEPTOR_PORT, PAXOS_CLIENT_PORT,
+    PAXOS_LEADER_PORT, PAXOS_LEARNER_PORT,
+};
+pub use node::{AddressBook, HostConfig, PaxosNode, PaxosNodeStats, Platform, RoleEngine};
+pub use roles::{Acceptor, AcceptorStorage, Dest, InstanceState, Leader, Learner};

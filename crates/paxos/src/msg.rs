@@ -1,0 +1,270 @@
+//! The P4xos wire format (§3.2).
+//!
+//! P4xos encodes Paxos messages in a fixed header that a P4 parser can
+//! handle: message type, instance, round, value-round, acceptor id, and a
+//! bounded value. Values carry opaque client commands; this crate gives
+//! them a canonical `(client, sequence, payload)` encoding so learners can
+//! answer clients and tests can verify end-to-end delivery.
+
+/// Paxos message types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgType {
+    /// Client → leader: please order this value.
+    ClientRequest,
+    /// Leader → acceptors: phase 1a (prepare) for one instance.
+    Phase1a,
+    /// Acceptor → leader: phase 1b (promise).
+    Phase1b,
+    /// Leader → acceptors: phase 2a (accept request).
+    Phase2a,
+    /// Acceptor → learners (and leader): phase 2b (vote).
+    Phase2b,
+    /// Learner → client: the command was delivered.
+    ClientReply,
+    /// Learner → leader: an instance appears stuck; re-initiate it (§9.2).
+    GapRequest,
+}
+
+impl MsgType {
+    fn to_byte(self) -> u8 {
+        match self {
+            MsgType::ClientRequest => 0,
+            MsgType::Phase1a => 1,
+            MsgType::Phase1b => 2,
+            MsgType::Phase2a => 3,
+            MsgType::Phase2b => 4,
+            MsgType::ClientReply => 5,
+            MsgType::GapRequest => 6,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => MsgType::ClientRequest,
+            1 => MsgType::Phase1a,
+            2 => MsgType::Phase1b,
+            3 => MsgType::Phase2a,
+            4 => MsgType::Phase2b,
+            5 => MsgType::ClientReply,
+            6 => MsgType::GapRequest,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors decoding a Paxos datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgError {
+    /// Buffer shorter than the header.
+    Truncated,
+    /// Unknown message type.
+    BadType(u8),
+    /// Value length field disagrees with the buffer.
+    BadLength,
+}
+
+impl std::fmt::Display for MsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgError::Truncated => write!(f, "paxos message truncated"),
+            MsgError::BadType(t) => write!(f, "unknown paxos message type {t}"),
+            MsgError::BadLength => write!(f, "paxos value length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for MsgError {}
+
+/// The special value proposed to fill gaps (§9.2: "they learn a no-op").
+pub const NOOP_VALUE: &[u8] = b"";
+
+/// A Paxos protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaxosMsg {
+    /// Message type.
+    pub mtype: MsgType,
+    /// Consensus instance (sequence number).
+    pub instance: u64,
+    /// Ballot/round number.
+    pub round: u16,
+    /// Round in which `value` was voted (phase 1b/2b).
+    pub vround: u16,
+    /// Acceptor identity (phase 1b/2b).
+    pub acceptor: u8,
+    /// Highest instance this acceptor has voted in (§9.2 extension:
+    /// included "whenever the acceptor responds").
+    pub last_voted: u64,
+    /// The value (empty for no-op and phase 1a).
+    pub value: Vec<u8>,
+}
+
+impl PaxosMsg {
+    /// Shorthand constructor with empty bookkeeping fields.
+    pub fn new(mtype: MsgType, instance: u64, round: u16, value: Vec<u8>) -> Self {
+        PaxosMsg {
+            mtype,
+            instance,
+            round,
+            vround: 0,
+            acceptor: 0,
+            last_voted: 0,
+            value,
+        }
+    }
+
+    /// Encoded length on the wire.
+    pub fn encoded_len(&self) -> usize {
+        24 + self.value.len()
+    }
+
+    /// Encodes to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.push(self.mtype.to_byte());
+        out.extend_from_slice(&self.instance.to_be_bytes());
+        out.extend_from_slice(&self.round.to_be_bytes());
+        out.extend_from_slice(&self.vround.to_be_bytes());
+        out.push(self.acceptor);
+        out.extend_from_slice(&self.last_voted.to_be_bytes());
+        out.extend_from_slice(&(self.value.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.value);
+        out
+    }
+
+    /// Decodes from bytes.
+    pub fn decode(buf: &[u8]) -> Result<PaxosMsg, MsgError> {
+        if buf.len() < 24 {
+            return Err(MsgError::Truncated);
+        }
+        let mtype = MsgType::from_byte(buf[0]).ok_or(MsgError::BadType(buf[0]))?;
+        let instance = u64::from_be_bytes(buf[1..9].try_into().expect("sized"));
+        let round = u16::from_be_bytes([buf[9], buf[10]]);
+        let vround = u16::from_be_bytes([buf[11], buf[12]]);
+        let acceptor = buf[13];
+        let last_voted = u64::from_be_bytes(buf[14..22].try_into().expect("sized"));
+        let vlen = u16::from_be_bytes([buf[22], buf[23]]) as usize;
+        if buf.len() < 24 + vlen {
+            return Err(MsgError::BadLength);
+        }
+        Ok(PaxosMsg {
+            mtype,
+            instance,
+            round,
+            vround,
+            acceptor,
+            last_voted,
+            value: buf[24..24 + vlen].to_vec(),
+        })
+    }
+}
+
+/// The canonical content of a proposed value: which client asked, their
+/// request sequence number, and the application payload.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ClientCommand {
+    /// Client identity.
+    pub client: u32,
+    /// Client-local request sequence number.
+    pub seq: u64,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+impl ClientCommand {
+    /// Encodes into a Paxos value.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.payload.len());
+        out.extend_from_slice(&self.client.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes from a Paxos value; `None` for no-ops/foreign values.
+    pub fn decode(value: &[u8]) -> Option<ClientCommand> {
+        if value.len() < 12 {
+            return None;
+        }
+        Some(ClientCommand {
+            client: u32::from_be_bytes(value[0..4].try_into().ok()?),
+            seq: u64::from_be_bytes(value[4..12].try_into().ok()?),
+            payload: value[12..].to_vec(),
+        })
+    }
+}
+
+/// The UDP port of the (virtual) Paxos leader service. Steering this port
+/// is how the coordinator moves the leader (§9.2).
+pub const PAXOS_LEADER_PORT: u16 = 8600;
+/// The UDP port acceptors listen on.
+pub const PAXOS_ACCEPTOR_PORT: u16 = 8601;
+/// The UDP port learners listen on.
+pub const PAXOS_LEARNER_PORT: u16 = 8602;
+/// The UDP port clients receive replies on.
+pub const PAXOS_CLIENT_PORT: u16 = 8603;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        for mtype in [
+            MsgType::ClientRequest,
+            MsgType::Phase1a,
+            MsgType::Phase1b,
+            MsgType::Phase2a,
+            MsgType::Phase2b,
+            MsgType::ClientReply,
+            MsgType::GapRequest,
+        ] {
+            let m = PaxosMsg {
+                mtype,
+                instance: 0xDEAD_BEEF_0123,
+                round: 7,
+                vround: 3,
+                acceptor: 2,
+                last_voted: 99,
+                value: b"some value".to_vec(),
+            };
+            let got = PaxosMsg::decode(&m.encode()).unwrap();
+            assert_eq!(got, m);
+        }
+    }
+
+    #[test]
+    fn truncated_and_bad_type() {
+        assert_eq!(PaxosMsg::decode(&[0u8; 10]), Err(MsgError::Truncated));
+        let m = PaxosMsg::new(MsgType::Phase2a, 1, 1, vec![1, 2, 3]);
+        let mut bytes = m.encode();
+        bytes[0] = 99;
+        assert_eq!(PaxosMsg::decode(&bytes), Err(MsgError::BadType(99)));
+    }
+
+    #[test]
+    fn bad_value_length() {
+        let m = PaxosMsg::new(MsgType::Phase2a, 1, 1, vec![1, 2, 3]);
+        let mut bytes = m.encode();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(PaxosMsg::decode(&bytes), Err(MsgError::BadLength));
+    }
+
+    #[test]
+    fn client_command_round_trip() {
+        let c = ClientCommand {
+            client: 42,
+            seq: 1000,
+            payload: b"put x=1".to_vec(),
+        };
+        assert_eq!(ClientCommand::decode(&c.encode()), Some(c.clone()));
+        assert_eq!(ClientCommand::decode(NOOP_VALUE), None);
+        assert_eq!(ClientCommand::decode(&[0u8; 5]), None);
+    }
+
+    #[test]
+    fn empty_value_encodes() {
+        let m = PaxosMsg::new(MsgType::Phase1a, 5, 2, vec![]);
+        let got = PaxosMsg::decode(&m.encode()).unwrap();
+        assert!(got.value.is_empty());
+    }
+}

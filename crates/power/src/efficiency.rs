@@ -1,0 +1,109 @@
+//! Power-efficiency metrics (operations per watt).
+//!
+//! §6 of the paper ranks platforms by messages per watt: software achieves
+//! 10 K's msg/W, FPGA designs 100 K's, and the ASIC 10 M's. These helpers
+//! compute the metric on either a total-power or a dynamic-power basis and
+//! classify results into the paper's order-of-magnitude buckets.
+
+/// Operations per watt on a total-power basis.
+///
+/// Returns 0.0 when `power_w` is not positive.
+pub fn ops_per_watt(rate_ops: f64, power_w: f64) -> f64 {
+    if power_w <= 0.0 {
+        0.0
+    } else {
+        rate_ops / power_w
+    }
+}
+
+/// Operations per watt on a dynamic-power basis (`P(load) − P(idle)`),
+/// the basis §6 uses when comparing against the switch.
+///
+/// Returns `None` when the dynamic power is not positive (the metric is
+/// undefined at idle).
+pub fn ops_per_dynamic_watt(rate_ops: f64, power_w: f64, idle_w: f64) -> Option<f64> {
+    let dyn_w = power_w - idle_w;
+    if dyn_w <= 0.0 {
+        None
+    } else {
+        Some(rate_ops / dyn_w)
+    }
+}
+
+/// Order-of-magnitude bucket of an ops/W figure, as §6 reports them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EfficiencyClass {
+    /// Below 10 K ops/W.
+    Sub10K,
+    /// 10 K–100 K ops/W — the software consensus implementations.
+    TensOfK,
+    /// 100 K–1 M ops/W — the FPGA-based designs.
+    HundredsOfK,
+    /// 1 M–10 M ops/W.
+    Millions,
+    /// 10 M ops/W and above — the switch ASIC.
+    TensOfMillions,
+}
+
+impl EfficiencyClass {
+    /// Classifies an ops/W value.
+    pub fn of(ops_per_w: f64) -> Self {
+        if ops_per_w < 1e4 {
+            EfficiencyClass::Sub10K
+        } else if ops_per_w < 1e5 {
+            EfficiencyClass::TensOfK
+        } else if ops_per_w < 1e6 {
+            EfficiencyClass::HundredsOfK
+        } else if ops_per_w < 1e7 {
+            EfficiencyClass::Millions
+        } else {
+            EfficiencyClass::TensOfMillions
+        }
+    }
+}
+
+impl std::fmt::Display for EfficiencyClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EfficiencyClass::Sub10K => "<10K ops/W",
+            EfficiencyClass::TensOfK => "10K's ops/W",
+            EfficiencyClass::HundredsOfK => "100K's ops/W",
+            EfficiencyClass::Millions => "1M's ops/W",
+            EfficiencyClass::TensOfMillions => "10M's+ ops/W",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_basis() {
+        assert_eq!(ops_per_watt(1_000_000.0, 50.0), 20_000.0);
+        assert_eq!(ops_per_watt(1.0, 0.0), 0.0);
+        assert_eq!(ops_per_watt(1.0, -5.0), 0.0);
+    }
+
+    #[test]
+    fn dynamic_basis() {
+        assert_eq!(ops_per_dynamic_watt(100_000.0, 60.0, 50.0), Some(10_000.0));
+        assert_eq!(ops_per_dynamic_watt(100_000.0, 50.0, 50.0), None);
+    }
+
+    #[test]
+    fn classes_cover_paper_ladder() {
+        // §6: software 10K's, FPGA 100K's, ASIC 10M's.
+        assert_eq!(EfficiencyClass::of(1.2e4), EfficiencyClass::TensOfK);
+        assert_eq!(EfficiencyClass::of(5.0e5), EfficiencyClass::HundredsOfK);
+        assert_eq!(EfficiencyClass::of(1.2e7), EfficiencyClass::TensOfMillions);
+        assert_eq!(EfficiencyClass::of(9.0e3), EfficiencyClass::Sub10K);
+        assert_eq!(EfficiencyClass::of(2.0e6), EfficiencyClass::Millions);
+    }
+
+    #[test]
+    fn class_ordering() {
+        assert!(EfficiencyClass::Sub10K < EfficiencyClass::TensOfMillions);
+    }
+}

@@ -1,0 +1,34 @@
+//! Power and energy substrate for the *in-network computing on demand*
+//! reproduction.
+//!
+//! This crate holds everything the paper measures with a wall meter or
+//! RAPL, and the analytical model it builds on top (§8):
+//!
+//! * [`CpuModel`] — the host-side power model with the uncore-activation
+//!   jump that dominates the paper's software curves (§4, §7).
+//! * [`DevicePower`] / [`Module`] / [`ModuleState`] — the module-composed
+//!   FPGA power model with clock gating, reset and power gating (§5.1).
+//! * [`EnergyParams`] — the `E = Pd·Td + Ps·Ts + Pi·Ti` equation (§8).
+//! * [`PiecewiseLinear`] / [`crossover_rate`] — power-versus-rate curves
+//!   and the software/hardware tipping point.
+//! * [`RaplCounter`] / [`RaplSampler`] — the counters the host-controlled
+//!   on-demand controller reads (§9.1).
+//! * [`Psu`] / [`WallMeter`] — wall-power metering (SHW 3A, §4.1).
+//! * [`calib`] — every constant calibrated against the paper's text.
+
+pub mod calib;
+pub mod cpu;
+pub mod device;
+pub mod efficiency;
+pub mod energy;
+pub mod meter;
+pub mod model;
+pub mod rapl;
+
+pub use cpu::CpuModel;
+pub use device::{DevicePower, Module, ModuleState, NoSuchModule};
+pub use efficiency::{ops_per_dynamic_watt, ops_per_watt, EfficiencyClass};
+pub use energy::{EnergyBreakdown, EnergyParams, PlacementComparison, StateTimes};
+pub use meter::{Psu, WallMeter};
+pub use model::{crossover_fn, crossover_rate, CurveError, PiecewiseLinear};
+pub use rapl::{RaplCounter, RaplDomain, RaplSampler};

@@ -1,0 +1,176 @@
+//! Wall-power metering (the SHW 3A watt-hour meter of §4.1).
+//!
+//! The paper measures *wall* power: what the power supply draws from the
+//! socket, which exceeds the DC power the components consume by the PSU's
+//! conversion loss. [`Psu`] models a typical 80-Plus efficiency curve and
+//! [`WallMeter`] accumulates watt-hours at a 1 s cadence like the SHW 3A.
+
+use inc_sim::{Nanos, TimeSeries};
+
+/// A power supply with a load-dependent efficiency curve.
+///
+/// Efficiency is interpolated between (load-fraction, efficiency) points;
+/// typical PSUs are least efficient at very low load.
+#[derive(Clone, Debug)]
+pub struct Psu {
+    rated_w: f64,
+    /// (load fraction of rated, efficiency) pairs, increasing in load.
+    curve: Vec<(f64, f64)>,
+}
+
+impl Psu {
+    /// An ideal (lossless) supply: wall power equals DC power.
+    pub fn ideal() -> Self {
+        Psu {
+            rated_w: 1.0,
+            curve: vec![(0.0, 1.0), (1.0, 1.0)],
+        }
+    }
+
+    /// A typical 80-Plus Bronze supply of the given rating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rated_w` is not positive.
+    pub fn bronze(rated_w: f64) -> Self {
+        assert!(rated_w > 0.0);
+        Psu {
+            rated_w,
+            curve: vec![
+                (0.0, 0.70),
+                (0.10, 0.82),
+                (0.20, 0.85),
+                (0.50, 0.88),
+                (1.0, 0.85),
+            ],
+        }
+    }
+
+    /// Builds a supply from an explicit efficiency curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty or efficiencies are not in `(0, 1]`.
+    pub fn from_curve(rated_w: f64, curve: Vec<(f64, f64)>) -> Self {
+        assert!(!curve.is_empty());
+        assert!(curve.iter().all(|&(_, e)| e > 0.0 && e <= 1.0));
+        Psu { rated_w, curve }
+    }
+
+    fn efficiency_at(&self, load_fraction: f64) -> f64 {
+        let pts = &self.curve;
+        if load_fraction <= pts[0].0 {
+            return pts[0].1;
+        }
+        if load_fraction >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let idx = pts.partition_point(|&(x, _)| x <= load_fraction);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (load_fraction - x0) / (x1 - x0)
+    }
+
+    /// Converts DC component power to wall power.
+    pub fn wall_w(&self, dc_w: f64) -> f64 {
+        if dc_w <= 0.0 {
+            return 0.0;
+        }
+        dc_w / self.efficiency_at(dc_w / self.rated_w)
+    }
+}
+
+/// An accumulating wall-power meter sampling at a fixed cadence.
+///
+/// # Examples
+///
+/// ```
+/// use inc_power::{Psu, WallMeter};
+/// use inc_sim::Nanos;
+///
+/// let mut m = WallMeter::new(Psu::ideal(), Nanos::from_secs(1));
+/// m.observe(Nanos::from_secs(1), 50.0);
+/// m.observe(Nanos::from_secs(2), 50.0);
+/// assert!((m.mean_w() - 50.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WallMeter {
+    psu: Psu,
+    interval: Nanos,
+    series: TimeSeries,
+    next_sample: Nanos,
+}
+
+impl WallMeter {
+    /// Creates a meter sampling every `interval` through `psu`.
+    pub fn new(psu: Psu, interval: Nanos) -> Self {
+        WallMeter {
+            psu,
+            interval,
+            series: TimeSeries::new(),
+            next_sample: interval,
+        }
+    }
+
+    /// Offers an instantaneous DC power observation at `now`; the meter
+    /// records it only when a sampling boundary has passed.
+    pub fn observe(&mut self, now: Nanos, dc_w: f64) {
+        while now >= self.next_sample {
+            let t = self.next_sample;
+            self.series.push(t, self.psu.wall_w(dc_w));
+            self.next_sample += self.interval;
+        }
+    }
+
+    /// Returns the recorded samples (wall watts).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Returns the mean of all samples, or 0.0 if none.
+    pub fn mean_w(&self) -> f64 {
+        self.series.mean()
+    }
+
+    /// Returns integrated wall energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.series.integrate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_psu_is_lossless() {
+        let p = Psu::ideal();
+        assert_eq!(p.wall_w(100.0), 100.0);
+        assert_eq!(p.wall_w(0.0), 0.0);
+    }
+
+    #[test]
+    fn bronze_psu_lossy_and_worst_at_low_load() {
+        let p = Psu::bronze(500.0);
+        let low = p.wall_w(25.0) / 25.0; // 5 % load
+        let mid = p.wall_w(250.0) / 250.0; // 50 % load
+        assert!(low > mid, "low-load overhead {low} <= mid {mid}");
+        assert!(p.wall_w(250.0) > 250.0);
+    }
+
+    #[test]
+    fn meter_samples_on_boundaries() {
+        let mut m = WallMeter::new(Psu::ideal(), Nanos::from_secs(1));
+        m.observe(Nanos::from_millis(500), 10.0); // before first boundary
+        assert_eq!(m.series().len(), 0);
+        m.observe(Nanos::from_millis(2500), 20.0); // crosses t=1s and t=2s
+        assert_eq!(m.series().len(), 2);
+        assert_eq!(m.series().points()[0].1, 20.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_efficiency_rejected() {
+        let _ = Psu::from_curve(100.0, vec![(0.0, 1.5)]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic discrete-event simulation kernel for the *in-network
+//! computing on demand* reproduction.
+//!
+//! The paper's testbed — servers, NetFPGA SUME boards, a Tofino switch, an
+//! OSNT traffic source, and a wall-power meter — is reproduced as a
+//! single-threaded, bit-for-bit deterministic event simulation. This crate
+//! provides the kernel only; device and application models live in the
+//! crates layered above it:
+//!
+//! * [`Simulator`], [`Node`], [`Ctx`] — the event loop, component trait and
+//!   effect handle.
+//! * [`Nanos`] — integer nanosecond time.
+//! * [`Rng`] — seeded `xoshiro256**` randomness.
+//! * [`Histogram`], [`TimeSeries`], [`WindowRate`], [`Ewma`],
+//!   [`EnergyIntegrator`] — the measurement instruments.
+//! * [`ServiceStation`] — a multi-core FIFO service model for host software.
+//! * [`BoundedQueue`], [`TokenBucket`] — buffering and pacing primitives.
+//!
+//! # Examples
+//!
+//! ```
+//! use inc_sim::{impl_node_any, Ctx, LinkSpec, Nanos, Node, PortId, Simulator, Timer};
+//!
+//! /// Emits one message per millisecond.
+//! struct Source;
+//! impl Node<u64> for Source {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+//!         ctx.schedule_in(Nanos::from_millis(1), 0);
+//!     }
+//!     fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _t: Timer) {
+//!         ctx.send(PortId::P0, ctx.now().as_millis());
+//!         ctx.schedule_in(Nanos::from_millis(1), 0);
+//!     }
+//!     fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: PortId, _: u64) {}
+//!     impl_node_any!();
+//! }
+//!
+//! /// Counts what it receives.
+//! #[derive(Default)]
+//! struct Sink(u64);
+//! impl Node<u64> for Sink {
+//!     fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: PortId, _: u64) {
+//!         self.0 += 1;
+//!     }
+//!     impl_node_any!();
+//! }
+//!
+//! let mut sim = Simulator::new(42);
+//! let src = sim.add_node(Source);
+//! let dst = sim.add_node(Sink::default());
+//! sim.connect(src, PortId::P0, dst, PortId::P0, LinkSpec::ideal());
+//! sim.run_until(Nanos::from_millis(10));
+//! assert_eq!(sim.node_ref::<Sink>(dst).0, 10);
+//! ```
+
+pub mod queue;
+pub mod ratelimit;
+pub mod rng;
+pub mod service;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use queue::BoundedQueue;
+pub use ratelimit::TokenBucket;
+pub use rng::Rng;
+pub use service::{Admission, ServiceStation};
+pub use sim::{
+    Ctx, LinkSpec, MeterConfig, Node, NodeId, Payload, PortId, Simulator, Timer, TimerId,
+};
+pub use stats::{EnergyIntegrator, Ewma, Histogram, TimeSeries, WindowRate};
+pub use time::Nanos;

@@ -1,0 +1,168 @@
+//! Bounded FIFO queues with drop accounting.
+
+use std::collections::VecDeque;
+
+/// A bounded drop-tail FIFO queue.
+///
+/// Models NIC rings, switch egress queues, and software socket buffers.
+/// Items offered beyond the capacity are dropped and counted.
+///
+/// # Examples
+///
+/// ```
+/// use inc_sim::BoundedQueue;
+///
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.push(1));
+/// assert!(q.push(2));
+/// assert!(!q.push(3)); // dropped
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.dropped(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    enqueued: u64,
+    dropped: u64,
+    high_watermark: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            items: VecDeque::new(),
+            capacity,
+            enqueued: 0,
+            dropped: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Offers an item; returns `false` (and counts a drop) if full.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.items.push_back(item);
+        self.enqueued += 1;
+        self.high_watermark = self.high_watermark.max(self.items.len());
+        true
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Returns the current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` if at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Returns the configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of successfully enqueued items since creation.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Returns the number of dropped items since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Returns the maximum occupancy ever observed.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Discards all queued items (counters are preserved).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            assert!(q.push(i));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut q = BoundedQueue::new(3);
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 7);
+        assert_eq!(q.enqueued(), 3);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn watermark_tracks_peak() {
+        let mut q = BoundedQueue::new(10);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        q.pop();
+        q.pop();
+        assert_eq!(q.high_watermark(), 3);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let mut q = BoundedQueue::new(2);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.enqueued(), 2);
+        assert_eq!(q.dropped(), 1);
+    }
+}

@@ -1,0 +1,928 @@
+//! The discrete-event simulator: nodes, ports, links, timers, and a
+//! wall-power meter.
+//!
+//! The simulator is generic over the message type `M` so that the kernel has
+//! no dependency on any particular packet format; `inc-net` instantiates it
+//! with its `Packet`. Execution is single-threaded and fully deterministic:
+//! events are ordered by `(time, sequence-number)` and all randomness flows
+//! from one seeded [`Rng`](crate::Rng).
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::rng::Rng;
+use crate::stats::TimeSeries;
+use crate::time::Nanos;
+
+/// Identifies a node within one [`Simulator`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies a port on a node. Port numbering is node-local.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// Port 0, the conventional "first network interface".
+    pub const P0: PortId = PortId(0);
+    /// Port 1.
+    pub const P1: PortId = PortId(1);
+    /// Port 2.
+    pub const P2: PortId = PortId(2);
+    /// Port 3.
+    pub const P3: PortId = PortId(3);
+}
+
+/// A handle to a scheduled timer, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// A fired timer, carrying the node-chosen `tag` it was scheduled with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timer {
+    /// The handle returned by [`Ctx::schedule_at`]/[`Ctx::schedule_in`].
+    pub id: TimerId,
+    /// Opaque tag chosen by the node to distinguish timer purposes.
+    pub tag: u64,
+}
+
+/// Messages carried by the simulator must expose their wire size so links
+/// can model serialization delay.
+pub trait Payload: 'static {
+    /// Size of the message on the wire in bytes (0 for abstract messages).
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for () {}
+impl Payload for u64 {}
+impl Payload for Vec<u8> {
+    fn wire_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A simulated component: a server, a NIC, a switch, a traffic source.
+///
+/// Nodes react to delivered messages and to their own timers, and report
+/// their instantaneous power draw for metering. Implementors must provide
+/// the two `Any` accessors (see [`impl_node_any!`](crate::impl_node_any))
+/// so harnesses can downcast to the concrete type between simulation runs.
+pub trait Node<M: Payload>: Any {
+    /// Called once when the node is added to the simulator.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called when a message arrives on `port`.
+    ///
+    /// The default implementation silently drops the message, which suits
+    /// pure sources and timers.
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, M>, _port: PortId, _msg: M) {}
+
+    /// Called when a timer scheduled by this node fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _timer: Timer) {}
+
+    /// Instantaneous power draw in watts at time `now` (0 for unmetered
+    /// components). `now` lets nodes report power derived from windowed
+    /// utilisation without interior mutability.
+    fn power_w(&self, _now: Nanos) -> f64 {
+        0.0
+    }
+
+    /// Human-readable label for traces and error messages.
+    fn label(&self) -> String {
+        "node".to_string()
+    }
+
+    /// Upcast for harness-side downcasting.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for harness-side downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Implements the `as_any`/`as_any_mut` boilerplate of [`Node`].
+///
+/// # Examples
+///
+/// ```
+/// use inc_sim::{impl_node_any, Ctx, Node, PortId};
+///
+/// struct Sink;
+/// impl Node<u64> for Sink {
+///     fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _port: PortId, _msg: u64) {}
+///     impl_node_any!();
+/// }
+/// ```
+#[macro_export]
+macro_rules! impl_node_any {
+    () => {
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+    };
+}
+
+/// Properties of a directed link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// Propagation delay added to every message.
+    pub latency: Nanos,
+    /// Serialization bandwidth in bits/second; `None` means infinite.
+    pub bandwidth_bps: Option<f64>,
+    /// Probability in `[0, 1]` that a message is silently dropped
+    /// (failure injection; 0 for healthy links).
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A zero-latency, infinite-bandwidth link (useful for logical wiring).
+    pub fn ideal() -> Self {
+        LinkSpec {
+            latency: Nanos::ZERO,
+            bandwidth_bps: None,
+            loss: 0.0,
+        }
+    }
+
+    /// A 10 Gb/s Ethernet link with the given propagation delay.
+    pub fn ten_gbe(latency: Nanos) -> Self {
+        LinkSpec {
+            latency,
+            bandwidth_bps: Some(10e9),
+            loss: 0.0,
+        }
+    }
+
+    /// A 40 Gb/s Ethernet link with the given propagation delay.
+    pub fn forty_gbe(latency: Nanos) -> Self {
+        LinkSpec {
+            latency,
+            bandwidth_bps: Some(40e9),
+            loss: 0.0,
+        }
+    }
+
+    /// A link with the given latency and infinite bandwidth.
+    pub fn with_latency(latency: Nanos) -> Self {
+        LinkSpec {
+            latency,
+            bandwidth_bps: None,
+            loss: 0.0,
+        }
+    }
+
+    /// Returns the same link with a drop probability (failure injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss out of range: {loss}");
+        self.loss = loss;
+        self
+    }
+}
+
+struct Link {
+    to: (NodeId, PortId),
+    spec: LinkSpec,
+    next_free: Nanos,
+}
+
+enum EventKind<M> {
+    Deliver { node: NodeId, port: PortId, msg: M },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
+    MeterSample,
+}
+
+struct Event<M> {
+    at: Nanos,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+enum Action<M> {
+    Send {
+        port: PortId,
+        msg: M,
+        delay: Nanos,
+    },
+    Inject {
+        to: NodeId,
+        port: PortId,
+        msg: M,
+        delay: Nanos,
+    },
+    Schedule {
+        at: Nanos,
+        id: TimerId,
+        tag: u64,
+    },
+    Cancel {
+        id: TimerId,
+    },
+}
+
+/// The execution context passed to node callbacks.
+///
+/// All side effects a node can have on the world go through this handle:
+/// sending messages, scheduling timers, and drawing randomness.
+pub struct Ctx<'a, M> {
+    now: Nanos,
+    node: NodeId,
+    rng: &'a mut Rng,
+    actions: Vec<Action<M>>,
+    timer_seq: &'a mut u64,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Returns the current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Returns the id of the node being executed.
+    pub fn self_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Returns the shared deterministic random number generator.
+    pub fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    /// Sends `msg` out of `port` over whatever link is attached.
+    ///
+    /// If the port is unconnected the message is dropped and counted in
+    /// [`Simulator::unrouted`].
+    pub fn send(&mut self, port: PortId, msg: M) {
+        self.actions.push(Action::Send {
+            port,
+            msg,
+            delay: Nanos::ZERO,
+        });
+    }
+
+    /// Like [`Ctx::send`] but the message leaves the node after `delay`
+    /// (models local processing before transmission).
+    pub fn send_after(&mut self, delay: Nanos, port: PortId, msg: M) {
+        self.actions.push(Action::Send { port, msg, delay });
+    }
+
+    /// Delivers `msg` directly to another node, bypassing links.
+    ///
+    /// Used for intra-host paths that are not network hops (e.g. a PCIe DMA
+    /// hand-off modelled by the caller with an explicit `delay`).
+    pub fn inject(&mut self, to: NodeId, port: PortId, msg: M, delay: Nanos) {
+        self.actions.push(Action::Inject {
+            to,
+            port,
+            msg,
+            delay,
+        });
+    }
+
+    /// Schedules a timer to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: Nanos, tag: u64) -> TimerId {
+        assert!(at >= self.now, "timer in the past: {at} < {}", self.now);
+        *self.timer_seq += 1;
+        let id = TimerId(*self.timer_seq);
+        self.actions.push(Action::Schedule { at, id, tag });
+        id
+    }
+
+    /// Schedules a timer to fire after `delay`.
+    pub fn schedule_in(&mut self, delay: Nanos, tag: u64) -> TimerId {
+        let at = self.now.checked_add(delay).unwrap_or(Nanos::MAX);
+        *self.timer_seq += 1;
+        let id = TimerId(*self.timer_seq);
+        self.actions.push(Action::Schedule { at, id, tag });
+        id
+    }
+
+    /// Cancels a previously scheduled timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::Cancel { id });
+    }
+}
+
+/// Configuration of the built-in wall-power meter.
+///
+/// Mirrors the paper's SHW 3A watt-hour meter: it samples the sum of the
+/// metered nodes' instantaneous draw at a fixed cadence (1 s in the paper).
+#[derive(Clone, Debug)]
+pub struct MeterConfig {
+    /// Sampling interval.
+    pub interval: Nanos,
+    /// Which nodes to include (the paper excludes the traffic source).
+    pub nodes: Vec<NodeId>,
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use inc_sim::{impl_node_any, Ctx, LinkSpec, Nanos, Node, PortId, Simulator};
+///
+/// struct Echo;
+/// impl Node<u64> for Echo {
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, port: PortId, msg: u64) {
+///         ctx.send(port, msg + 1);
+///     }
+///     impl_node_any!();
+/// }
+///
+/// struct Probe(Vec<u64>);
+/// impl Node<u64> for Probe {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+///         ctx.send(PortId::P0, 41);
+///     }
+///     fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _port: PortId, msg: u64) {
+///         self.0.push(msg);
+///     }
+///     impl_node_any!();
+/// }
+///
+/// let mut sim = Simulator::new(1);
+/// let echo = sim.add_node(Echo);
+/// let probe = sim.add_node(Probe(Vec::new()));
+/// sim.connect_duplex(probe, PortId::P0, echo, PortId::P0, LinkSpec::ideal());
+/// sim.run_until(Nanos::from_secs(1));
+/// assert_eq!(sim.node_ref::<Probe>(probe).0, vec![42]);
+/// ```
+pub struct Simulator<M: Payload> {
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    start_pending: Vec<NodeId>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    links: HashMap<(NodeId, PortId), Link>,
+    canceled: HashSet<u64>,
+    now: Nanos,
+    seq: u64,
+    timer_seq: u64,
+    rng: Rng,
+    unrouted: u64,
+    lost: u64,
+    events_processed: u64,
+    meter: Option<MeterConfig>,
+    power_series: TimeSeries,
+    meter_energy_j: f64,
+    meter_last_sample: Option<(Nanos, f64)>,
+}
+
+impl<M: Payload> Simulator<M> {
+    /// Creates an empty simulator with the given random seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            start_pending: Vec::new(),
+            queue: BinaryHeap::new(),
+            links: HashMap::new(),
+            canceled: HashSet::new(),
+            now: Nanos::ZERO,
+            seq: 0,
+            timer_seq: 0,
+            rng: Rng::new(seed),
+            unrouted: 0,
+            lost: 0,
+            events_processed: 0,
+            meter: None,
+            power_series: TimeSeries::new(),
+            meter_energy_j: 0.0,
+            meter_last_sample: None,
+        }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Returns the count of messages sent to unconnected ports.
+    pub fn unrouted(&self) -> u64 {
+        self.unrouted
+    }
+
+    /// Returns the count of messages dropped by lossy links.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Returns the number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Adds a node to the simulation.
+    ///
+    /// The node's [`Node::on_start`] hook runs at the beginning of the next
+    /// [`Simulator::run_until`] call, after the harness has had a chance to
+    /// wire up links.
+    pub fn add_node<N: Node<M>>(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(Box::new(node)));
+        self.start_pending.push(id);
+        id
+    }
+
+    /// Connects `from`'s port to `to`'s port with a directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port already has a link or either node does not exist.
+    pub fn connect(&mut self, from: NodeId, fp: PortId, to: NodeId, tp: PortId, spec: LinkSpec) {
+        assert!(
+            (from.0 as usize) < self.nodes.len(),
+            "no such node {from:?}"
+        );
+        assert!((to.0 as usize) < self.nodes.len(), "no such node {to:?}");
+        let prev = self.links.insert(
+            (from, fp),
+            Link {
+                to: (to, tp),
+                spec,
+                next_free: Nanos::ZERO,
+            },
+        );
+        assert!(prev.is_none(), "port {fp:?} of {from:?} already connected");
+    }
+
+    /// Connects two nodes with a symmetric pair of links.
+    pub fn connect_duplex(&mut self, a: NodeId, ap: PortId, b: NodeId, bp: PortId, spec: LinkSpec) {
+        self.connect(a, ap, b, bp, spec);
+        self.connect(b, bp, a, ap, spec);
+    }
+
+    /// Installs the wall-power meter.
+    ///
+    /// The first sample is taken at `interval` after the current time.
+    pub fn set_meter(&mut self, cfg: MeterConfig) {
+        let at = self.now + cfg.interval;
+        self.meter = Some(cfg);
+        self.push(at, EventKind::MeterSample);
+    }
+
+    /// Returns the recorded wall-power series (watts over time).
+    pub fn power_series(&self) -> &TimeSeries {
+        &self.power_series
+    }
+
+    /// Returns the energy in joules integrated by the meter so far.
+    pub fn meter_energy_j(&self) -> f64 {
+        self.meter_energy_j
+    }
+
+    /// Sums the instantaneous power of the given nodes at the current time.
+    pub fn instant_power(&self, nodes: &[NodeId]) -> f64 {
+        nodes
+            .iter()
+            .map(|&id| {
+                self.nodes[id.0 as usize]
+                    .as_ref()
+                    .map(|n| n.power_w(self.now))
+                    .unwrap_or(0.0)
+            })
+            .sum()
+    }
+
+    /// Borrows a node downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale or the type does not match.
+    pub fn node_ref<N: Node<M>>(&self, id: NodeId) -> &N {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("node is executing")
+            .as_any()
+            .downcast_ref::<N>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutably borrows a node downcast to its concrete type.
+    ///
+    /// Harnesses use this between [`Simulator::run_until`] calls to inspect
+    /// statistics or to reconfigure components mid-experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale or the type does not match.
+    pub fn node_mut<N: Node<M>>(&mut self, id: NodeId) -> &mut N {
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("node is executing")
+            .as_any_mut()
+            .downcast_mut::<N>()
+            .expect("node type mismatch")
+    }
+
+    /// Runs a closure against a node with a live [`Ctx`], as if a callback
+    /// were being delivered. Lets harnesses trigger sends/timers directly.
+    pub fn with_node_ctx<N: Node<M>, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut Ctx<'_, M>) -> R,
+    ) -> R {
+        let mut out = None;
+        self.dispatch(id, |node, ctx| {
+            let n = node
+                .as_any_mut()
+                .downcast_mut::<N>()
+                .expect("node type mismatch");
+            out = Some(f(n, ctx));
+        });
+        out.expect("dispatch ran")
+    }
+
+    /// Injects a message from outside the simulation.
+    pub fn inject(&mut self, to: NodeId, port: PortId, msg: M, delay: Nanos) {
+        let at = self.now + delay;
+        self.push(
+            at,
+            EventKind::Deliver {
+                node: to,
+                port,
+                msg,
+            },
+        );
+    }
+
+    fn push(&mut self, at: Nanos, kind: EventKind<M>) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut Box<dyn Node<M>>, &mut Ctx<'_, M>)) {
+        let mut node = self.nodes[id.0 as usize]
+            .take()
+            .expect("re-entrant node dispatch");
+        let mut ctx = Ctx {
+            now: self.now,
+            node: id,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+            timer_seq: &mut self.timer_seq,
+        };
+        f(&mut node, &mut ctx);
+        let actions = ctx.actions;
+        self.nodes[id.0 as usize] = Some(node);
+        for action in actions {
+            match action {
+                Action::Send { port, msg, delay } => {
+                    let depart = self.now + delay;
+                    match self.links.get_mut(&(id, port)) {
+                        Some(link) => {
+                            if link.spec.loss > 0.0 && self.rng.chance(link.spec.loss) {
+                                self.lost += 1;
+                                continue;
+                            }
+                            let start = depart.max(link.next_free);
+                            let tx = match link.spec.bandwidth_bps {
+                                Some(bps) => {
+                                    Nanos::from_secs_f64(msg.wire_bytes() as f64 * 8.0 / bps)
+                                }
+                                None => Nanos::ZERO,
+                            };
+                            link.next_free = start + tx;
+                            let arrive = start + tx + link.spec.latency;
+                            let (to, tp) = link.to;
+                            self.push(
+                                arrive,
+                                EventKind::Deliver {
+                                    node: to,
+                                    port: tp,
+                                    msg,
+                                },
+                            );
+                        }
+                        None => self.unrouted += 1,
+                    }
+                }
+                Action::Inject {
+                    to,
+                    port,
+                    msg,
+                    delay,
+                } => {
+                    let at = self.now + delay;
+                    self.push(
+                        at,
+                        EventKind::Deliver {
+                            node: to,
+                            port,
+                            msg,
+                        },
+                    );
+                }
+                Action::Schedule { at, id: tid, tag } => {
+                    self.push(
+                        at,
+                        EventKind::Timer {
+                            node: id,
+                            id: tid,
+                            tag,
+                        },
+                    );
+                }
+                Action::Cancel { id: tid } => {
+                    self.canceled.insert(tid.0);
+                }
+            }
+        }
+    }
+
+    fn take_meter_sample(&mut self) {
+        let Some(cfg) = self.meter.clone() else {
+            return;
+        };
+        let p = self.instant_power(&cfg.nodes);
+        if let Some((t0, p0)) = self.meter_last_sample {
+            self.meter_energy_j += p0 * (self.now - t0).as_secs_f64();
+        }
+        self.meter_last_sample = Some((self.now, p));
+        self.power_series.push(self.now, p);
+        let next = self.now + cfg.interval;
+        self.push(next, EventKind::MeterSample);
+    }
+
+    /// Processes events until `deadline` (inclusive), then sets the clock
+    /// to `deadline`. Returns the number of events processed by this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is in the past.
+    pub fn run_until(&mut self, deadline: Nanos) -> u64 {
+        assert!(deadline >= self.now, "deadline in the past");
+        while !self.start_pending.is_empty() {
+            let pending = std::mem::take(&mut self.start_pending);
+            for id in pending {
+                self.dispatch(id, |node, ctx| node.on_start(ctx));
+            }
+        }
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            n += 1;
+            self.events_processed += 1;
+            match ev.kind {
+                EventKind::Deliver { node, port, msg } => {
+                    if self.nodes[node.0 as usize].is_some() {
+                        self.dispatch(node, |n, ctx| n.on_message(ctx, port, msg));
+                    }
+                }
+                EventKind::Timer { node, id, tag } => {
+                    if self.canceled.remove(&id.0) {
+                        continue;
+                    }
+                    if self.nodes[node.0 as usize].is_some() {
+                        self.dispatch(node, |n, ctx| n.on_timer(ctx, Timer { id, tag }));
+                    }
+                }
+                EventKind::MeterSample => self.take_meter_sample(),
+            }
+        }
+        self.now = deadline;
+        n
+    }
+
+    /// Runs for an additional `span` of simulated time.
+    pub fn run_for(&mut self, span: Nanos) -> u64 {
+        let deadline = self.now.checked_add(span).unwrap_or(Nanos::MAX);
+        self.run_until(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        seen: Vec<(Nanos, u64)>,
+    }
+
+    impl Node<u64> for Counter {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _port: PortId, msg: u64) {
+            self.seen.push((ctx.now(), msg));
+        }
+        impl_node_any!();
+    }
+
+    struct Ticker {
+        period: Nanos,
+        fired: u32,
+        limit: u32,
+    }
+
+    impl Node<u64> for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.schedule_in(self.period, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _t: Timer) {
+            self.fired += 1;
+            ctx.send(PortId::P0, self.fired as u64);
+            if self.fired < self.limit {
+                ctx.schedule_in(self.period, 0);
+            }
+        }
+        fn power_w(&self, _now: Nanos) -> f64 {
+            7.5
+        }
+        impl_node_any!();
+    }
+
+    fn ticker_sim() -> (Simulator<u64>, NodeId, NodeId) {
+        let mut sim = Simulator::new(0);
+        let t = sim.add_node(Ticker {
+            period: Nanos::from_millis(10),
+            fired: 0,
+            limit: 5,
+        });
+        let c = sim.add_node(Counter { seen: Vec::new() });
+        sim.connect(t, PortId::P0, c, PortId::P0, LinkSpec::ideal());
+        (sim, t, c)
+    }
+
+    #[test]
+    fn timers_drive_messages() {
+        let (mut sim, _t, c) = ticker_sim();
+        sim.run_until(Nanos::from_secs(1));
+        let seen = &sim.node_ref::<Counter>(c).seen;
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[0], (Nanos::from_millis(10), 1));
+        assert_eq!(seen[4], (Nanos::from_millis(50), 5));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, _t, c) = ticker_sim();
+        sim.run_until(Nanos::from_millis(25));
+        assert_eq!(sim.node_ref::<Counter>(c).seen.len(), 2);
+        assert_eq!(sim.now(), Nanos::from_millis(25));
+        sim.run_until(Nanos::from_secs(1));
+        assert_eq!(sim.node_ref::<Counter>(c).seen.len(), 5);
+    }
+
+    #[test]
+    fn link_latency_and_serialization() {
+        struct Blaster;
+        impl Node<Vec<u8>> for Blaster {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Vec<u8>>) {
+                // Two 1000-byte messages back to back.
+                ctx.send(PortId::P0, vec![0; 1000]);
+                ctx.send(PortId::P0, vec![0; 1000]);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Vec<u8>>, _: PortId, _: Vec<u8>) {}
+            impl_node_any!();
+        }
+        struct Rx(Vec<Nanos>);
+        impl Node<Vec<u8>> for Rx {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _: PortId, _: Vec<u8>) {
+                self.0.push(ctx.now());
+            }
+            impl_node_any!();
+        }
+        let mut sim = Simulator::new(0);
+        let tx = sim.add_node(Blaster);
+        let rx = sim.add_node(Rx(Vec::new()));
+        // 1000 B at 1 Gb/s = 8 us serialization; latency 1 us.
+        sim.connect(
+            tx,
+            PortId::P0,
+            rx,
+            PortId::P0,
+            LinkSpec {
+                latency: Nanos::from_micros(1),
+                bandwidth_bps: Some(1e9),
+                loss: 0.0,
+            },
+        );
+        sim.run_until(Nanos::from_secs(1));
+        let times = &sim.node_ref::<Rx>(rx).0;
+        assert_eq!(times[0], Nanos::from_micros(9));
+        // Second message waits for the first to serialize.
+        assert_eq!(times[1], Nanos::from_micros(17));
+    }
+
+    #[test]
+    fn unconnected_port_counts_unrouted() {
+        struct Lost;
+        impl Node<u64> for Lost {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.send(PortId::P3, 1);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: PortId, _: u64) {}
+            impl_node_any!();
+        }
+        let mut sim = Simulator::new(0);
+        sim.add_node(Lost);
+        sim.run_until(Nanos::from_millis(1));
+        assert_eq!(sim.unrouted(), 1);
+    }
+
+    #[test]
+    fn canceled_timer_does_not_fire() {
+        struct C {
+            fired: bool,
+        }
+        impl Node<u64> for C {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                let id = ctx.schedule_in(Nanos::from_millis(5), 1);
+                ctx.cancel_timer(id);
+                ctx.schedule_in(Nanos::from_millis(10), 2);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64>, t: Timer) {
+                assert_eq!(t.tag, 2, "canceled timer fired");
+                self.fired = true;
+            }
+            impl_node_any!();
+        }
+        let mut sim = Simulator::new(0);
+        let id = sim.add_node(C { fired: false });
+        sim.run_until(Nanos::from_secs(1));
+        assert!(sim.node_ref::<C>(id).fired);
+    }
+
+    #[test]
+    fn meter_samples_power() {
+        let (mut sim, t, _c) = ticker_sim();
+        sim.set_meter(MeterConfig {
+            interval: Nanos::from_millis(100),
+            nodes: vec![t],
+        });
+        sim.run_until(Nanos::from_secs(1));
+        let series = sim.power_series();
+        assert_eq!(series.len(), 10);
+        assert!((series.mean() - 7.5).abs() < 1e-9);
+        // 7.5 W over 0.9 s between first and last sample.
+        assert!((sim.meter_energy_j() - 7.5 * 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_event_order() {
+        let run = || {
+            let (mut sim, _t, c) = ticker_sim();
+            sim.run_until(Nanos::from_secs(1));
+            sim.node_ref::<Counter>(c).seen.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn with_node_ctx_allows_manual_kick() {
+        let (mut sim, t, c) = ticker_sim();
+        sim.run_until(Nanos::from_secs(1));
+        sim.with_node_ctx::<Ticker, _>(t, |n, ctx| {
+            n.limit += 1;
+            ctx.send(PortId::P0, 99);
+        });
+        sim.run_until(Nanos::from_secs(2));
+        let seen = &sim.node_ref::<Counter>(c).seen;
+        assert_eq!(seen.last().unwrap().1, 99);
+    }
+
+    #[test]
+    fn inject_delivers_external_messages() {
+        let mut sim = Simulator::new(0);
+        let c = sim.add_node(Counter { seen: Vec::new() });
+        sim.inject(c, PortId::P1, 5, Nanos::from_millis(3));
+        sim.run_until(Nanos::from_secs(1));
+        assert_eq!(
+            sim.node_ref::<Counter>(c).seen,
+            vec![(Nanos::from_millis(3), 5)]
+        );
+    }
+}

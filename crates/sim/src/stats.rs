@@ -1,0 +1,590 @@
+//! Measurement primitives: histograms, time series, rate estimators.
+//!
+//! These mirror the instruments used in the paper's testbed: an
+//! HDR-style latency histogram (Endace DAG timestamping), per-second
+//! throughput counters (OSNT), and sliding-window rate estimates (the
+//! on-demand controllers).
+
+use crate::time::Nanos;
+
+/// A log-linear bucketed histogram of non-negative integer samples.
+///
+/// Buckets are arranged HDR-histogram style: 32 sub-buckets of linearly
+/// increasing width per power-of-two range, giving a worst-case relative
+/// quantile error of about 3 % while using constant memory regardless of
+/// the number of samples.
+///
+/// # Examples
+///
+/// ```
+/// use inc_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=550).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// `buckets[range][sub]` counts samples in that slot.
+    buckets: Vec<[u64; Histogram::SUB]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    const SUB: usize = 32;
+    const SUB_BITS: u32 = 5;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn slot(value: u64) -> (usize, usize) {
+        if value < Self::SUB as u64 {
+            return (0, value as usize);
+        }
+        let msb = 63 - value.leading_zeros();
+        let range = (msb - Self::SUB_BITS + 1) as usize;
+        let sub = (value >> (msb - Self::SUB_BITS)) as usize - Self::SUB;
+        (range, sub + Self::SUB)
+    }
+
+    fn slot_upper_bound(range: usize, slot: usize) -> u64 {
+        if range == 0 {
+            return slot as u64;
+        }
+        let sub = slot - Self::SUB;
+        ((Self::SUB + sub + 1) as u64) << (range - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let (range, slot) = Self::slot(value);
+        if self.buckets.len() <= range {
+            self.buckets.resize(range + 1, [0; Self::SUB]);
+        }
+        // Ranges above zero only use the upper half of the sub-bucket space;
+        // fold the index into the fixed-size array.
+        let idx = if range == 0 { slot } else { slot - Self::SUB };
+        self.buckets[range][idx] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_nanos(&mut self, d: Nanos) {
+        self.record(d.as_nanos());
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Returns the largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Returns the arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns an upper bound on the `q`-quantile (e.g. `0.99` for p99).
+    ///
+    /// The bound is exact to within the bucket resolution (~3 % relative).
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (range, bucket) in self.buckets.iter().enumerate() {
+            for (i, &c) in bucket.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    let slot = if range == 0 { i } else { i + Self::SUB };
+                    return Self::slot_upper_bound(range, slot).min(self.max);
+                }
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), [0; Self::SUB]);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Removes all samples.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+/// A timestamped series of `f64` observations.
+///
+/// Used for power-versus-time and throughput-versus-time plots.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(Nanos, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the previous observation.
+    pub fn push(&mut self, t: Nanos, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be monotonic: {last} then {t}");
+        }
+        self.points.push((t, value));
+    }
+
+    /// Returns the observations.
+    pub fn points(&self) -> &[(Nanos, f64)] {
+        &self.points
+    }
+
+    /// Returns the number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the mean of the observed values (unweighted), or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Returns the largest observed value, or 0.0 if empty.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Integrates the series over time using left-step interpolation,
+    /// i.e. each value holds until the next observation.
+    ///
+    /// For a power series in watts this returns energy in joules.
+    pub fn integrate(&self) -> f64 {
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            let dt = (w[1].0 - w[0].0).as_secs_f64();
+            acc += w[0].1 * dt;
+        }
+        acc
+    }
+
+    /// Returns the time-weighted mean value over the observed span,
+    /// or 0.0 if fewer than two points were recorded.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let span = (self.points.last().unwrap().0 - self.points[0].0).as_secs_f64();
+        if span == 0.0 {
+            return 0.0;
+        }
+        self.integrate() / span
+    }
+
+    /// Returns the subset of points within `[from, to)`.
+    pub fn window(&self, from: Nanos, to: Nanos) -> impl Iterator<Item = (Nanos, f64)> + '_ {
+        self.points
+            .iter()
+            .copied()
+            .filter(move |&(t, _)| t >= from && t < to)
+    }
+}
+
+/// An exponentially weighted moving average.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds an observation and returns the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Returns the current average, if any observation has been made.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Forgets all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// A sliding-window event-rate estimator.
+///
+/// This is the measurement used by the paper's *network-controlled*
+/// on-demand controller: the average message rate over a configurable
+/// window, updated per epoch. The window is a ring of per-epoch counts.
+#[derive(Clone, Debug)]
+pub struct WindowRate {
+    epoch: Nanos,
+    ring: Vec<u64>,
+    head: usize,
+    filled: usize,
+    current_epoch_start: Nanos,
+    current_count: u64,
+}
+
+impl WindowRate {
+    /// Creates an estimator with `epochs` buckets of `epoch` duration each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero or `epoch` is zero.
+    pub fn new(epoch: Nanos, epochs: usize) -> Self {
+        assert!(epochs > 0, "need at least one epoch");
+        assert!(epoch > Nanos::ZERO, "epoch must be positive");
+        WindowRate {
+            epoch,
+            ring: vec![0; epochs],
+            head: 0,
+            filled: 0,
+            current_epoch_start: Nanos::ZERO,
+            current_count: 0,
+        }
+    }
+
+    /// Records `n` events at time `now`.
+    pub fn record(&mut self, now: Nanos, n: u64) {
+        self.roll(now);
+        self.current_count += n;
+    }
+
+    fn roll(&mut self, now: Nanos) {
+        while now >= self.current_epoch_start + self.epoch {
+            self.ring[self.head] = self.current_count;
+            self.head = (self.head + 1) % self.ring.len();
+            self.filled = (self.filled + 1).min(self.ring.len());
+            self.current_count = 0;
+            self.current_epoch_start += self.epoch;
+        }
+    }
+
+    /// Returns the average rate (events/second) over the completed window
+    /// as of `now`. Epochs not yet elapsed count as empty.
+    pub fn rate(&mut self, now: Nanos) -> f64 {
+        self.roll(now);
+        if self.filled == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.ring.iter().take(self.filled).sum();
+        let span = self.epoch.mul(self.filled as u64).as_secs_f64();
+        total as f64 / span
+    }
+
+    /// Returns the window length covered once fully primed.
+    pub fn window(&self) -> Nanos {
+        self.epoch.mul(self.ring.len() as u64)
+    }
+
+    /// Returns `true` once a full window of epochs has elapsed.
+    pub fn primed(&self) -> bool {
+        self.filled == self.ring.len()
+    }
+
+    /// Clears all recorded history, restarting at time `now`.
+    pub fn reset(&mut self, now: Nanos) {
+        for b in &mut self.ring {
+            *b = 0;
+        }
+        self.head = 0;
+        self.filled = 0;
+        self.current_count = 0;
+        self.current_epoch_start = now.align_down(self.epoch);
+    }
+}
+
+/// A lazily integrated energy accumulator.
+///
+/// Components update their instantaneous power draw as their state changes;
+/// the integrator accumulates exact joules without periodic sampling.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyIntegrator {
+    last: Nanos,
+    power_w: f64,
+    energy_j: f64,
+}
+
+impl EnergyIntegrator {
+    /// Creates an integrator starting at time zero with the given draw.
+    pub fn new(initial_power_w: f64) -> Self {
+        EnergyIntegrator {
+            last: Nanos::ZERO,
+            power_w: initial_power_w,
+            energy_j: 0.0,
+        }
+    }
+
+    /// Changes the instantaneous power at time `now`, accumulating the
+    /// energy consumed at the previous level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier update.
+    pub fn set_power(&mut self, now: Nanos, power_w: f64) {
+        self.advance(now);
+        self.power_w = power_w;
+    }
+
+    fn advance(&mut self, now: Nanos) {
+        assert!(
+            now >= self.last,
+            "time went backwards: {} -> {}",
+            self.last,
+            now
+        );
+        self.energy_j += self.power_w * (now - self.last).as_secs_f64();
+        self.last = now;
+    }
+
+    /// Returns the instantaneous power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.power_w
+    }
+
+    /// Returns cumulative energy in joules up to `now`.
+    pub fn energy_j(&mut self, now: Nanos) -> f64 {
+        self.advance(now);
+        self.energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_exact_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        // Values below 32 land in exact unit-width buckets.
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert!((h.mean() - 15.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantile_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = (q * 100_000.0) as u64;
+            let got = h.quantile(q);
+            let rel = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.04, "q={q} exact={exact} got={got}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(10, 5);
+        b.record_n(1000, 5);
+        a.merge(&b);
+        assert_eq!(a.count(), 10);
+        assert_eq!(a.min(), 10);
+        assert!(a.max() >= 1000);
+    }
+
+    #[test]
+    fn histogram_large_values() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX / 2);
+        h.record(3);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn time_series_integration() {
+        let mut ts = TimeSeries::new();
+        ts.push(Nanos::ZERO, 10.0);
+        ts.push(Nanos::from_secs(2), 20.0);
+        ts.push(Nanos::from_secs(3), 0.0);
+        // 10 W for 2 s + 20 W for 1 s = 40 J.
+        assert!((ts.integrate() - 40.0).abs() < 1e-9);
+        assert!((ts.time_weighted_mean() - 40.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn time_series_rejects_backwards_time() {
+        let mut ts = TimeSeries::new();
+        ts.push(Nanos::from_secs(1), 1.0);
+        ts.push(Nanos::ZERO, 2.0);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.update(10.0);
+        for _ in 0..50 {
+            e.update(20.0);
+        }
+        assert!((e.value().unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_rate_steady_stream() {
+        let mut w = WindowRate::new(Nanos::from_millis(100), 10);
+        // 1000 events/s for 2 seconds.
+        for i in 0..2000u64 {
+            w.record(Nanos::from_millis(i), 1);
+        }
+        let r = w.rate(Nanos::from_secs(2));
+        assert!((r - 1000.0).abs() < 50.0, "rate {r}");
+        assert!(w.primed());
+    }
+
+    #[test]
+    fn window_rate_decays_after_stop() {
+        let mut w = WindowRate::new(Nanos::from_millis(100), 10);
+        for i in 0..1000u64 {
+            w.record(Nanos::from_millis(i), 1);
+        }
+        // After a full idle window the rate must be zero.
+        let r = w.rate(Nanos::from_secs(3));
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn window_rate_reset() {
+        let mut w = WindowRate::new(Nanos::from_millis(10), 4);
+        w.record(Nanos::from_millis(5), 100);
+        w.reset(Nanos::from_millis(50));
+        assert_eq!(w.rate(Nanos::from_millis(50)), 0.0);
+        assert!(!w.primed());
+    }
+
+    #[test]
+    fn energy_integrator_piecewise() {
+        let mut e = EnergyIntegrator::new(5.0);
+        e.set_power(Nanos::from_secs(10), 50.0);
+        // 5 W * 10 s = 50 J so far.
+        assert!((e.energy_j(Nanos::from_secs(10)) - 50.0).abs() < 1e-9);
+        // Plus 50 W * 2 s = 100 J.
+        assert!((e.energy_j(Nanos::from_secs(12)) - 150.0).abs() < 1e-9);
+        assert_eq!(e.power_w(), 50.0);
+    }
+}

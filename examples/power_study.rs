@@ -1,0 +1,97 @@
+//! A library tour of the power models: reproduce the paper's headline
+//! power numbers analytically, then decide a placement with the §8 energy
+//! model and the §9.4 switch analysis.
+//!
+//! Run with: `cargo run --example power_study`
+
+use inc::hw::{TofinoModel, TofinoProgram};
+use inc::ondemand::apps::{crossover, dns_models, kvs_models, paxos_models};
+use inc::ondemand::TorRack;
+use inc::power::{CpuModel, EnergyParams, PlacementComparison};
+use inc::sim::Nanos;
+
+fn main() {
+    // --- Figure 3 crossovers. ---
+    println!("== crossing points (Figure 3) ==");
+    let kvs = kvs_models();
+    let paxos = paxos_models();
+    let dns = dns_models();
+    for (label, sw, hw, paper) in [
+        ("KVS  ", &kvs[0], &kvs[1], "~80 Kpps"),
+        (
+            "Paxos",
+            paxos
+                .iter()
+                .find(|m| m.name == "libpaxos Acceptor")
+                .unwrap(),
+            paxos.iter().find(|m| m.name == "P4xos Acceptor").unwrap(),
+            "150 Kmsg/s",
+        ),
+        ("DNS  ", &dns[0], &dns[1], "<200 Kpps"),
+    ] {
+        let x = crossover(sw, hw, 1e6).expect("curves cross");
+        println!("  {label}  {:>7.0} pps   (paper: {paper})", x);
+    }
+
+    // --- §7: the Xeon uncore jump. ---
+    println!("\n== Xeon E5-2660 v4 (§7) ==");
+    let xeon = CpuModel::xeon_e5_2660_v4_dual();
+    for (cores, label) in [
+        (0.0, "idle"),
+        (0.1, "10% of one core"),
+        (1.0, "one core"),
+        (28.0, "all cores"),
+    ] {
+        println!("  {label:<16} {:>6.1} W", xeon.power_w(cores));
+    }
+
+    // --- §6: the ASIC. ---
+    println!("\n== Tofino (§6, normalized) ==");
+    let t = TofinoModel::snake_32x40();
+    for p in [
+        TofinoProgram::L2Forward,
+        TofinoProgram::L2WithP4xos,
+        TofinoProgram::Diag,
+    ] {
+        println!(
+            "  {:?}: idle {:.2}, full {:.3}",
+            p,
+            t.power_norm(p, 0.0),
+            t.power_norm(p, 1.0)
+        );
+    }
+
+    // --- §8: one placement decision, end to end. ---
+    println!("\n== §8 energy decision: 1 s of 500 Kpps KVS traffic ==");
+    let sw = EnergyParams {
+        idle_w: kvs[0].idle_w,
+        sleep_w: 5.0,
+        active_w: kvs[0].power_w(kvs[0].peak_pps),
+        peak_rate_pps: kvs[0].peak_pps,
+    };
+    let hw = EnergyParams {
+        idle_w: kvs[1].idle_w,
+        sleep_w: 5.0,
+        active_w: kvs[1].power_w(kvs[1].peak_pps),
+        peak_rate_pps: kvs[1].peak_pps,
+    };
+    let cmp = PlacementComparison::evaluate(&sw, &hw, 500_000, Nanos::from_secs(1))
+        .expect("both can serve it");
+    println!(
+        "  software {:.1} J vs in-network {:.1} J -> prefer network: {} (saving {:.0}%)",
+        cmp.software_j,
+        cmp.network_j,
+        cmp.prefer_network(),
+        cmp.saving_fraction() * 100.0
+    );
+
+    // --- §9.4: the ToR switch. ---
+    println!("\n== §9.4 ToR switch ==");
+    let rack = TorRack::typical();
+    println!(
+        "  tipping point: {:.0} pps (switch dynamic {:.2} W/Mqps)",
+        rack.tipping_point_pps(),
+        rack.switch_dynamic_w(1e6)
+    );
+    println!("  -> on an installed programmable switch, offload pays from the first packet.");
+}

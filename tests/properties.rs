@@ -1,0 +1,358 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants, spanning the workspace crates.
+
+use proptest::prelude::*;
+
+use inc::dns::{DnsResponse, Name, Query, Rcode, TYPE_A};
+use inc::kvs::{decode as mc_decode, encode_request, FrameHeader, Message, Request};
+use inc::net::{build_udp, internet_checksum, Endpoint, UdpFrame};
+use inc::paxos::{MsgType, PaxosMsg};
+use inc::sim::{Histogram, Nanos, Rng, TokenBucket};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // --- Wire formats round-trip for arbitrary inputs. ---
+
+    #[test]
+    fn udp_frame_round_trips(
+        src_host in 1u32..1000,
+        dst_host in 1u32..1000,
+        sport in 1u16..u16::MAX,
+        dport in 1u16..u16::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let src = Endpoint::host(src_host, sport);
+        let dst = Endpoint::host(dst_host, dport);
+        let pkt = build_udp(src, dst, &payload);
+        let frame = UdpFrame::parse(&pkt).unwrap();
+        prop_assert_eq!(frame.udp.src_port, sport);
+        prop_assert_eq!(frame.udp.dst_port, dport);
+        prop_assert_eq!(frame.ip.src, src.ip);
+        prop_assert_eq!(frame.ip.dst, dst.ip);
+        prop_assert_eq!(frame.payload, &payload[..]);
+    }
+
+    #[test]
+    fn udp_frame_rejects_any_single_byte_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip in any::<usize>(),
+    ) {
+        let src = Endpoint::host(1, 100);
+        let dst = Endpoint::host(2, 200);
+        let pkt = build_udp(src, dst, &payload);
+        let mut bytes = pkt.data.to_vec();
+        // Corrupt one byte beyond the Ethernet header (IPv4 + UDP + body
+        // are all checksummed).
+        let idx = 14 + flip % (bytes.len() - 14);
+        bytes[idx] ^= 0x01;
+        let corrupted = inc::net::Packet::from_bytes(bytes::Bytes::from(bytes));
+        // Either the parse fails, or the flipped bit landed somewhere it
+        // legitimately changes meaning without breaking checksums
+        // (impossible for single-bit flips over checksummed regions).
+        prop_assert!(UdpFrame::parse(&corrupted).is_err());
+    }
+
+    #[test]
+    fn internet_checksum_detects_16bit_word_swap_errors(
+        words in proptest::collection::vec(any::<u16>(), 1..32),
+        pos in any::<usize>(),
+    ) {
+        // Even-length data: appending the checksum keeps 16-bit alignment
+        // and makes the whole buffer sum to zero.
+        let data: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+        let csum = internet_checksum(&data);
+        let mut with = data.clone();
+        with.extend_from_slice(&csum.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&with), 0);
+        // Any single-byte change breaks it (unless it flips 0x00<->0xff
+        // within the ones-complement equivalence — excluded here).
+        let idx = pos % data.len();
+        let old = with[idx];
+        let new = old.wrapping_add(1);
+        if !(old == 0xff && new == 0x00) {
+            with[idx] = new;
+            prop_assert_ne!(internet_checksum(&with), 0);
+        }
+    }
+
+    #[test]
+    fn memcached_requests_round_trip(
+        key in proptest::collection::vec(any::<u8>(), 1..250),
+        value in proptest::collection::vec(any::<u8>(), 0..1024),
+        flags in any::<u32>(),
+        opaque in any::<u32>(),
+        op in 0u8..3,
+    ) {
+        let req = match op {
+            0 => Request::Get { key: key.clone() },
+            1 => Request::Set { key: key.clone(), value, flags, expiry: 0 },
+            _ => Request::Delete { key: key.clone() },
+        };
+        let frame = FrameHeader { request_id: 9, seq: 0, total: 1 };
+        let bytes = encode_request(frame, &req, opaque);
+        match mc_decode(&bytes).unwrap() {
+            Message::Request { request, opaque: o, .. } => {
+                prop_assert_eq!(request, req);
+                prop_assert_eq!(o, opaque);
+            }
+            other => prop_assert!(false, "decoded wrong kind: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn memcached_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = mc_decode(&bytes);
+    }
+
+    #[test]
+    fn dns_names_round_trip(labels in proptest::collection::vec("[a-z0-9]{1,16}", 1..6)) {
+        let name_str = labels.join(".");
+        let name = Name::parse(&name_str).unwrap();
+        let q = Query { id: 1, name: name.clone(), qtype: TYPE_A, recursion_desired: false };
+        let decoded = Query::decode(&q.encode()).unwrap();
+        prop_assert_eq!(decoded.name.to_string(), name_str);
+    }
+
+    #[test]
+    fn dns_responses_round_trip(
+        labels in proptest::collection::vec("[a-z]{1,10}", 1..5),
+        answers in proptest::collection::vec((any::<u32>(), 1u32..86_400), 0..4),
+        id in any::<u16>(),
+    ) {
+        let name = Name::parse(&labels.join(".")).unwrap();
+        let r = DnsResponse {
+            id,
+            rcode: if answers.is_empty() { Rcode::NxDomain } else { Rcode::NoError },
+            name,
+            answers: answers
+                .iter()
+                .map(|&(ip, ttl)| (std::net::Ipv4Addr::from(ip), ttl))
+                .collect(),
+        };
+        let decoded = DnsResponse::decode(&r.encode()).unwrap();
+        prop_assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn dns_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Query::decode(&bytes);
+        let _ = DnsResponse::decode(&bytes);
+    }
+
+    #[test]
+    fn paxos_messages_round_trip(
+        instance in any::<u64>(),
+        round in any::<u16>(),
+        vround in any::<u16>(),
+        acceptor in any::<u8>(),
+        last_voted in any::<u64>(),
+        value in proptest::collection::vec(any::<u8>(), 0..256),
+        mtype_idx in 0u8..7,
+    ) {
+        let mtype = [
+            MsgType::ClientRequest, MsgType::Phase1a, MsgType::Phase1b,
+            MsgType::Phase2a, MsgType::Phase2b, MsgType::ClientReply,
+            MsgType::GapRequest,
+        ][mtype_idx as usize];
+        let m = PaxosMsg { mtype, instance, round, vround, acceptor, last_voted, value };
+        prop_assert_eq!(PaxosMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn paxos_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = PaxosMsg::decode(&bytes);
+    }
+
+    // --- Measurement instruments. ---
+
+    #[test]
+    fn histogram_quantiles_within_resolution(
+        samples in proptest::collection::vec(1u64..1_000_000, 10..500),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &s in &samples {
+            h.record(s);
+        }
+        let exact = sorted[(((q * samples.len() as f64).ceil() as usize).max(1) - 1)
+            .min(samples.len() - 1)];
+        let got = h.quantile(q);
+        // HDR resolution: within ~3.2 % above the exact order statistic.
+        prop_assert!(got >= exact, "got {} < exact {}", got, exact);
+        prop_assert!((got as f64) <= exact as f64 * 1.04 + 1.0, "got {} vs exact {}", got, exact);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let exact = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        prop_assert!((h.mean() - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_rate(
+        rate in 1_000.0f64..1_000_000.0,
+        burst in 1.0f64..64.0,
+        seed in any::<u64>(),
+    ) {
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut rng = Rng::new(seed);
+        let mut granted = 0u64;
+        let horizon = Nanos::from_millis(100);
+        let mut t = Nanos::ZERO;
+        while t < horizon {
+            if tb.try_take(t, 1.0) {
+                granted += 1;
+            }
+            t += Nanos::from_nanos(rng.range_u64(100, 10_000));
+        }
+        // Can never exceed burst + rate * time.
+        let bound = burst + rate * horizon.as_secs_f64();
+        prop_assert!((granted as f64) <= bound + 1.0, "granted {} > bound {}", granted, bound);
+    }
+}
+
+// --- Model-based LRU check against a reference implementation. ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec((0u8..3, 0u8..24), 1..400),
+    ) {
+        use inc::kvs::LruCache;
+        let mut lru = LruCache::new(capacity);
+        let mut reference: Vec<(Vec<u8>, Vec<u8>)> = Vec::new(); // MRU-first
+        for (op, key_id) in ops {
+            let key = vec![key_id];
+            match op {
+                0 => {
+                    // Insert.
+                    let value = vec![key_id, 0xAA];
+                    lru.insert(key.clone(), value.clone());
+                    reference.retain(|(k, _)| k != &key);
+                    reference.insert(0, (key, value));
+                    reference.truncate(capacity);
+                }
+                1 => {
+                    // Get.
+                    let got = lru.get(&key).map(|v| v.to_vec());
+                    let pos = reference.iter().position(|(k, _)| k == &key);
+                    match pos {
+                        Some(p) => {
+                            let entry = reference.remove(p);
+                            prop_assert_eq!(got.as_deref(), Some(entry.1.as_slice()));
+                            reference.insert(0, entry);
+                        }
+                        None => prop_assert_eq!(got, None),
+                    }
+                }
+                _ => {
+                    // Remove.
+                    let was = lru.remove(&key);
+                    let pos = reference.iter().position(|(k, _)| k == &key);
+                    prop_assert_eq!(was, pos.is_some());
+                    if let Some(p) = pos {
+                        reference.remove(p);
+                    }
+                }
+            }
+            prop_assert_eq!(lru.len(), reference.len());
+        }
+    }
+}
+
+// --- Paxos safety under adversarial delivery. ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two leaders race; messages are dropped, duplicated and reordered.
+    /// Safety: the learner must deliver, per instance, a value some leader
+    /// actually proposed, and two independent learners never disagree.
+    #[test]
+    fn paxos_agreement_under_drops_dups_reorder(
+        seed in any::<u64>(),
+        n_commands in 1usize..20,
+        drop_pct in 0u32..40,
+        dup_pct in 0u32..30,
+    ) {
+        use inc::paxos::{Acceptor, AcceptorStorage, Dest, Leader, Learner};
+
+        let mut rng = Rng::new(seed);
+        let mut leaders = vec![Leader::bootstrap(1, 3), Leader::bootstrap(2, 3)];
+        let mut acceptors: Vec<_> = (0..3)
+            .map(|i| Acceptor::new(i, AcceptorStorage::unbounded()))
+            .collect();
+        let mut learner_a = Learner::new(3);
+        let mut learner_b = Learner::new(3);
+
+        // Pending (destination-kind, message) bag with adversarial order.
+        let mut bag: Vec<(Dest, PaxosMsg)> = Vec::new();
+        for i in 0..n_commands {
+            let value = format!("cmd-{i}").into_bytes();
+            let req = PaxosMsg::new(MsgType::ClientRequest, 0, 0, value);
+            let leader = rng.index(2);
+            bag.extend(leaders[leader].handle(&req));
+        }
+
+        let mut steps = 0;
+        while !bag.is_empty() && steps < 10_000 {
+            steps += 1;
+            let idx = rng.index(bag.len());
+            let (dest, msg) = bag.swap_remove(idx);
+            if rng.chance(drop_pct as f64 / 100.0) {
+                continue;
+            }
+            if rng.chance(dup_pct as f64 / 100.0) {
+                bag.push((dest, msg.clone()));
+            }
+            match dest {
+                Dest::AllAcceptors => {
+                    for acc in &mut acceptors {
+                        bag.extend(acc.handle(&msg));
+                    }
+                }
+                Dest::AllLearners => {
+                    learner_a.handle(&msg);
+                    learner_b.handle(&msg);
+                    for l in &mut leaders {
+                        l.handle(&msg);
+                    }
+                }
+                Dest::Leader | Dest::Reply => {
+                    for l in &mut leaders {
+                        bag.extend(l.handle(&msg));
+                    }
+                }
+                Dest::Client(_) => {}
+            }
+        }
+
+        // Agreement between independent learners on every shared instance.
+        let a: std::collections::HashMap<u64, Vec<u8>> =
+            learner_a.delivered.iter().cloned().collect();
+        for (inst, value) in &learner_b.delivered {
+            if let Some(va) = a.get(inst) {
+                prop_assert_eq!(va, value, "learners disagree on instance {}", inst);
+            }
+        }
+        // Every delivered value is one of the proposed commands (validity).
+        for (_, value) in &learner_a.delivered {
+            let s = String::from_utf8_lossy(value);
+            prop_assert!(s.starts_with("cmd-"), "fabricated value {:?}", s);
+        }
+        // In-order delivery.
+        for (i, (inst, _)) in learner_a.delivered.iter().enumerate() {
+            prop_assert_eq!(*inst, i as u64 + 1);
+        }
+    }
+}
