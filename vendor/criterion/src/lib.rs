@@ -1,0 +1,216 @@
+//! Offline stub of the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The workspace builds without network access, so the subset of
+//! criterion's API the bench targets use is implemented here: a
+//! wall-clock harness that warms up, runs a configurable number of timed
+//! samples, and prints per-benchmark mean and minimum times. There is no
+//! statistical analysis, HTML report, or saved baseline — the point is
+//! that `cargo bench` compiles, runs, and emits comparable numbers.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver, configured via the builder methods.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target time spent measuring each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up period before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, name, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(self.criterion, &full, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the stub; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// (mean ns/iter, min ns/iter, iters) recorded by [`Bencher::iter`].
+    result: Option<(f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then collecting `sample_size`
+    /// samples within the configured measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Pick an iteration count per sample so all samples fit the budget.
+        let budget = self.measurement_time.as_secs_f64();
+        let per_sample = budget / self.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total_ns = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut measured = 0u64;
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            total_ns += ns * iters as f64;
+            min_ns = min_ns.min(ns);
+            measured += iters;
+            // Never exceed 2x the budget even if the estimate was off.
+            if run_start.elapsed().as_secs_f64() > 2.0 * budget {
+                break;
+            }
+        }
+        self.result = Some((total_ns / measured.max(1) as f64, min_ns, measured));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, mut f: F) {
+    let mut b = Bencher {
+        warm_up_time: c.warm_up_time,
+        measurement_time: c.measurement_time,
+        sample_size: c.sample_size.max(1),
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, min, iters)) => {
+            println!(
+                "{name:<40} mean {:>12} min {:>12} ({iters} iters)",
+                fmt_ns(mean),
+                fmt_ns(min)
+            );
+        }
+        None => println!("{name:<40} (no measurement recorded)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions with an optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut g = c.benchmark_group("stub");
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.finish();
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stub of the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The workspace builds without network access, so the subset of proptest
+//! the test suite uses is implemented here: the [`proptest!`] macro,
+//! [`Strategy`] implementations for integer/float ranges, tuples,
+//! `Vec` collections and simple `[class]{m,n}` regex string patterns, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest, accepted for an offline build:
+//!
+//! - **No shrinking.** A failing case reports the panicking assertion and
+//!   the deterministic seed, not a minimized input.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name, so runs are reproducible; set `PROPTEST_SEED` to an
+//!   integer to explore a different part of the input space.
+//! - Regex strategies support only concatenations of literal characters
+//!   and `[a-z0-9]{m,n}`-style classes — exactly what the suite needs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Runtime configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from the test name (stable across runs), or
+    /// from `PROPTEST_SEED` when set.
+    pub fn deterministic(name: &str) -> Self {
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = seed.trim().parse::<u64>() {
+                return TestRng { state: seed };
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        // Route bounds through i128 so signed ranges with negative bounds
+        // generate correctly instead of sign-extending into huge u64s.
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "empty range strategy {lo}..{hi}");
+                (lo + (rng.next_u64() as i128).rem_euclid(hi - lo)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy {lo}..={hi}");
+                (lo + (rng.next_u64() as i128).rem_euclid(hi - lo + 1)) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Closed upper bound: occasionally emit the endpoint exactly so
+        // properties over [0, 1] see q == 1.0.
+        if rng.next_u64().is_multiple_of(64) {
+            *self.end()
+        } else {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 S0, 1 S1)
+    (0 S0, 1 S1, 2 S2)
+    (0 S0, 1 S1, 2 S2, 3 S3)
+}
+
+/// `&str` regex-style strategies: concatenations of literals and
+/// `[chars]{m,n}` classes (with `a-z`-style ranges inside the class).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '[' {
+                out.push(c);
+                continue;
+            }
+            // Character class.
+            let mut class = Vec::new();
+            let mut prev: Option<char> = None;
+            for c in chars.by_ref() {
+                match c {
+                    ']' => break,
+                    '-' => {
+                        // Range: pop the start, wait for the end.
+                        prev = class.pop();
+                    }
+                    c => {
+                        if let Some(start) = prev.take() {
+                            for v in start as u32..=c as u32 {
+                                if let Some(ch) = char::from_u32(v) {
+                                    class.push(ch);
+                                }
+                            }
+                        } else {
+                            class.push(c);
+                        }
+                    }
+                }
+            }
+            assert!(!class.is_empty(), "empty character class in {self:?}");
+            // Optional {m,n} repetition; default is exactly one.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let mut parts = spec.splitn(2, ',');
+                let lo: usize = parts.next().unwrap().trim().parse().unwrap();
+                let hi: usize = parts
+                    .next()
+                    .map(|s| s.trim().parse().unwrap())
+                    .unwrap_or(lo);
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            let n = rng.range_u64(lo as u64, hi as u64 + 1) as usize;
+            for _ in 0..n {
+                out.push(class[rng.range_u64(0, class.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Number-of-elements bound for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.range_u64(self.size.lo as u64, self.size.hi as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a property; panics with context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property; panics with context on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property; panics with context on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn` runs `cases` times with freshly
+/// generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)*
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest: property {} failed at case {}/{} (set PROPTEST_SEED to vary inputs)",
+                            stringify!($name), case + 1, config.cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_stay_in_bounds");
+        for _ in 0..10_000 {
+            let v = (5u32..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (0.25f64..=0.75).generate(&mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_with_negative_bounds() {
+        let mut rng = TestRng::deterministic("signed_ranges_with_negative_bounds");
+        let mut seen_neg = false;
+        for _ in 0..10_000 {
+            let v = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            seen_neg |= v < 0;
+            let w = (i8::MIN..=i8::MAX).generate(&mut rng);
+            let _ = w; // full domain: any value is valid
+        }
+        assert!(seen_neg, "negative half of the range never sampled");
+    }
+
+    #[test]
+    fn string_class_patterns() {
+        let mut rng = TestRng::deterministic("string_class_patterns");
+        for _ in 0..1_000 {
+            let s = "[a-z0-9]{1,16}".generate(&mut rng);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::deterministic("vec_strategy_sizes");
+        for _ in 0..1_000 {
+            let v = collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_runnable_tests(a in 1u8..10, b in any::<u16>()) {
+            prop_assert!((1..10).contains(&a));
+            let _ = b;
+        }
+    }
+}
