@@ -1,0 +1,89 @@
+//! Multi-application shared-device scheduling benchmarks: the cost of
+//! driving the fleet control loop over the full two-tenant simulation,
+//! and the controller's decision path in isolation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use inc_bench::rigs::SharedDeviceRig;
+use inc_hw::Placement;
+use inc_ondemand::{FleetSample, HostSample};
+use inc_sim::Nanos;
+
+fn bench_shared_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shared_device");
+
+    // One diurnal half-cycle of the full two-tenant rig under the fleet
+    // controller: measures simulation + control-loop throughput.
+    g.bench_function("fleet_run_400ms_two_tenants", |bench| {
+        bench.iter(|| {
+            let period = Nanos::from_millis(800);
+            let (kvs, dns) = SharedDeviceRig::contended_profiles(period);
+            let mut rig = SharedDeviceRig::new(7, 256, 256, kvs, dns);
+            let mut ctl = SharedDeviceRig::fleet_controller(Nanos::from_millis(50));
+            let timeline = rig.run(&mut ctl, Nanos::from_millis(400));
+            black_box(timeline.energy_j)
+        })
+    });
+
+    // The static baseline at the same load, for scheduling-overhead
+    // comparison.
+    g.bench_function("pinned_run_400ms_two_tenants", |bench| {
+        bench.iter(|| {
+            let period = Nanos::from_millis(800);
+            let (kvs, dns) = SharedDeviceRig::contended_profiles(period);
+            let mut rig = SharedDeviceRig::new(7, 256, 256, kvs, dns);
+            let mut ctl = SharedDeviceRig::pinned_controller(
+                Nanos::from_millis(50),
+                [Placement::Hardware, Placement::Software],
+            );
+            let timeline = rig.run(&mut ctl, Nanos::from_millis(400));
+            black_box(timeline.energy_j)
+        })
+    });
+
+    // The controller's per-interval decision path alone (no simulation):
+    // the knapsack must be cheap enough to run every sampling interval
+    // for many tenants.
+    g.bench_function("fleet_controller_10k_decisions", |bench| {
+        bench.iter(|| {
+            let mut ctl = SharedDeviceRig::fleet_controller(Nanos::from_millis(1));
+            let mut shifts = 0usize;
+            for step in 1..=10_000u64 {
+                // Alternating bursts keep both streak machines busy.
+                let phase = (step / 100) % 2 == 0;
+                let (kr, dr) = if phase {
+                    (110_000.0, 3_000.0)
+                } else {
+                    (3_000.0, 70_000.0)
+                };
+                let mk = |r: f64| FleetSample {
+                    host: HostSample {
+                        rapl_w: 45.0,
+                        app_cpu_util: r / 1e6,
+                        hw_app_rate: r,
+                    },
+                    offered_pps: r,
+                };
+                shifts += ctl
+                    .sample(Nanos::from_millis(step), &[mk(kr), mk(dr)])
+                    .len();
+            }
+            black_box(shifts)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10);
+    targets = bench_shared_device
+}
+criterion_main!(benches);

@@ -109,14 +109,24 @@ fn main() {
         .find(|(_, p)| *p == Placement::Software)
         .map(|(t, _)| *t);
     if let (Some(up), Some(down)) = (up, down) {
-        let thr_before = timeline.mean_throughput_pps(up - Nanos::from_secs(3), up);
-        let thr_after = timeline.mean_throughput_pps(up, up + Nanos::from_secs(3));
+        let thr_before = timeline
+            .mean_throughput_pps(up - Nanos::from_secs(3), up)
+            .unwrap_or(0.0);
+        let thr_after = timeline
+            .mean_throughput_pps(up, up + Nanos::from_secs(3))
+            .unwrap_or(0.0);
         note(
             "throughput across shift (paper: no effect, not even momentarily)",
             format!("{:.0} -> {:.0} pps", thr_before, thr_after),
         );
-        let lat_before = timeline.median_latency_ns(up - Nanos::from_secs(3), up);
-        let lat_after = timeline.median_latency_ns(up + Nanos::from_secs(2), down);
+        // An empty measurement window is a harness bug worth a loud
+        // failure here, not a silent zero in the figure data.
+        let lat_before = timeline
+            .median_latency_ns(up - Nanos::from_secs(3), up)
+            .expect("requests completed before the shift");
+        let lat_after = timeline
+            .median_latency_ns(up + Nanos::from_secs(2), down)
+            .expect("requests completed after the shift");
         note(
             "client latency across shift (includes 1 us of link RTT)",
             format!(
@@ -146,10 +156,18 @@ fn main() {
             "power phases (sw, sw+chainer, hw+chainer, sw again)",
             format!(
                 "{:.0} / {:.0} / {:.0} / {:.0} W",
-                timeline.mean_power_w(Nanos::from_secs(1), Nanos::from_secs(5)),
-                timeline.mean_power_w(Nanos::from_secs(6), up),
-                timeline.mean_power_w(up + Nanos::from_secs(1), chainer_off),
-                timeline.mean_power_w(down + Nanos::from_secs(1), horizon),
+                timeline
+                    .mean_power_w(Nanos::from_secs(1), Nanos::from_secs(5))
+                    .unwrap_or(f64::NAN),
+                timeline
+                    .mean_power_w(Nanos::from_secs(6), up)
+                    .unwrap_or(f64::NAN),
+                timeline
+                    .mean_power_w(up + Nanos::from_secs(1), chainer_off)
+                    .unwrap_or(f64::NAN),
+                timeline
+                    .mean_power_w(down + Nanos::from_secs(1), horizon)
+                    .unwrap_or(f64::NAN),
             ),
         );
     } else {

@@ -1,18 +1,24 @@
 //! Reusable simulation topologies for the event-driven experiments.
 
-use inc_dns::{DnsClient, DnsServer, DnsServerConfig, EmuDevice, Zone};
-use inc_hw::HOST_DMA_PORT;
+use inc_dns::{DnsClient, DnsServer, DnsServerConfig, EmuDevice, Zone, DNS_PORT};
+use inc_hw::{DeviceCapacity, PipelineBudget, Placement, ProgramResources, HOST_DMA_PORT};
 use inc_kvs::{
     expected_value, key_name, KvsClient, LakeCacheConfig, LakeDevice, MemcachedConfig,
-    MemcachedServer, OpGen, MEMCACHED_PORT,
+    MemcachedServer, OpGen, UniformGen, MEMCACHED_PORT,
 };
 use inc_net::{Endpoint, Packet};
 use inc_net::{L2Switch, Match};
+use inc_ondemand::{
+    run_fleet_controlled, AppObservation, FleetApp, FleetController, FleetControllerConfig,
+    FleetSample, FleetTimeline, HostSample, PlacementAnalysis,
+};
 use inc_paxos::{
     Acceptor, AcceptorStorage, AddressBook, HostConfig, Leader, Learner, PaxosClient, PaxosNode,
     Platform, RoleEngine, PAXOS_ACCEPTOR_PORT, PAXOS_LEADER_PORT, PAXOS_LEARNER_PORT,
 };
-use inc_sim::{LinkSpec, Nanos, NodeId, PortId, Simulator};
+use inc_power::{calib, EnergyParams};
+use inc_sim::{LinkSpec, Nanos, Node, NodeId, PortId, Simulator};
+use inc_workloads::RateProfile;
 
 /// The Figure 1 KVS topology: client ↔ LaKe ↔ memcached.
 pub struct KvsRig {
@@ -280,5 +286,376 @@ impl PaxosRig {
             .iter()
             .map(|&c| self.sim.node_ref::<PaxosClient>(c).stats().acked)
             .sum()
+    }
+}
+
+/// The shared-device topology: KVS and DNS tenants contending for one
+/// capacity-bounded programmable device.
+///
+/// The physical card is modelled as two logical partitions — the LaKe
+/// engine serving memcached traffic and the Emu core serving DNS — each a
+/// bump-in-the-wire in front of its software server. Whether a
+/// partition's program may be *resident* (hardware placement) is decided
+/// by the `FleetController`'s shared [`DeviceCapacity`] ledger: the
+/// [`SharedDeviceRig::shared_budget`] admits either program alone but not
+/// both, so every offload is an arbitration decision. The shell base
+/// power appears once per partition; it is a constant offset common to
+/// every placement configuration, so energy *comparisons* between
+/// schedules are unaffected.
+pub struct SharedDeviceRig {
+    /// The simulator.
+    pub sim: Simulator<Packet>,
+    /// KVS load generator.
+    pub kvs_client: NodeId,
+    /// LaKe partition of the shared card.
+    pub kvs_device: NodeId,
+    /// memcached host node.
+    pub kvs_server: NodeId,
+    /// DNS query generator.
+    pub dns_client: NodeId,
+    /// Emu partition of the shared card.
+    pub dns_device: NodeId,
+    /// NSD host node.
+    pub dns_server: NodeId,
+    /// Offered-rate schedule of the KVS tenant.
+    pub kvs_profile: RateProfile,
+    /// Offered-rate schedule of the DNS tenant.
+    pub dns_profile: RateProfile,
+}
+
+impl SharedDeviceRig {
+    /// Index of the KVS tenant in the fleet's app vector.
+    pub const KVS_APP: usize = 0;
+    /// Index of the DNS tenant in the fleet's app vector.
+    pub const DNS_APP: usize = 1;
+
+    /// Rate at which the (linearised) software power fit is anchored.
+    const KVS_FIT_PPS: f64 = 200_000.0;
+    const DNS_FIT_PPS: f64 = 150_000.0;
+
+    /// The canonical contended scenario: two offset diurnal days over
+    /// `period` — the KVS peaks at ~0.29 of the day, the DNS at ~0.63 —
+    /// whose busy windows overlap enough that the hand-over is an
+    /// arbitration decision rather than two disjoint bursts. Shared by
+    /// the e2e test, the example, and the criterion bench so they all
+    /// exercise the same scenario.
+    pub fn contended_profiles(period: Nanos) -> (RateProfile, RateProfile) {
+        (
+            RateProfile::diurnal(
+                2_000.0,
+                120_000.0,
+                period,
+                period.mul_f64(3.0 / 14.0),
+                3,
+                64,
+            ),
+            RateProfile::diurnal(
+                2_000.0,
+                80_000.0,
+                period,
+                period.mul_f64(61.0 / 70.0),
+                3,
+                64,
+            ),
+        )
+    }
+
+    /// Builds the rig: both tenants preloaded and idling in software.
+    pub fn new(
+        seed: u64,
+        keys: u64,
+        names: u64,
+        kvs_profile: RateProfile,
+        dns_profile: RateProfile,
+    ) -> Self {
+        let mut sim = Simulator::new(seed);
+
+        // KVS slice.
+        let mut server = MemcachedServer::new(MemcachedConfig::i7_behind_lake());
+        server.preload((0..keys).map(|i| {
+            let k = key_name(i);
+            let v = expected_value(&k, 64);
+            (k, v)
+        }));
+        let kvs_server = sim.add_node(server);
+        let kvs_device = sim.add_node(LakeDevice::new(LakeCacheConfig::tiny(2_048, 65_536), 5));
+        let kvs_client = sim.add_node(KvsClient::open_loop(
+            Endpoint::host(1, 40_000),
+            Endpoint::host(2, MEMCACHED_PORT),
+            kvs_profile.rate_at(Nanos::ZERO),
+            Box::new(UniformGen {
+                keys,
+                get_ratio: 0.97,
+                value_len: 64,
+            }),
+        ));
+        sim.connect_duplex(
+            kvs_client,
+            PortId::P0,
+            kvs_device,
+            PortId::P0,
+            LinkSpec::ten_gbe(Nanos::from_nanos(500)),
+        );
+        sim.connect_duplex(
+            kvs_device,
+            HOST_DMA_PORT,
+            kvs_server,
+            PortId::P0,
+            LinkSpec::ideal(),
+        );
+
+        // DNS slice.
+        let zone = Zone::synthetic(names);
+        let dns_server = sim.add_node(DnsServer::new(
+            DnsServerConfig::nsd_behind_emu(),
+            zone.clone(),
+        ));
+        let dns_device = sim.add_node(EmuDevice::new(zone));
+        let dns_client = sim.add_node(DnsClient::new(
+            Endpoint::host(3, 41_000),
+            Endpoint::host(4, DNS_PORT),
+            dns_profile.rate_at(Nanos::ZERO),
+            names,
+        ));
+        sim.connect_duplex(
+            dns_client,
+            PortId::P0,
+            dns_device,
+            PortId::P0,
+            LinkSpec::ten_gbe(Nanos::from_nanos(500)),
+        );
+        sim.connect_duplex(
+            dns_device,
+            HOST_DMA_PORT,
+            dns_server,
+            PortId::P0,
+            LinkSpec::ideal(),
+        );
+
+        SharedDeviceRig {
+            sim,
+            kvs_client,
+            kvs_device,
+            kvs_server,
+            dns_client,
+            dns_device,
+            dns_server,
+            kvs_profile,
+            dns_profile,
+        }
+    }
+
+    /// The shared device budget: a Tofino-class pipeline that admits
+    /// either tenant's program alone but not both (13 stages > 12,
+    /// 60 MB SRAM > 48 MB).
+    pub fn shared_budget() -> PipelineBudget {
+        PipelineBudget::tofino_like()
+    }
+
+    /// The LaKe program's capacity claim: SRAM-bound (hash table plus
+    /// value-store tables claim most of the device's stateful memory).
+    pub fn kvs_demand() -> ProgramResources {
+        ProgramResources {
+            stages: 7,
+            sram_bytes: 40 << 20,
+            parse_depth_bytes: 96,
+        }
+    }
+
+    /// The Emu program's capacity claim: stage-bound (name parsing burns
+    /// pipeline stages, the record table is modest).
+    pub fn dns_demand() -> ProgramResources {
+        ProgramResources {
+            stages: 6,
+            sram_bytes: 20 << 20,
+            parse_depth_bytes: 128,
+        }
+    }
+
+    /// The §8 benefit analyses for both tenants, with the *shared-NIC*
+    /// economics: the card is present in both placements (it is the
+    /// host's NIC), so software placement pays the parked card while
+    /// hardware placement pays the unparked card — the idle terms are the
+    /// measured parked/unparked powers of the calibrated device models,
+    /// and the software dynamic term is the host CPU model linearised at
+    /// the fit anchor.
+    pub fn fleet_apps() -> Vec<FleetApp> {
+        // Parked vs unparked powers, measured from the device models
+        // exactly as the simulation will meter them.
+        let lake_cfg = LakeCacheConfig::tiny(8, 32);
+        let lake_parked = LakeDevice::new(lake_cfg, 5).power_w(Nanos::ZERO);
+        let lake_active = LakeDevice::new(lake_cfg, 5)
+            .started_in_hardware()
+            .power_w(Nanos::ZERO);
+        let emu_parked = EmuDevice::new(Zone::synthetic(1)).power_w(Nanos::ZERO);
+        let emu_active = EmuDevice::new(Zone::synthetic(1))
+            .started_in_hardware()
+            .power_w(Nanos::ZERO);
+
+        let mc = MemcachedConfig::i7_behind_lake();
+        let kvs_sw_idle = calib::I7_PLATFORM_IDLE_W + lake_parked;
+        let kvs_dyn_at_fit = mc
+            .cpu
+            .dynamic_w(Self::KVS_FIT_PPS * mc.service_time.as_secs_f64());
+        let kvs_hw_idle = calib::I7_PLATFORM_IDLE_W + lake_active;
+
+        let nsd = DnsServerConfig::nsd_behind_emu();
+        let dns_sw_idle = calib::I7_PLATFORM_IDLE_W + emu_parked;
+        let dns_dyn_at_fit = nsd
+            .cpu
+            .dynamic_w(Self::DNS_FIT_PPS * nsd.service_time.as_secs_f64());
+        let dns_hw_idle = calib::I7_PLATFORM_IDLE_W + emu_active;
+
+        vec![
+            FleetApp {
+                name: "kvs".into(),
+                demand: Self::kvs_demand(),
+                analysis: PlacementAnalysis {
+                    software: EnergyParams {
+                        idle_w: kvs_sw_idle,
+                        sleep_w: 0.0,
+                        active_w: kvs_sw_idle + kvs_dyn_at_fit,
+                        peak_rate_pps: Self::KVS_FIT_PPS,
+                    },
+                    network: EnergyParams {
+                        idle_w: kvs_hw_idle,
+                        sleep_w: 0.0,
+                        active_w: kvs_hw_idle + calib::LAKE_DYNAMIC_MAX_W,
+                        peak_rate_pps: calib::LAKE_LINE_RATE_PPS,
+                    },
+                },
+            },
+            FleetApp {
+                name: "dns".into(),
+                demand: Self::dns_demand(),
+                analysis: PlacementAnalysis {
+                    software: EnergyParams {
+                        idle_w: dns_sw_idle,
+                        sleep_w: 0.0,
+                        active_w: dns_sw_idle + dns_dyn_at_fit,
+                        peak_rate_pps: Self::DNS_FIT_PPS,
+                    },
+                    network: EnergyParams {
+                        idle_w: dns_hw_idle,
+                        sleep_w: 0.0,
+                        active_w: dns_hw_idle + calib::EMU_DNS_DYNAMIC_MAX_W,
+                        peak_rate_pps: calib::EMU_DNS_PEAK_RPS,
+                    },
+                },
+            },
+        ]
+    }
+
+    /// A fleet controller over the shared budget with the standard
+    /// hysteresis settings.
+    pub fn fleet_controller(interval: Nanos) -> FleetController {
+        FleetController::new(
+            FleetControllerConfig::standard(interval),
+            DeviceCapacity::new(Self::shared_budget()),
+            Self::fleet_apps(),
+        )
+    }
+
+    /// A controller pinned to a fixed placement vector (the static
+    /// baselines the on-demand schedule is judged against): an infinite
+    /// sustain window means no condition ever completes.
+    pub fn pinned_controller(interval: Nanos, placements: [Placement; 2]) -> FleetController {
+        let config = FleetControllerConfig {
+            sustain_samples: u32::MAX,
+            ..FleetControllerConfig::standard(interval)
+        };
+        FleetController::new(
+            config,
+            DeviceCapacity::new(Self::shared_budget()),
+            Self::fleet_apps(),
+        )
+        .with_initial_placements(&placements)
+    }
+
+    /// Runs the experiment until `until` under `controller`, driving both
+    /// tenants' diurnal schedules and recording per-app timelines plus
+    /// total metered energy (each tenant's device partition and server).
+    pub fn run(&mut self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
+        // Execute any pre-seeded placements on the simulated hardware.
+        let now = self.sim.now();
+        if controller.placements()[Self::KVS_APP] == Placement::Hardware {
+            self.sim
+                .node_mut::<LakeDevice>(self.kvs_device)
+                .apply_placement(now, Placement::Hardware);
+        }
+        if controller.placements()[Self::DNS_APP] == Placement::Hardware {
+            self.sim
+                .node_mut::<EmuDevice>(self.dns_device)
+                .apply_placement(now, Placement::Hardware);
+        }
+        let interval = controller.config().interval;
+        let (kvs_client, kvs_device, kvs_server) =
+            (self.kvs_client, self.kvs_device, self.kvs_server);
+        let (dns_client, dns_device, dns_server) =
+            (self.dns_client, self.dns_device, self.dns_server);
+        let kvs_profile = self.kvs_profile.clone();
+        let dns_profile = self.dns_profile.clone();
+        run_fleet_controlled(
+            &mut self.sim,
+            controller,
+            until,
+            |sim| {
+                let now = sim.now();
+                // Follow the offered-rate schedules.
+                sim.node_mut::<KvsClient>(kvs_client)
+                    .set_rate(kvs_profile.rate_at(now));
+                sim.node_mut::<DnsClient>(dns_client)
+                    .set_rate(dns_profile.rate_at(now));
+                // The host-measured arrival rate over the elapsed interval
+                // (sampled at its midpoint): completions would understate
+                // offered load whenever the software server saturates —
+                // exactly when offloading matters most.
+                let mid = now - interval.mul_f64(0.5);
+                let kvs_offered = kvs_profile.rate_at(mid);
+                let dns_offered = dns_profile.rate_at(mid);
+                let (kvs_done, kvs_lat) = sim.node_mut::<KvsClient>(kvs_client).take_window();
+                let (dns_done, dns_lat) = sim.node_mut::<DnsClient>(dns_client).take_window();
+                vec![
+                    AppObservation {
+                        sample: FleetSample {
+                            host: HostSample {
+                                rapl_w: sim.node_ref::<MemcachedServer>(kvs_server).power_w(now),
+                                app_cpu_util: sim
+                                    .node_ref::<MemcachedServer>(kvs_server)
+                                    .app_utilization(),
+                                hw_app_rate: sim
+                                    .node_mut::<LakeDevice>(kvs_device)
+                                    .measured_rate(now),
+                            },
+                            offered_pps: kvs_offered,
+                        },
+                        completed: kvs_done,
+                        latency_p50_ns: kvs_lat.quantile(0.5),
+                        latency_p99_ns: kvs_lat.quantile(0.99),
+                        power_w: sim.instant_power(&[kvs_device, kvs_server]),
+                    },
+                    AppObservation {
+                        sample: FleetSample {
+                            host: HostSample {
+                                rapl_w: Node::power_w(sim.node_ref::<DnsServer>(dns_server), now),
+                                app_cpu_util: sim.node_ref::<DnsServer>(dns_server).utilization(),
+                                hw_app_rate: sim
+                                    .node_mut::<EmuDevice>(dns_device)
+                                    .measured_rate(now),
+                            },
+                            offered_pps: dns_offered,
+                        },
+                        completed: dns_done,
+                        latency_p50_ns: dns_lat.quantile(0.5),
+                        latency_p99_ns: dns_lat.quantile(0.99),
+                        power_w: sim.instant_power(&[dns_device, dns_server]),
+                    },
+                ]
+            },
+            |sim, t, app, p| match app {
+                Self::KVS_APP => sim.node_mut::<LakeDevice>(kvs_device).apply_placement(t, p),
+                _ => sim.node_mut::<EmuDevice>(dns_device).apply_placement(t, p),
+            },
+        )
     }
 }

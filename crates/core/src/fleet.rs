@@ -1,0 +1,569 @@
+//! Multi-application on-demand scheduling over one shared device.
+//!
+//! §9 evaluates each application with the programmable device to itself;
+//! at production scale the device is a shared, capacity-bounded resource,
+//! so per-app offload decisions must be *arbitrated*. The
+//! [`FleetController`] extends the single-app [`HostController`] design to
+//! a fleet: every sampling interval it reads one [`FleetSample`] per
+//! application, prices each app's offload benefit with its §8
+//! [`PlacementAnalysis`] at the measured rate, and solves a greedy
+//! benefit-per-capacity-unit knapsack over the device's
+//! [`DeviceCapacity`] ledger.
+//!
+//! The anti-flapping machinery is the [`HostController`]'s, generalised:
+//!
+//! * a *sustain window* — an app must stay profitable for
+//!   [`FleetControllerConfig::sustain_samples`] consecutive samples before
+//!   it may be offloaded ("avoiding harsh decisions based on spikes and
+//!   outliers"), and must stay *un*profitable as long before it is pulled
+//!   back;
+//! * *asymmetric thresholds* — offload starts above
+//!   [`FleetControllerConfig::min_benefit_w`] but eviction only below
+//!   `min_benefit_w * evict_fraction`, leaving a dead band;
+//! * *stickiness* — resident apps compete in the knapsack with their score
+//!   multiplied by [`FleetControllerConfig::stickiness`], so a marginal
+//!   newcomer cannot displace an incumbent of nearly equal value. A
+//!   clearly better newcomer still preempts: arbitration, not tenure.
+//!
+//! Rate feedback follows §9.1: while an app runs in software its offered
+//! rate is measured at the host ([`FleetSample::offered_pps`]); once it is
+//! hardware-resident the controller trusts only the network-measured rate
+//! ([`HostSample::hw_app_rate`]), "otherwise, the shift may be
+//! inefficient, or cause a workload to bounce back and forth".
+//!
+//! [`HostController`]: crate::host::HostController
+
+use inc_hw::{DeviceCapacity, Placement, ProgramResources};
+use inc_sim::Nanos;
+
+use crate::decision::PlacementAnalysis;
+use crate::host::HostSample;
+
+/// One schedulable application sharing the device.
+#[derive(Clone, Debug)]
+pub struct FleetApp {
+    /// Human-readable name (timelines, logs).
+    pub name: String,
+    /// Device resources the app's dataplane program occupies when
+    /// offloaded (its capacity claim).
+    pub demand: ProgramResources,
+    /// The §8 energy analysis used to price the offload benefit at a
+    /// given rate.
+    pub analysis: PlacementAnalysis,
+}
+
+/// Per-application controller inputs for one sampling interval.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetSample {
+    /// The host-side signals (RAPL, CPU share, network rate feedback).
+    /// The current benefit-priced policy consults only
+    /// [`HostSample::hw_app_rate`] (the §9.1 shift-back feedback); the
+    /// RAPL and CPU fields are carried for parity with [`HostController`]
+    /// and for threshold-style policies layered on top.
+    ///
+    /// [`HostController`]: crate::host::HostController
+    pub host: HostSample,
+    /// Offered application rate measured at the host, packets/second.
+    /// Authoritative while the app is software-resident; ignored in favour
+    /// of [`HostSample::hw_app_rate`] once it is offloaded.
+    pub offered_pps: f64,
+}
+
+/// Configuration of the fleet scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetControllerConfig {
+    /// Sampling interval.
+    pub interval: Nanos,
+    /// Consecutive samples a condition must hold before a shift.
+    pub sustain_samples: u32,
+    /// Minimum estimated power saving (watts) for an app to become an
+    /// offload candidate.
+    pub min_benefit_w: f64,
+    /// An offloaded app is evicted only when its benefit falls below
+    /// `min_benefit_w * evict_fraction` (the hysteresis dead band),
+    /// sustained over the window. In `[0, 1]`.
+    pub evict_fraction: f64,
+    /// Score multiplier for resident apps in the knapsack ordering
+    /// (≥ 1.0). A newcomer must beat an incumbent by this factor to
+    /// preempt it.
+    pub stickiness: f64,
+}
+
+impl FleetControllerConfig {
+    /// A reasonable default: 3-sample sustain (the Figure 6 choice), a
+    /// 1 W offload floor, a 2× dead band, and 25 % incumbency advantage.
+    pub fn standard(interval: Nanos) -> Self {
+        FleetControllerConfig {
+            interval,
+            sustain_samples: 3,
+            min_benefit_w: 1.0,
+            evict_fraction: 0.5,
+            stickiness: 1.25,
+        }
+    }
+}
+
+/// A record of one fleet placement decision.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetShift {
+    /// When the decision fired.
+    pub at: Nanos,
+    /// Index of the app that moved.
+    pub app: usize,
+    /// The new placement.
+    pub to: Placement,
+    /// The rate estimate that priced the decision, packets/second.
+    pub rate_pps: f64,
+    /// The estimated benefit at that rate, watts.
+    pub benefit_w: f64,
+}
+
+/// The multi-application on-demand scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use inc_hw::{DeviceCapacity, Placement, PipelineBudget, ProgramResources};
+/// use inc_ondemand::{
+///     dns_analysis, kvs_analysis, FleetApp, FleetController, FleetControllerConfig,
+/// };
+/// use inc_sim::Nanos;
+///
+/// let capacity = DeviceCapacity::new(PipelineBudget::tofino_like());
+/// let apps = vec![
+///     FleetApp {
+///         name: "kvs".into(),
+///         demand: ProgramResources { stages: 7, sram_bytes: 40 << 20, parse_depth_bytes: 96 },
+///         analysis: kvs_analysis(),
+///     },
+///     FleetApp {
+///         name: "dns".into(),
+///         demand: ProgramResources { stages: 6, sram_bytes: 20 << 20, parse_depth_bytes: 128 },
+///         analysis: dns_analysis(),
+///     },
+/// ];
+/// let ctl = FleetController::new(
+///     FleetControllerConfig::standard(Nanos::from_secs(1)),
+///     capacity,
+///     apps,
+/// );
+/// assert_eq!(ctl.placements(), &[Placement::Software, Placement::Software]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FleetController {
+    config: FleetControllerConfig,
+    capacity: DeviceCapacity,
+    apps: Vec<FleetApp>,
+    placements: Vec<Placement>,
+    up_streaks: Vec<u32>,
+    down_streaks: Vec<u32>,
+    shifts: Vec<FleetShift>,
+}
+
+impl FleetController {
+    /// Creates a scheduler with every app starting in software placement.
+    pub fn new(
+        config: FleetControllerConfig,
+        capacity: DeviceCapacity,
+        apps: Vec<FleetApp>,
+    ) -> Self {
+        let n = apps.len();
+        FleetController {
+            config,
+            capacity,
+            apps,
+            placements: vec![Placement::Software; n],
+            up_streaks: vec![0; n],
+            down_streaks: vec![0; n],
+            shifts: Vec::new(),
+        }
+    }
+
+    /// Adopts pre-existing placements (e.g. a static deployment the
+    /// controller takes over, or a pinned configuration when
+    /// `sustain_samples` is `u32::MAX`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hardware-resident subset does not fit the device
+    /// (`placements` must be feasible) or its length differs from the
+    /// number of apps.
+    pub fn with_initial_placements(mut self, placements: &[Placement]) -> Self {
+        assert_eq!(placements.len(), self.apps.len());
+        self.capacity.clear();
+        for (i, &p) in placements.iter().enumerate() {
+            if p == Placement::Hardware {
+                self.capacity
+                    .admit(i as u64, self.apps[i].demand)
+                    .expect("initial placements must fit the device");
+            }
+        }
+        self.placements = placements.to_vec();
+        self
+    }
+
+    /// Current per-app placements, indexed like the `apps` vector.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The scheduled applications.
+    pub fn apps(&self) -> &[FleetApp] {
+        &self.apps
+    }
+
+    /// The capacity ledger (reflecting the current placements).
+    pub fn capacity(&self) -> &DeviceCapacity {
+        &self.capacity
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetControllerConfig {
+        &self.config
+    }
+
+    /// The decision log.
+    pub fn shifts(&self) -> &[FleetShift] {
+        &self.shifts
+    }
+
+    /// Estimated power saved by offloading `app` at `rate_pps` (§8 dynamic
+    /// terms): software watts minus network watts. Negative when software
+    /// is cheaper.
+    pub fn benefit_w(&self, app: usize, rate_pps: f64) -> f64 {
+        let (sw, hw) = self.apps[app].analysis.energy_per_second(rate_pps);
+        sw - hw
+    }
+
+    /// Benefit per capacity unit: the knapsack ranking key used by
+    /// [`FleetController::sample`]. The cost is floored so a degenerate
+    /// zero-demand app yields an (enormous) finite score rather than a
+    /// NaN from 0/0.
+    pub fn score(&self, app: usize, rate_pps: f64) -> f64 {
+        let cost = self
+            .capacity
+            .cost_units(&self.apps[app].demand)
+            .max(f64::MIN_POSITIVE);
+        self.benefit_w(app, rate_pps) / cost
+    }
+
+    /// The rate estimate the controller trusts for `app` given its current
+    /// placement (§9.1 feedback rule).
+    fn trusted_rate(&self, app: usize, s: &FleetSample) -> f64 {
+        match self.placements[app] {
+            Placement::Hardware => s.host.hw_app_rate,
+            Placement::Software => s.offered_pps,
+        }
+    }
+
+    /// Feeds one sample per app; returns the placement changes to execute
+    /// (empty most intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len()` differs from the number of apps.
+    pub fn sample(&mut self, now: Nanos, samples: &[FleetSample]) -> Vec<(usize, Placement)> {
+        assert_eq!(samples.len(), self.apps.len(), "one sample per app");
+        let n = self.apps.len();
+        let rates: Vec<f64> = (0..n).map(|i| self.trusted_rate(i, &samples[i])).collect();
+        let benefits: Vec<f64> = (0..n).map(|i| self.benefit_w(i, rates[i])).collect();
+
+        // Streak accounting (the HostController sustain rule, per app).
+        for (i, &benefit) in benefits.iter().enumerate() {
+            match self.placements[i] {
+                Placement::Software => {
+                    self.down_streaks[i] = 0;
+                    if benefit >= self.config.min_benefit_w {
+                        self.up_streaks[i] = self.up_streaks[i].saturating_add(1);
+                    } else {
+                        self.up_streaks[i] = 0;
+                    }
+                }
+                Placement::Hardware => {
+                    self.up_streaks[i] = 0;
+                    if benefit < self.config.min_benefit_w * self.config.evict_fraction {
+                        self.down_streaks[i] = self.down_streaks[i].saturating_add(1);
+                    } else {
+                        self.down_streaks[i] = 0;
+                    }
+                }
+            }
+        }
+
+        // Candidate set: residents keep competing until their eviction
+        // condition sustains (even through transient dips — that is the
+        // hysteresis); newcomers join only after their benefit sustains.
+        let mut candidates: Vec<(f64, usize)> = Vec::new();
+        for (i, &rate) in rates.iter().enumerate() {
+            let raw = self.score(i, rate);
+            match self.placements[i] {
+                Placement::Hardware => {
+                    if self.down_streaks[i] < self.config.sustain_samples {
+                        candidates.push((raw * self.config.stickiness, i));
+                    }
+                }
+                Placement::Software => {
+                    if self.up_streaks[i] >= self.config.sustain_samples {
+                        candidates.push((raw, i));
+                    }
+                }
+            }
+        }
+        // Greedy knapsack: best benefit-per-capacity-unit first. Ties
+        // break on the lower index for determinism.
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut chosen = DeviceCapacity::new(self.capacity.budget());
+        let mut selected = vec![false; n];
+        for &(_, i) in &candidates {
+            if chosen.admit(i as u64, self.apps[i].demand).is_ok() {
+                selected[i] = true;
+            }
+        }
+
+        // Execute the diff between the chosen set and the current one.
+        let mut decisions = Vec::new();
+        for i in 0..n {
+            let want = if selected[i] {
+                Placement::Hardware
+            } else {
+                Placement::Software
+            };
+            if want != self.placements[i] {
+                self.placements[i] = want;
+                self.up_streaks[i] = 0;
+                self.down_streaks[i] = 0;
+                self.shifts.push(FleetShift {
+                    at: now,
+                    app: i,
+                    to: want,
+                    rate_pps: rates[i],
+                    benefit_w: benefits[i],
+                });
+                decisions.push((i, want));
+            }
+        }
+        self.capacity = chosen;
+        decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inc_hw::PipelineBudget;
+    use inc_power::EnergyParams;
+
+    /// A synthetic analysis with software dynamic slope `slope_w_per_pps`
+    /// and a flat hardware curve: benefit(r) ≈ slope * r - unpark_w.
+    fn analysis(slope_w_per_kpps: f64, unpark_w: f64) -> PlacementAnalysis {
+        PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_w_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 50.0 + unpark_w,
+                sleep_w: 0.0,
+                active_w: 50.0 + unpark_w + 0.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        }
+    }
+
+    fn app(name: &str, stages: u32, slope: f64, unpark: f64) -> FleetApp {
+        FleetApp {
+            name: name.into(),
+            demand: ProgramResources {
+                stages,
+                sram_bytes: 1 << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(slope, unpark),
+        }
+    }
+
+    /// Budget with 12 stages: a 7-stage and a 6-stage app cannot co-reside.
+    fn contended() -> DeviceCapacity {
+        DeviceCapacity::new(PipelineBudget::tofino_like())
+    }
+
+    fn sample(offered: f64, hw_rate: f64) -> FleetSample {
+        FleetSample {
+            host: HostSample {
+                rapl_w: 50.0,
+                app_cpu_util: 0.5,
+                hw_app_rate: hw_rate,
+            },
+            offered_pps: offered,
+        }
+    }
+
+    fn t(s: u64) -> Nanos {
+        Nanos::from_secs(s)
+    }
+
+    fn cfg() -> FleetControllerConfig {
+        FleetControllerConfig::standard(Nanos::from_secs(1))
+    }
+
+    #[test]
+    fn offloads_higher_score_app_when_only_one_fits() {
+        // Both apps profitable and sustained; app 1 has double the
+        // benefit per stage.
+        let apps = vec![
+            app("a", 7, 0.08, 2.0), // at 100 kpps: 6 W over 7 stages
+            app("b", 6, 0.14, 2.0), // at 100 kpps: 12 W over 6 stages
+        ];
+        let mut ctl = FleetController::new(cfg(), contended(), apps);
+        // hw_app_rate mirrors the offered rate so the network feedback
+        // agrees with the host measurement once an app is resident.
+        let s = [sample(100_000.0, 100_000.0), sample(100_000.0, 100_000.0)];
+        for step in 1..=2 {
+            assert!(ctl.sample(t(step), &s).is_empty(), "sustain not yet met");
+        }
+        let d = ctl.sample(t(3), &s);
+        assert_eq!(d, vec![(1, Placement::Hardware)]);
+        // App 0 stays software: it no longer fits (7 + 6 > 12 stages).
+        assert_eq!(
+            ctl.placements(),
+            &[Placement::Software, Placement::Hardware]
+        );
+        // And it stays that way while both loads hold (no flapping).
+        for step in 4..=20 {
+            assert!(ctl.sample(t(step), &s).is_empty());
+        }
+        assert_eq!(ctl.shifts().len(), 1);
+    }
+
+    #[test]
+    fn eviction_frees_capacity_for_the_waiting_app() {
+        let apps = vec![app("a", 7, 0.08, 2.0), app("b", 6, 0.14, 2.0)];
+        let mut ctl = FleetController::new(cfg(), contended(), apps);
+        let both_hot = [sample(100_000.0, 100_000.0), sample(100_000.0, 100_000.0)];
+        for step in 1..=3 {
+            ctl.sample(t(step), &both_hot);
+        }
+        assert_eq!(
+            ctl.placements(),
+            &[Placement::Software, Placement::Hardware]
+        );
+        // App b's demand dies; the network-side rate feedback reports the
+        // collapse (offered is ignored for the resident app).
+        let b_idle = [sample(100_000.0, 100_000.0), sample(100_000.0, 1_000.0)];
+        let mut decisions = Vec::new();
+        for step in 4..=10 {
+            decisions.extend(ctl.sample(t(step), &b_idle));
+            if !decisions.is_empty() {
+                break;
+            }
+        }
+        // One interval: b evicted after the sustain window AND a admitted
+        // in its place.
+        assert_eq!(
+            ctl.placements(),
+            &[Placement::Hardware, Placement::Software]
+        );
+        assert!(decisions.contains(&(1, Placement::Software)));
+        assert!(decisions.contains(&(0, Placement::Hardware)));
+    }
+
+    #[test]
+    fn transient_dip_does_not_evict() {
+        let apps = vec![app("a", 7, 0.08, 2.0)];
+        let mut ctl = FleetController::new(cfg(), contended(), apps);
+        let hot = [sample(100_000.0, 100_000.0)];
+        for step in 1..=3 {
+            ctl.sample(t(step), &hot);
+        }
+        assert_eq!(ctl.placements(), &[Placement::Hardware]);
+        // Two idle samples (below sustain), then hot again: no eviction.
+        let idle = [sample(0.0, 0.0)];
+        assert!(ctl.sample(t(4), &idle).is_empty());
+        assert!(ctl.sample(t(5), &idle).is_empty());
+        assert!(ctl.sample(t(6), &hot).is_empty());
+        assert!(ctl.sample(t(7), &idle).is_empty());
+        assert!(ctl.sample(t(8), &idle).is_empty());
+        assert_eq!(ctl.placements(), &[Placement::Hardware]);
+        // A third consecutive idle sample completes the window.
+        let d = ctl.sample(t(9), &idle);
+        assert_eq!(d, vec![(0, Placement::Software)]);
+    }
+
+    #[test]
+    fn marginal_newcomer_does_not_preempt_but_clear_winner_does() {
+        let apps = vec![
+            app("incumbent", 7, 0.10, 2.0),
+            app("rival", 7, 0.10, 2.0), // same program, same economics
+        ];
+        let mut ctl = FleetController::new(cfg(), contended(), apps);
+        let warm = [sample(100_000.0, 100_000.0), sample(0.0, 0.0)];
+        for step in 1..=3 {
+            ctl.sample(t(step), &warm);
+        }
+        assert_eq!(ctl.placements()[0], Placement::Hardware);
+        // The rival reaches a slightly higher rate — within the 25 %
+        // stickiness band, so the incumbent holds.
+        let marginal = [sample(100_000.0, 100_000.0), sample(110_000.0, 0.0)];
+        for step in 4..=12 {
+            assert!(ctl.sample(t(step), &marginal).is_empty());
+        }
+        // The rival's load becomes decisively higher: preemption.
+        let decisive = [sample(100_000.0, 100_000.0), sample(400_000.0, 0.0)];
+        let mut moved = Vec::new();
+        for step in 13..=20 {
+            moved.extend(ctl.sample(t(step), &decisive));
+            if !moved.is_empty() {
+                break;
+            }
+        }
+        assert!(moved.contains(&(0, Placement::Software)));
+        assert!(moved.contains(&(1, Placement::Hardware)));
+    }
+
+    #[test]
+    fn unprofitable_apps_never_offload() {
+        // Benefit never reaches the floor: slope gives 0.8 W at the
+        // offered rate against a 2 W unpark cost.
+        let apps = vec![app("cold", 4, 0.008, 2.0)];
+        let mut ctl = FleetController::new(cfg(), contended(), apps);
+        let s = [sample(100_000.0, 0.0)];
+        for step in 1..=50 {
+            assert!(ctl.sample(t(step), &s).is_empty());
+        }
+        assert_eq!(ctl.placements(), &[Placement::Software]);
+    }
+
+    #[test]
+    fn pinned_configuration_never_moves() {
+        let apps = vec![app("a", 7, 0.10, 2.0), app("b", 6, 0.14, 2.0)];
+        let pinned = FleetControllerConfig {
+            sustain_samples: u32::MAX,
+            ..cfg()
+        };
+        let mut ctl = FleetController::new(pinned, contended(), apps)
+            .with_initial_placements(&[Placement::Hardware, Placement::Software]);
+        assert!(ctl.capacity().is_resident(0));
+        for step in 1..=30 {
+            // Wildly varying load in both directions.
+            let r = if step % 2 == 0 { 500_000.0 } else { 0.0 };
+            assert!(ctl
+                .sample(t(step), &[sample(r, r), sample(r, r)])
+                .is_empty());
+        }
+        assert_eq!(
+            ctl.placements(),
+            &[Placement::Hardware, Placement::Software]
+        );
+        assert!(ctl.shifts().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn infeasible_initial_placements_rejected() {
+        let apps = vec![app("a", 7, 0.1, 2.0), app("b", 6, 0.1, 2.0)];
+        let _ = FleetController::new(cfg(), contended(), apps)
+            .with_initial_placements(&[Placement::Hardware, Placement::Hardware]);
+    }
+}

@@ -16,6 +16,9 @@
 //!   classifier, exactly as in the paper.)
 //! * [`run_host_controlled`] / [`Timeline`] — the experiment harness that
 //!   plays the controller daemon against a simulation (Figures 6 and 7).
+//! * [`FleetController`] / [`run_fleet_controlled`] — the multi-application
+//!   scheduler arbitrating one shared, capacity-bounded device via a
+//!   greedy benefit-per-capacity knapsack.
 //! * [`PlacementAnalysis`] — the §8 energy-model questions and tipping
 //!   point.
 //! * [`OnDemandEnvelope`] — the Figure 5 composite power curve.
@@ -37,15 +40,20 @@
 pub mod apps;
 pub mod decision;
 pub mod envelope;
+pub mod fleet;
 pub mod host;
 pub mod system;
 pub mod tor;
 
 pub use apps::Deployment;
-pub use decision::{kvs_analysis, PlacementAnalysis};
+pub use decision::{dns_analysis, kvs_analysis, PlacementAnalysis};
 pub use envelope::{EnvelopePoint, OnDemandEnvelope};
+pub use fleet::{FleetApp, FleetController, FleetControllerConfig, FleetSample, FleetShift};
 pub use host::{HostController, HostControllerConfig, HostSample, Shift};
-pub use system::{run_host_controlled, IntervalObservation, Timeline, TimelineRow};
+pub use system::{
+    run_fleet_controlled, run_host_controlled, AppObservation, FleetTimeline, IntervalObservation,
+    Timeline, TimelineRow,
+};
 pub use tor::TorRack;
 
 // Re-export the pieces of the on-demand interface that live lower in the

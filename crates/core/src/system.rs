@@ -11,13 +11,18 @@
 use inc_hw::Placement;
 use inc_sim::{Nanos, Payload, Simulator};
 
+use crate::fleet::{FleetController, FleetSample};
 use crate::host::{HostController, HostSample};
 
 /// One timeline row (the Figure 6/7 plot data).
 #[derive(Clone, Copy, Debug)]
 pub struct TimelineRow {
-    /// Sample time.
+    /// Sample time (end of the interval).
     pub t: Nanos,
+    /// Length of the sampling interval ending at `t`.
+    pub interval: Nanos,
+    /// Responses completed in the interval.
+    pub completed: u64,
     /// Application throughput over the interval, packets/second.
     pub throughput_pps: f64,
     /// Median request latency over the interval, nanoseconds (0 if no
@@ -41,46 +46,68 @@ pub struct Timeline {
 }
 
 impl Timeline {
-    /// Mean power over rows in `[from, to)`.
-    pub fn mean_power_w(&self, from: Nanos, to: Nanos) -> f64 {
-        let rows: Vec<_> = self
-            .rows
-            .iter()
-            .filter(|r| r.t >= from && r.t < to)
-            .collect();
-        if rows.is_empty() {
-            return 0.0;
-        }
-        rows.iter().map(|r| r.power_w).sum::<f64>() / rows.len() as f64
+    fn window(&self, from: Nanos, to: Nanos) -> impl Iterator<Item = &TimelineRow> {
+        self.rows.iter().filter(move |r| r.t >= from && r.t < to)
     }
 
-    /// Mean throughput over rows in `[from, to)`.
-    pub fn mean_throughput_pps(&self, from: Nanos, to: Nanos) -> f64 {
-        let rows: Vec<_> = self
-            .rows
-            .iter()
-            .filter(|r| r.t >= from && r.t < to)
-            .collect();
-        if rows.is_empty() {
-            return 0.0;
+    /// Duration-weighted mean power over rows in `[from, to)`, or `None`
+    /// if the window holds no rows (indistinguishable sentinels like a
+    /// literal `0.0` reading are not used).
+    pub fn mean_power_w(&self, from: Nanos, to: Nanos) -> Option<f64> {
+        let (mut joules, mut secs) = (0.0, 0.0);
+        for r in self.window(from, to) {
+            let dt = r.interval.as_secs_f64();
+            joules += r.power_w * dt;
+            secs += dt;
         }
-        rows.iter().map(|r| r.throughput_pps).sum::<f64>() / rows.len() as f64
+        (secs > 0.0).then(|| joules / secs)
+    }
+
+    /// Mean throughput over rows in `[from, to)` — total completed
+    /// requests divided by total sampled time, so rows are weighted by
+    /// their interval length rather than averaged per-row (an unweighted
+    /// mean over-counts short or idle intervals when intervals differ).
+    /// `None` if the window holds no rows.
+    pub fn mean_throughput_pps(&self, from: Nanos, to: Nanos) -> Option<f64> {
+        let (mut completed, mut secs) = (0u64, 0.0);
+        for r in self.window(from, to) {
+            completed += r.completed;
+            secs += r.interval.as_secs_f64();
+        }
+        (secs > 0.0).then(|| completed as f64 / secs)
     }
 
     /// Median of the per-row median latencies in `[from, to)`, ignoring
-    /// empty rows.
-    pub fn median_latency_ns(&self, from: Nanos, to: Nanos) -> u64 {
+    /// rows in which no request completed (their `latency_p50_ns` is 0).
+    /// `None` when every row in the window is empty. For an even number
+    /// of contributing rows this is the mean of the two middle elements,
+    /// rounded to the nearest nanosecond.
+    pub fn median_latency_ns(&self, from: Nanos, to: Nanos) -> Option<u64> {
         let mut l: Vec<u64> = self
-            .rows
-            .iter()
-            .filter(|r| r.t >= from && r.t < to && r.latency_p50_ns > 0)
+            .window(from, to)
+            .filter(|r| r.latency_p50_ns > 0)
             .map(|r| r.latency_p50_ns)
             .collect();
         if l.is_empty() {
-            return 0;
+            return None;
         }
         l.sort_unstable();
-        l[l.len() / 2]
+        let mid = l.len() / 2;
+        Some(if l.len() % 2 == 1 {
+            l[mid]
+        } else {
+            // Round half up: (a + b + 1) / 2 without overflow.
+            let (a, b) = (l[mid - 1], l[mid]);
+            a / 2 + b / 2 + (a % 2 + b % 2).div_ceil(2)
+        })
+    }
+
+    /// Total metered energy across all rows, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.power_w * r.interval.as_secs_f64())
+            .sum()
     }
 }
 
@@ -124,12 +151,105 @@ pub fn run_host_controlled<M: Payload>(
         }
         timeline.rows.push(TimelineRow {
             t,
+            interval,
+            completed: obs.completed,
             throughput_pps: obs.completed as f64 / interval.as_secs_f64(),
             latency_p50_ns: obs.latency_p50_ns,
             latency_p99_ns: obs.latency_p99_ns,
             power_w: obs.power_w,
             placement: controller.placement(),
         });
+    }
+    timeline
+}
+
+/// Everything the multi-app harness needs to observe per app per
+/// interval: the fleet controller inputs plus the plot data.
+#[derive(Clone, Copy, Debug)]
+pub struct AppObservation {
+    /// The controller inputs for this app.
+    pub sample: FleetSample,
+    /// Responses completed in the interval.
+    pub completed: u64,
+    /// Median latency over the interval, nanoseconds.
+    pub latency_p50_ns: u64,
+    /// p99 latency over the interval, nanoseconds.
+    pub latency_p99_ns: u64,
+    /// Metered power of this app's slice of the system (its server plus
+    /// its share of the device), watts.
+    pub power_w: f64,
+}
+
+/// The recorded outcome of a fleet run.
+#[derive(Clone, Debug, Default)]
+pub struct FleetTimeline {
+    /// One timeline per app, indexed like the controller's app vector.
+    pub per_app: Vec<Timeline>,
+    /// Every placement change, in decision order: (time, app, placement).
+    pub shifts: Vec<(Nanos, usize, Placement)>,
+    /// Total metered energy over the run (all apps' slices), joules.
+    pub energy_j: f64,
+}
+
+impl FleetTimeline {
+    /// Shifts executed for one app (the app's own timeline records them;
+    /// the global [`FleetTimeline::shifts`] keeps the cross-app decision
+    /// order).
+    pub fn shifts_for(&self, app: usize) -> &[(Nanos, Placement)] {
+        &self.per_app[app].shifts
+    }
+}
+
+/// Runs a fleet-controlled multi-application experiment until `until`.
+///
+/// The multi-app generalisation of [`run_host_controlled`]: the simulator
+/// steps one sampling interval at a time; `probe` returns one
+/// [`AppObservation`] per app (same order as the controller's app
+/// vector); the controller re-solves its placement knapsack; `apply`
+/// executes each placement change on the simulated hardware. Records one
+/// [`Timeline`] per app plus the fleet-level energy total.
+///
+/// The run advances in whole sampling intervals, so when `until` is not
+/// an interval multiple the final interval extends past it; read the
+/// covered span off the recorded rows (last row `t`), not `until`.
+pub fn run_fleet_controlled<M: Payload>(
+    sim: &mut Simulator<M>,
+    controller: &mut FleetController,
+    until: Nanos,
+    mut probe: impl FnMut(&mut Simulator<M>) -> Vec<AppObservation>,
+    mut apply: impl FnMut(&mut Simulator<M>, Nanos, usize, Placement),
+) -> FleetTimeline {
+    let interval = controller.config().interval;
+    let n = controller.apps().len();
+    let mut timeline = FleetTimeline {
+        per_app: vec![Timeline::default(); n],
+        ..FleetTimeline::default()
+    };
+    let mut t = sim.now();
+    while t < until {
+        t += interval;
+        sim.run_until(t);
+        let obs = probe(sim);
+        assert_eq!(obs.len(), n, "probe must observe every app");
+        let samples: Vec<FleetSample> = obs.iter().map(|o| o.sample).collect();
+        for (app, placement) in controller.sample(t, &samples) {
+            apply(sim, t, app, placement);
+            timeline.shifts.push((t, app, placement));
+            timeline.per_app[app].shifts.push((t, placement));
+        }
+        for (app, o) in obs.iter().enumerate() {
+            timeline.per_app[app].rows.push(TimelineRow {
+                t,
+                interval,
+                completed: o.completed,
+                throughput_pps: o.completed as f64 / interval.as_secs_f64(),
+                latency_p50_ns: o.latency_p50_ns,
+                latency_p99_ns: o.latency_p99_ns,
+                power_w: o.power_w,
+                placement: controller.placements()[app],
+            });
+            timeline.energy_j += o.power_w * interval.as_secs_f64();
+        }
     }
     timeline
 }
@@ -196,8 +316,224 @@ mod tests {
         // Latency on the timeline drops ~10x across the shift.
         let before = timeline.median_latency_ns(Nanos::from_secs(1), Nanos::from_secs(2));
         let after = timeline.median_latency_ns(Nanos::from_secs(3), Nanos::from_secs(5));
-        assert_eq!(before, 13_500);
-        assert_eq!(after, 1_400);
+        assert_eq!(before, Some(13_500));
+        assert_eq!(after, Some(1_400));
         assert_eq!(timeline.rows.len(), 80);
+    }
+
+    /// Two synthetic apps contending for a one-slot device, closed-form
+    /// (no network machinery): app 1 is busy in [1 s, 4 s), app 0 in
+    /// [3 s, 7 s). The fleet offloads whichever is profitable and
+    /// arbitrates the overlap in favour of app 1 (better economics).
+    #[test]
+    fn fleet_loop_arbitrates_and_records() {
+        use crate::decision::PlacementAnalysis;
+        use crate::fleet::{FleetApp, FleetControllerConfig};
+        use inc_hw::{DeviceCapacity, PipelineBudget, ProgramResources};
+        use inc_power::EnergyParams;
+
+        let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 40.0,
+                sleep_w: 0.0,
+                active_w: 40.0 + slope_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 42.0,
+                sleep_w: 0.0,
+                active_w: 42.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        };
+        let demand = |stages: u32| ProgramResources {
+            stages,
+            sram_bytes: 1 << 20,
+            parse_depth_bytes: 64,
+        };
+        let apps = vec![
+            FleetApp {
+                name: "slow-burner".into(),
+                demand: demand(7),
+                analysis: analysis(0.08),
+            },
+            FleetApp {
+                name: "hot-shot".into(),
+                demand: demand(6),
+                analysis: analysis(0.16),
+            },
+        ];
+        let mut ctl = crate::fleet::FleetController::new(
+            FleetControllerConfig::standard(Nanos::from_millis(100)),
+            DeviceCapacity::new(PipelineBudget::tofino_like()),
+            apps,
+        );
+        let mut sim: Simulator<()> = Simulator::new(0);
+        let placements = std::cell::RefCell::new(vec![Placement::Software; 2]);
+        let offered = |app: usize, t: Nanos| -> f64 {
+            let s = t.as_secs_f64();
+            let busy = match app {
+                0 => (3.0..7.0).contains(&s),
+                _ => (1.0..4.0).contains(&s),
+            };
+            if busy {
+                100_000.0
+            } else {
+                1_000.0
+            }
+        };
+        let timeline = run_fleet_controlled(
+            &mut sim,
+            &mut ctl,
+            Nanos::from_secs(9),
+            |sim| {
+                let now = sim.now();
+                (0..2)
+                    .map(|app| {
+                        let rate = offered(app, now);
+                        let hw = placements.borrow()[app] == Placement::Hardware;
+                        AppObservation {
+                            sample: FleetSample {
+                                host: HostSample {
+                                    rapl_w: 40.0,
+                                    app_cpu_util: if hw { 0.0 } else { rate / 1e6 },
+                                    hw_app_rate: if hw { rate } else { 0.0 },
+                                },
+                                offered_pps: if hw { 0.0 } else { rate },
+                            },
+                            completed: (rate / 10.0) as u64,
+                            latency_p50_ns: if hw { 1_500 } else { 12_000 },
+                            latency_p99_ns: if hw { 2_000 } else { 19_000 },
+                            power_w: 40.0 + if hw { 2.0 } else { rate * 8e-5 },
+                        }
+                    })
+                    .collect()
+            },
+            |_sim, _t, app, p| placements.borrow_mut()[app] = p,
+        );
+
+        // App 1 offloads first (its burst starts first AND it scores
+        // higher); app 0 must wait for app 1's eviction, then offloads;
+        // both end in software.
+        let s1 = timeline.shifts_for(1);
+        assert_eq!(s1.len(), 2, "app 1 round-trips: {s1:?}");
+        assert_eq!(s1[0].1, Placement::Hardware);
+        assert!(s1[0].0 < Nanos::from_secs(2));
+        let s0 = timeline.shifts_for(0);
+        assert_eq!(s0.len(), 2, "app 0 round-trips: {s0:?}");
+        assert_eq!(s0[0].1, Placement::Hardware);
+        // App 0 could only enter after app 1 left (one slot).
+        assert!(s0[0].0 >= s1[1].0, "{s0:?} vs {s1:?}");
+        // The capacity bound held at every row.
+        for (r0, r1) in timeline.per_app[0]
+            .rows
+            .iter()
+            .zip(&timeline.per_app[1].rows)
+        {
+            assert!(
+                !(r0.placement == Placement::Hardware && r1.placement == Placement::Hardware),
+                "both hardware-resident at {}",
+                r0.t
+            );
+        }
+        // Energy bookkeeping matches the per-app timelines.
+        let summed: f64 = timeline.per_app.iter().map(Timeline::energy_j).sum();
+        assert!((timeline.energy_j - summed).abs() < 1e-6);
+        assert_eq!(timeline.per_app[0].rows.len(), 90);
+    }
+
+    fn row(t_ms: u64, interval_ms: u64, completed: u64, p50: u64, power: f64) -> TimelineRow {
+        let interval = Nanos::from_millis(interval_ms);
+        TimelineRow {
+            t: Nanos::from_millis(t_ms),
+            interval,
+            completed,
+            throughput_pps: completed as f64 / interval.as_secs_f64(),
+            latency_p50_ns: p50,
+            latency_p99_ns: p50 * 2,
+            power_w: power,
+            placement: Placement::Software,
+        }
+    }
+
+    #[test]
+    fn median_latency_even_window_uses_both_middle_rows() {
+        // Regression: the old implementation returned l[len/2] — the
+        // *upper* of the two middle elements on even-length windows.
+        let timeline = Timeline {
+            rows: vec![
+                row(100, 100, 10, 1_000, 50.0),
+                row(200, 100, 10, 2_000, 50.0),
+                row(300, 100, 10, 4_000, 50.0),
+                row(400, 100, 10, 9_000, 50.0),
+            ],
+            shifts: Vec::new(),
+        };
+        // Four rows: median = (2000 + 4000) / 2, not 4000.
+        assert_eq!(
+            timeline.median_latency_ns(Nanos::ZERO, Nanos::from_secs(1)),
+            Some(3_000)
+        );
+        // Odd sub-window still returns the middle element.
+        assert_eq!(
+            timeline.median_latency_ns(Nanos::ZERO, Nanos::from_millis(350)),
+            Some(2_000)
+        );
+        // Rounding: (1000 + 2001 + 1) / 2 = 1501 (half away from zero).
+        let t2 = Timeline {
+            rows: vec![row(100, 100, 1, 1_000, 0.0), row(200, 100, 1, 2_001, 0.0)],
+            shifts: Vec::new(),
+        };
+        assert_eq!(
+            t2.median_latency_ns(Nanos::ZERO, Nanos::from_secs(1)),
+            Some(1_501)
+        );
+    }
+
+    #[test]
+    fn mean_throughput_weights_by_interval() {
+        // Regression: a short busy interval must not count as much as a
+        // long idle one. 100 ms at 10 kpps + 900 ms at 0 pps = 1 kpps.
+        let timeline = Timeline {
+            rows: vec![row(100, 100, 1_000, 500, 40.0), row(1000, 900, 0, 0, 40.0)],
+            shifts: Vec::new(),
+        };
+        let mean = timeline
+            .mean_throughput_pps(Nanos::ZERO, Nanos::from_secs(2))
+            .unwrap();
+        // The old unweighted mean of per-row rates said 5 kpps.
+        assert!((mean - 1_000.0).abs() < 1e-6, "mean {mean}");
+        // Power is duration-weighted the same way.
+        let timeline = Timeline {
+            rows: vec![row(100, 100, 0, 0, 100.0), row(1000, 900, 0, 0, 50.0)],
+            shifts: Vec::new(),
+        };
+        let p = timeline
+            .mean_power_w(Nanos::ZERO, Nanos::from_secs(2))
+            .unwrap();
+        assert!((p - 55.0).abs() < 1e-9, "power {p}");
+        assert!((timeline.energy_j() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_windows_are_none_not_zero() {
+        let timeline = Timeline {
+            rows: vec![row(100, 100, 0, 0, 40.0)],
+            shifts: Vec::new(),
+        };
+        let nowhere = (Nanos::from_secs(5), Nanos::from_secs(6));
+        assert_eq!(timeline.mean_power_w(nowhere.0, nowhere.1), None);
+        assert_eq!(timeline.mean_throughput_pps(nowhere.0, nowhere.1), None);
+        assert_eq!(timeline.median_latency_ns(nowhere.0, nowhere.1), None);
+        // A window with rows but no completed requests has a throughput
+        // (zero) but no median latency.
+        assert_eq!(
+            timeline.mean_throughput_pps(Nanos::ZERO, Nanos::from_secs(1)),
+            Some(0.0)
+        );
+        assert_eq!(
+            timeline.median_latency_ns(Nanos::ZERO, Nanos::from_secs(1)),
+            None
+        );
     }
 }

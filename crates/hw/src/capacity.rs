@@ -1,0 +1,269 @@
+//! Multi-application capacity accounting for one programmable device.
+//!
+//! §10 observes that programmable targets "have limited resources (per
+//! Gbps) and a vendor-provided target architecture, that may not fit all
+//! applications" — which becomes acute the moment the device is a *shared*
+//! resource arbitrated between tenants rather than dedicated to a single
+//! workload. [`DeviceCapacity`] extends the single-program
+//! [`PipelineBudget`] admission check to a ledger of concurrent
+//! allocations: match-action stages and stateful SRAM are additive across
+//! resident programs (each consumes its own slice of the pipeline and its
+//! own table share), while parser depth is a shared maximum (one parser
+//! serves every program).
+//!
+//! The scheduler in `inc-ondemand` uses [`DeviceCapacity::cost_units`] as
+//! the denominator of its benefit-per-capacity ranking: the cost of a
+//! program is the fraction of the scarcest budget dimension it occupies,
+//! so a program that hogs half the SRAM is twice as expensive as one that
+//! hogs a quarter, regardless of how little of the other dimensions it
+//! needs.
+
+use std::collections::BTreeMap;
+
+use crate::pipeline::{PipelineBudget, PipelineError, ProgramResources};
+
+/// Identifier of an application holding (or requesting) device resources.
+pub type AppSlot = u64;
+
+/// A ledger of per-application resource allocations on one device.
+///
+/// # Examples
+///
+/// ```
+/// use inc_hw::{DeviceCapacity, PipelineBudget, ProgramResources};
+///
+/// let mut cap = DeviceCapacity::new(PipelineBudget::tofino_like());
+/// let kvs = ProgramResources { stages: 7, sram_bytes: 40 << 20, parse_depth_bytes: 96 };
+/// let dns = ProgramResources { stages: 6, sram_bytes: 20 << 20, parse_depth_bytes: 128 };
+/// cap.admit(0, kvs).unwrap();
+/// // Both programs fit alone, but not together (13 stages > 12).
+/// assert!(cap.admit(1, dns).is_err());
+/// cap.release(0);
+/// assert!(cap.admit(1, dns).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeviceCapacity {
+    budget: PipelineBudget,
+    allocs: BTreeMap<AppSlot, ProgramResources>,
+}
+
+impl DeviceCapacity {
+    /// Creates an empty ledger over `budget`.
+    pub fn new(budget: PipelineBudget) -> Self {
+        DeviceCapacity {
+            budget,
+            allocs: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying budget.
+    pub fn budget(&self) -> PipelineBudget {
+        self.budget
+    }
+
+    /// Number of applications currently holding resources.
+    pub fn resident_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Whether `app` currently holds an allocation.
+    pub fn is_resident(&self, app: AppSlot) -> bool {
+        self.allocs.contains_key(&app)
+    }
+
+    /// Aggregate resources in use: stages and SRAM sum across residents,
+    /// parse depth is the maximum any resident requires.
+    pub fn used(&self) -> ProgramResources {
+        self.allocs
+            .values()
+            .fold(ProgramResources::default(), |acc, r| ProgramResources {
+                stages: acc.stages + r.stages,
+                sram_bytes: acc.sram_bytes + r.sram_bytes,
+                parse_depth_bytes: acc.parse_depth_bytes.max(r.parse_depth_bytes),
+            })
+    }
+
+    /// Checks whether `extra` would fit alongside the current residents.
+    pub fn fits(&self, extra: &ProgramResources) -> bool {
+        let used = self.used();
+        let combined = ProgramResources {
+            stages: used.stages + extra.stages,
+            sram_bytes: used.sram_bytes + extra.sram_bytes,
+            parse_depth_bytes: used.parse_depth_bytes.max(extra.parse_depth_bytes),
+        };
+        self.budget.admit(&combined).is_ok()
+    }
+
+    /// Grants `app` the resources `r`, or explains why it cannot.
+    ///
+    /// Re-admitting a resident app first releases its old allocation, so
+    /// an app can grow or shrink its share in place.
+    pub fn admit(&mut self, app: AppSlot, r: ProgramResources) -> Result<(), PipelineError> {
+        let previous = self.allocs.remove(&app);
+        let used = self.used();
+        let combined = ProgramResources {
+            stages: used.stages + r.stages,
+            sram_bytes: used.sram_bytes + r.sram_bytes,
+            parse_depth_bytes: used.parse_depth_bytes.max(r.parse_depth_bytes),
+        };
+        match self.budget.admit(&combined) {
+            Ok(()) => {
+                self.allocs.insert(app, r);
+                Ok(())
+            }
+            Err(e) => {
+                // Roll back the speculative release; keep the budget's own
+                // diagnosis (it names the violated dimension) and add the
+                // contention the decision actually saw — the app's own
+                // previous share excluded.
+                if let Some(p) = previous {
+                    self.allocs.insert(app, p);
+                }
+                let why = match e {
+                    PipelineError::DoesNotFit(why) => why,
+                    other => other.to_string(),
+                };
+                Err(PipelineError::DoesNotFit(format!(
+                    "app {app}: {why} ({} stages / {} B SRAM held by other apps)",
+                    used.stages, used.sram_bytes
+                )))
+            }
+        }
+    }
+
+    /// Releases whatever `app` holds; returns `true` if it held anything.
+    pub fn release(&mut self, app: AppSlot) -> bool {
+        self.allocs.remove(&app).is_some()
+    }
+
+    /// Releases every allocation.
+    pub fn clear(&mut self) {
+        self.allocs.clear();
+    }
+
+    /// The scalar cost of a program: the largest fraction of any budget
+    /// dimension it consumes (its bottleneck share), in `(0, ∞)`. A
+    /// program whose cost exceeds 1 can never fit.
+    pub fn cost_units(&self, r: &ProgramResources) -> f64 {
+        let stage_frac = if self.budget.stages == 0 {
+            f64::INFINITY
+        } else {
+            r.stages as f64 / self.budget.stages as f64
+        };
+        let sram_frac = if self.budget.sram_bytes == 0 {
+            f64::INFINITY
+        } else {
+            r.sram_bytes as f64 / self.budget.sram_bytes as f64
+        };
+        // Parse depth is shared, not consumed: it gates feasibility (via
+        // admit) but costs nothing to co-residents.
+        stage_frac.max(sram_frac)
+    }
+
+    /// Fraction of the bottleneck dimension currently allocated, in
+    /// `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        let used = self.used();
+        let stage_frac = used.stages as f64 / self.budget.stages.max(1) as f64;
+        let sram_frac = used.sram_bytes as f64 / self.budget.sram_bytes.max(1) as f64;
+        stage_frac.max(sram_frac).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kvs() -> ProgramResources {
+        ProgramResources {
+            stages: 7,
+            sram_bytes: 40 << 20,
+            parse_depth_bytes: 96,
+        }
+    }
+
+    fn dns() -> ProgramResources {
+        ProgramResources {
+            stages: 6,
+            sram_bytes: 20 << 20,
+            parse_depth_bytes: 128,
+        }
+    }
+
+    #[test]
+    fn admits_until_stages_exhaust() {
+        let mut cap = DeviceCapacity::new(PipelineBudget::tofino_like());
+        cap.admit(0, kvs()).unwrap();
+        assert!(cap.is_resident(0));
+        // 7 + 6 = 13 stages > 12: the second app does not fit.
+        assert!(matches!(
+            cap.admit(1, dns()),
+            Err(PipelineError::DoesNotFit(_))
+        ));
+        assert!(!cap.is_resident(1));
+        // Releasing the first makes room.
+        assert!(cap.release(0));
+        cap.admit(1, dns()).unwrap();
+        assert_eq!(cap.resident_count(), 1);
+    }
+
+    #[test]
+    fn sram_is_additive_parse_depth_is_shared() {
+        let budget = PipelineBudget {
+            stages: 64,
+            sram_bytes: 48 << 20,
+            parse_depth_bytes: 192,
+        };
+        let mut cap = DeviceCapacity::new(budget);
+        cap.admit(0, kvs()).unwrap();
+        // Stages now fit (13 <= 64) but SRAM does not (40 + 20 > 48).
+        assert!(cap.admit(1, dns()).is_err());
+        // A deep parser alone is fine as long as it is within budget —
+        // depth does not accumulate across residents.
+        let deep = ProgramResources {
+            stages: 1,
+            sram_bytes: 1 << 20,
+            parse_depth_bytes: 190,
+        };
+        cap.admit(2, deep).unwrap();
+        cap.admit(3, deep).unwrap();
+        assert_eq!(cap.used().parse_depth_bytes, 190);
+    }
+
+    #[test]
+    fn readmission_resizes_in_place() {
+        let mut cap = DeviceCapacity::new(PipelineBudget::tofino_like());
+        cap.admit(0, kvs()).unwrap();
+        // Shrinking the share succeeds even though a second copy would not
+        // fit beside the old one.
+        let smaller = ProgramResources { stages: 6, ..kvs() };
+        cap.admit(0, smaller).unwrap();
+        assert_eq!(cap.used().stages, 6);
+        // A failed resize leaves the old allocation intact.
+        let giant = ProgramResources {
+            stages: 13,
+            ..kvs()
+        };
+        assert!(cap.admit(0, giant).is_err());
+        assert_eq!(cap.used().stages, 6);
+    }
+
+    #[test]
+    fn cost_units_is_bottleneck_share() {
+        let cap = DeviceCapacity::new(PipelineBudget::tofino_like());
+        // KVS: stages 7/12 = 0.583, SRAM 40/48 = 0.833 -> SRAM-bound.
+        assert!((cap.cost_units(&kvs()) - 40.0 / 48.0).abs() < 1e-9);
+        // DNS: stages 6/12 = 0.5, SRAM 20/48 = 0.417 -> stage-bound.
+        assert!((cap.cost_units(&dns()) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_tracks_allocations() {
+        let mut cap = DeviceCapacity::new(PipelineBudget::tofino_like());
+        assert_eq!(cap.occupancy(), 0.0);
+        cap.admit(0, dns()).unwrap();
+        assert!((cap.occupancy() - 0.5).abs() < 1e-9);
+        cap.clear();
+        assert_eq!(cap.occupancy(), 0.0);
+    }
+}

@@ -11,10 +11,13 @@
 //! * [`MemorySpec`] — BRAM/SRAM/DRAM capacity, latency and power (§5.3).
 //! * [`RegisterArray`], [`MatchTable`], [`PipelineBudget`] — P4-style
 //!   state and resource admission (§6, §10).
+//! * [`DeviceCapacity`] — multi-application capacity ledger over one
+//!   budget, for shared-device scheduling.
 //! * [`TofinoModel`] — the normalized-power ASIC model (§6).
 //! * [`SmartNicModel`] — the §10 architecture survey.
 
 pub mod asic;
+pub mod capacity;
 pub mod memory;
 pub mod netfpga;
 pub mod offload;
@@ -22,6 +25,7 @@ pub mod pipeline;
 pub mod smartnic;
 
 pub use asic::{TofinoModel, TofinoProgram};
+pub use capacity::{AppSlot, DeviceCapacity};
 pub use memory::{MemoryKind, MemorySpec};
 pub use netfpga::{
     modules, SumeCard, HOST_DMA_PORT, NET_PORT_COUNT, PCIE_DMA_ONE_WAY, SHELL_PIPELINE_LATENCY,

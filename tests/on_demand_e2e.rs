@@ -152,12 +152,20 @@ fn host_controller_drives_the_figure6_loop() {
     // Shift came after the sustain window inside the burst.
     assert!(up >= burst.0 + Nanos::from_millis(750), "up at {up}");
     // Throughput unaffected by the shift (the §9.2 claim).
-    let before = timeline.mean_throughput_pps(up - Nanos::from_secs(1), up);
-    let after = timeline.mean_throughput_pps(up, up + Nanos::from_secs(1));
+    let before = timeline
+        .mean_throughput_pps(up - Nanos::from_secs(1), up)
+        .unwrap();
+    let after = timeline
+        .mean_throughput_pps(up, up + Nanos::from_secs(1))
+        .unwrap();
     assert!((after / before - 1.0).abs() < 0.05, "{before} -> {after}");
     // Latency improved markedly once hardware-resident (warm cache).
-    let sw_lat = timeline.median_latency_ns(Nanos::from_secs(1), burst.0);
-    let hw_lat = timeline.median_latency_ns(up + Nanos::from_secs(1), burst.1);
+    let sw_lat = timeline
+        .median_latency_ns(Nanos::from_secs(1), burst.0)
+        .unwrap();
+    let hw_lat = timeline
+        .median_latency_ns(up + Nanos::from_secs(1), burst.1)
+        .unwrap();
     assert!(
         sw_lat as f64 / hw_lat as f64 > 3.0,
         "sw {sw_lat} vs hw {hw_lat}"

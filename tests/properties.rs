@@ -186,6 +186,41 @@ proptest! {
     }
 
     #[test]
+    fn histogram_quantiles_on_latency_mixtures(
+        // The shape the fleet scheduler's timelines actually see: a fast
+        // hardware mode (~1.4 us hits) mixed with a slow software mode
+        // (~13.5 us), in arbitrary proportion, possibly across merged
+        // per-interval windows.
+        fast in proptest::collection::vec(1_200u64..2_000, 1..200),
+        slow in proptest::collection::vec(12_000u64..16_000, 1..200),
+        split in any::<usize>(),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut all: Vec<u64> = fast.iter().chain(slow.iter()).copied().collect();
+        // Record across two histograms and merge, as windowed
+        // measurement pipelines do.
+        let cut = split % all.len();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &s) in all.iter().enumerate() {
+            if i < cut { a.record(s) } else { b.record(s) }
+        }
+        a.merge(&b);
+        all.sort_unstable();
+        let exact = all[(((q * all.len() as f64).ceil() as usize).max(1) - 1)
+            .min(all.len() - 1)];
+        let got = a.quantile(q);
+        // The documented bound: an upper estimate within the ~3.2 %
+        // (1/32 sub-bucket) relative resolution of the exact order
+        // statistic, regardless of the mixture.
+        prop_assert!(got >= exact, "got {} < exact {}", got, exact);
+        prop_assert!(
+            (got as f64) <= exact as f64 * (1.0 + 1.0 / 32.0) + 1.0,
+            "got {} vs exact {}", got, exact
+        );
+    }
+
+    #[test]
     fn histogram_mean_is_exact(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
         let mut h = Histogram::new();
         for &s in &samples {
