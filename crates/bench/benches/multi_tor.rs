@@ -1,0 +1,120 @@
+//! Multi-ToR fabric scheduling benchmarks: the (app × device) decision
+//! path in isolation — the knapsack must stay cheap as both the tenant
+//! count and the fabric width grow — and the full three-tenant two-ToR
+//! simulation under the fleet control loop.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use inc_bench::rigs::MultiTorRig;
+use inc_hw::{CrossTorPenalty, DeviceFabric, DeviceId, PipelineBudget, ProgramResources};
+use inc_ondemand::{
+    FleetApp, FleetController, FleetControllerConfig, FleetSample, HostSample, PlacementAnalysis,
+};
+use inc_power::EnergyParams;
+use inc_sim::Nanos;
+
+fn sample(rate: f64) -> FleetSample {
+    FleetSample {
+        host: HostSample {
+            rapl_w: 45.0,
+            app_cpu_util: rate / 1e6,
+            hw_app_rate: rate,
+        },
+        offered_pps: rate,
+    }
+}
+
+/// A synthetic fleet of `n` tenants striped across `tors` home devices.
+fn synthetic_fleet(n: usize, tors: usize) -> FleetController {
+    let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+        software: EnergyParams {
+            idle_w: 40.0,
+            sleep_w: 0.0,
+            active_w: 40.0 + slope_per_kpps * 1_000.0,
+            peak_rate_pps: 1_000_000.0,
+        },
+        network: EnergyParams {
+            idle_w: 42.0,
+            sleep_w: 0.0,
+            active_w: 42.1,
+            peak_rate_pps: 10_000_000.0,
+        },
+    };
+    let apps = (0..n)
+        .map(|i| FleetApp {
+            name: format!("tenant-{i}"),
+            demand: ProgramResources {
+                stages: 3 + (i as u32 % 5),
+                sram_bytes: (2 + i as u64 % 7) << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(0.05 + 0.01 * i as f64),
+            home: DeviceId((i % tors) as u16),
+        })
+        .collect();
+    FleetController::new(
+        FleetControllerConfig::standard(Nanos::from_millis(1)),
+        DeviceFabric::homogeneous(
+            tors,
+            PipelineBudget::tofino_like(),
+            CrossTorPenalty::standard(),
+        ),
+        apps,
+    )
+}
+
+fn bench_multi_tor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multi_tor");
+
+    // The controller's per-interval (app × device) decision path alone,
+    // at the rig's scale (3 tenants, 2 ToRs) and at a rack-row scale
+    // (12 tenants, 4 ToRs). Alternating bursts keep the streak machines
+    // and the knapsack busy.
+    for (apps, tors) in [(3usize, 2usize), (12, 4)] {
+        let name = format!("decisions_{apps}apps_{tors}tors_x10k");
+        g.bench_function(&name, |bench| {
+            bench.iter(|| {
+                let mut ctl = synthetic_fleet(apps, tors);
+                let mut shifts = 0usize;
+                for step in 1..=10_000u64 {
+                    let phase = (step / 100) % 2 == 0;
+                    let samples: Vec<FleetSample> = (0..apps)
+                        .map(|i| {
+                            let hot = (i % 2 == 0) == phase;
+                            sample(if hot { 120_000.0 } else { 3_000.0 })
+                        })
+                        .collect();
+                    shifts += ctl.sample(Nanos::from_millis(step), &samples).len();
+                }
+                black_box(shifts)
+            })
+        });
+    }
+
+    // One short contended window of the full three-tenant, two-ToR
+    // packet-level simulation under the fleet control loop.
+    g.bench_function("fleet_run_400ms_three_tenants_two_tors", |bench| {
+        bench.iter(|| {
+            let period = Nanos::from_millis(800);
+            let mut rig = MultiTorRig::new(7, 256, 256, MultiTorRig::contended_profiles(period));
+            let mut ctl = MultiTorRig::fleet_controller(Nanos::from_millis(50));
+            let timeline = rig.run(&mut ctl, Nanos::from_millis(400));
+            black_box(timeline.energy_j)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_multi_tor
+}
+criterion_main!(benches);

@@ -37,7 +37,7 @@ fn bench_shared_device(c: &mut Criterion) {
             let mut rig = SharedDeviceRig::new(7, 256, 256, kvs, dns);
             let mut ctl = SharedDeviceRig::pinned_controller(
                 Nanos::from_millis(50),
-                [Placement::Hardware, Placement::Software],
+                [Placement::HARDWARE, Placement::Software],
             );
             let timeline = rig.run(&mut ctl, Nanos::from_millis(400));
             black_box(timeline.energy_j)

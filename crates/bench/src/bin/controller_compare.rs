@@ -69,7 +69,7 @@ fn host_reaction() -> Nanos {
                 .node_mut::<LakeDevice>(rig.device)
                 .measured_rate(now),
         };
-        if let Some(Placement::Hardware) = ctl.sample(t, sample) {
+        if let Some(Placement::HARDWARE) = ctl.sample(t, sample) {
             return t - STEP_AT;
         }
     }

@@ -101,7 +101,7 @@ fn main() {
     let up = timeline
         .shifts
         .iter()
-        .find(|(_, p)| *p == Placement::Hardware)
+        .find(|(_, p)| *p == Placement::HARDWARE)
         .map(|(t, _)| *t);
     let down = timeline
         .shifts

@@ -34,7 +34,7 @@ fn run_policy(policy: ParkPolicy) -> Vec<String> {
     let now = rig.sim.now();
     rig.sim
         .node_mut::<LakeDevice>(rig.device)
-        .apply_placement(now, Placement::Hardware);
+        .apply_placement(now, Placement::HARDWARE);
     rig.sim.run_until(Nanos::from_secs(1)); // Warm the cache.
 
     let t_park = rig.sim.now();
@@ -58,7 +58,7 @@ fn run_policy(policy: ParkPolicy) -> Vec<String> {
     let sent_before = rig.sim.node_ref::<KvsClient>(rig.client).stats().sent;
     rig.sim
         .node_mut::<LakeDevice>(rig.device)
-        .apply_placement(t_resume, Placement::Hardware);
+        .apply_placement(t_resume, Placement::HARDWARE);
     rig.sim.run_until(t_resume + Nanos::from_millis(500));
     let dev = rig.sim.node_ref::<LakeDevice>(rig.device);
     let misses = dev.cache_stats().misses - miss_before;

@@ -1,7 +1,10 @@
 //! Reusable simulation topologies for the event-driven experiments.
 
 use inc_dns::{DnsClient, DnsServer, DnsServerConfig, EmuDevice, Zone, DNS_PORT};
-use inc_hw::{DeviceCapacity, PipelineBudget, Placement, ProgramResources, HOST_DMA_PORT};
+use inc_hw::{
+    CrossTorPenalty, DeviceFabric, DeviceId, PipelineBudget, Placement, ProgramResources,
+    HOST_DMA_PORT,
+};
 use inc_kvs::{
     expected_value, key_name, KvsClient, LakeCacheConfig, LakeDevice, MemcachedConfig,
     MemcachedServer, OpGen, UniformGen, MEMCACHED_PORT,
@@ -19,6 +22,7 @@ use inc_paxos::{
 use inc_power::{calib, EnergyParams};
 use inc_sim::{LinkSpec, Nanos, Node, NodeId, PortId, Simulator};
 use inc_workloads::RateProfile;
+use std::cell::Cell;
 
 /// The Figure 1 KVS topology: client ↔ LaKe ↔ memcached.
 pub struct KvsRig {
@@ -510,6 +514,7 @@ impl SharedDeviceRig {
             FleetApp {
                 name: "kvs".into(),
                 demand: Self::kvs_demand(),
+                home: DeviceId::LOCAL,
                 analysis: PlacementAnalysis {
                     software: EnergyParams {
                         idle_w: kvs_sw_idle,
@@ -528,6 +533,7 @@ impl SharedDeviceRig {
             FleetApp {
                 name: "dns".into(),
                 demand: Self::dns_demand(),
+                home: DeviceId::LOCAL,
                 analysis: PlacementAnalysis {
                     software: EnergyParams {
                         idle_w: dns_sw_idle,
@@ -551,7 +557,7 @@ impl SharedDeviceRig {
     pub fn fleet_controller(interval: Nanos) -> FleetController {
         FleetController::new(
             FleetControllerConfig::standard(interval),
-            DeviceCapacity::new(Self::shared_budget()),
+            DeviceFabric::single(Self::shared_budget()),
             Self::fleet_apps(),
         )
     }
@@ -566,7 +572,7 @@ impl SharedDeviceRig {
         };
         FleetController::new(
             config,
-            DeviceCapacity::new(Self::shared_budget()),
+            DeviceFabric::single(Self::shared_budget()),
             Self::fleet_apps(),
         )
         .with_initial_placements(&placements)
@@ -578,15 +584,15 @@ impl SharedDeviceRig {
     pub fn run(&mut self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
         // Execute any pre-seeded placements on the simulated hardware.
         let now = self.sim.now();
-        if controller.placements()[Self::KVS_APP] == Placement::Hardware {
+        if controller.placements()[Self::KVS_APP].is_offloaded() {
             self.sim
                 .node_mut::<LakeDevice>(self.kvs_device)
-                .apply_placement(now, Placement::Hardware);
+                .apply_placement(now, Placement::HARDWARE);
         }
-        if controller.placements()[Self::DNS_APP] == Placement::Hardware {
+        if controller.placements()[Self::DNS_APP].is_offloaded() {
             self.sim
                 .node_mut::<EmuDevice>(self.dns_device)
-                .apply_placement(now, Placement::Hardware);
+                .apply_placement(now, Placement::HARDWARE);
         }
         let interval = controller.config().interval;
         let (kvs_client, kvs_device, kvs_server) =
@@ -657,5 +663,747 @@ impl SharedDeviceRig {
                 _ => sim.node_mut::<EmuDevice>(dns_device).apply_placement(t, p),
             },
         )
+    }
+}
+
+/// The §9.4 multi-ToR topology: two racks, each with its own programmable
+/// device, shared by three tenants under a fleet controller that decides
+/// *where* each program runs, not just whether it is offloaded.
+///
+/// * The **KVS** tenant (memcached + LaKe program) is homed on ToR A.
+/// * The **Paxos** tenant (libpaxos leader + P4xos program) is also homed
+///   on ToR A — so at overlapping peaks the two contend for one pipeline
+///   and the loser must either stay in software or *spill* to ToR B.
+/// * The **DNS** tenant (NSD + Emu program) is homed on ToR B.
+///
+/// Each ToR's device is realised as per-tenant partitions, exactly as
+/// [`SharedDeviceRig`] modelled one card as two partitions. The KVS and
+/// DNS slices are serial bump-in-the-wire chains — client → home-ToR
+/// partition → (inter-ToR link) → remote-ToR partition → server — so a
+/// remote placement physically pays the [`CrossTorPenalty::extra_latency`]
+/// detour on every request and response. (The chain also routes
+/// software-mode traffic through the parked remote partition; that adds
+/// the same constant to every configuration, so placements still *rank*
+/// correctly and energy comparisons are unaffected.) The Paxos slice uses
+/// the §9.2 virtual-leader machinery: a steerable switch in front of one
+/// software leader and one P4xos FPGA leader per ToR, with the ToR-B
+/// leader attached through the longer inter-ToR path.
+pub struct MultiTorRig {
+    /// The simulator.
+    pub sim: Simulator<Packet>,
+    /// KVS load generator.
+    pub kvs_client: NodeId,
+    /// LaKe partition on the KVS tenant's home ToR (A).
+    pub kvs_dev_home: NodeId,
+    /// LaKe partition on the remote ToR (B).
+    pub kvs_dev_remote: NodeId,
+    /// memcached host node.
+    pub kvs_server: NodeId,
+    /// DNS query generator.
+    pub dns_client: NodeId,
+    /// Emu partition on the DNS tenant's home ToR (B).
+    pub dns_dev_home: NodeId,
+    /// Emu partition on the remote ToR (A).
+    pub dns_dev_remote: NodeId,
+    /// NSD host node.
+    pub dns_server: NodeId,
+    /// The Paxos tenant's leader-steering switch.
+    pub pax_switch: NodeId,
+    /// Open-loop Paxos client.
+    pub pax_client: NodeId,
+    /// libpaxos software leader.
+    pub pax_sw_leader: NodeId,
+    /// P4xos FPGA leaders, indexed by ToR (`[A, B]`).
+    pub pax_hw_leaders: [NodeId; 2],
+    /// Acceptor nodes.
+    pub pax_acceptors: Vec<NodeId>,
+    /// Learner node.
+    pub pax_learner: NodeId,
+    pax_sw_port: PortId,
+    pax_hw_ports: [PortId; 2],
+    /// Offered-rate schedules, indexed like the fleet app vector.
+    pub profiles: [RateProfile; 3],
+    /// Next Paxos election round: every leader shift must elect with a
+    /// strictly higher round (§9.2). A `Cell` so the run-loop closures
+    /// can bump it while the simulator is mutably borrowed.
+    pax_round: Cell<u16>,
+}
+
+impl MultiTorRig {
+    /// Index of the KVS tenant in the fleet's app vector.
+    pub const KVS_APP: usize = 0;
+    /// Index of the DNS tenant in the fleet's app vector.
+    pub const DNS_APP: usize = 1;
+    /// Index of the Paxos tenant in the fleet's app vector.
+    pub const PAX_APP: usize = 2;
+
+    /// ToR A's device (home of the KVS and Paxos tenants).
+    pub const TOR_A: DeviceId = DeviceId(0);
+    /// ToR B's device (home of the DNS tenant).
+    pub const TOR_B: DeviceId = DeviceId(1);
+
+    const N_ACCEPTORS: usize = 3;
+
+    /// Rates at which the linearised software power fits are anchored.
+    const KVS_FIT_PPS: f64 = 200_000.0;
+    const DNS_FIT_PPS: f64 = 150_000.0;
+    const PAX_FIT_PPS: f64 = 20_000.0;
+
+    /// Messages the software leader handles per client command: the
+    /// request itself plus one 2b instance-feedback from each acceptor.
+    const PAX_LEADER_MSGS_PER_CMD: f64 = 1.0 + Self::N_ACCEPTORS as f64;
+
+    /// Client retry timeout: well under a sampling interval, so commands
+    /// lost in a leader shift are retried within the same interval.
+    const PAX_TIMEOUT: Nanos = Nanos::from_millis(20);
+
+    /// The cross-ToR penalty realised by the topology: the standard
+    /// model — the inter-ToR hop adds 2 µs each way, and a remote
+    /// placement's benefit is priced at 85 % (the detour keeps the
+    /// inter-ToR link and two extra switch ports busy; see
+    /// [`CrossTorPenalty::standard`] for why the haircut deliberately
+    /// does not cancel against the scheduler's stickiness premium).
+    pub fn penalty() -> CrossTorPenalty {
+        CrossTorPenalty::standard()
+    }
+
+    /// The fabric: one Tofino-class pipeline per ToR. Each admits the
+    /// KVS (7 stages) beside the Paxos program (6 stages) **not** — 13 of
+    /// 12 stages — while DNS (6) + Paxos (6) co-fit exactly; every pair
+    /// involving the KVS overflows a device, so overlapping peaks force
+    /// placement decisions.
+    pub fn fabric() -> DeviceFabric {
+        DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), Self::penalty())
+    }
+
+    /// The P4xos leader program's capacity claim: stage-hungry (sequence
+    /// and instance bookkeeping), tiny state.
+    pub fn pax_demand() -> ProgramResources {
+        ProgramResources {
+            stages: 6,
+            sram_bytes: 4 << 20,
+            parse_depth_bytes: 64,
+        }
+    }
+
+    /// The canonical three-tenant day over `period`: KVS peaks at ~0.29
+    /// of the day, Paxos at ~0.42 (overlapping the KVS busy window — the
+    /// ToR-A contention), DNS at ~0.63 (overlapping the Paxos tail — the
+    /// ToR-B co-residence).
+    pub fn contended_profiles(period: Nanos) -> [RateProfile; 3] {
+        [
+            RateProfile::diurnal(
+                2_000.0,
+                120_000.0,
+                period,
+                period.mul_f64(3.0 / 14.0),
+                3,
+                64,
+            ),
+            RateProfile::diurnal(
+                2_000.0,
+                80_000.0,
+                period,
+                period.mul_f64(61.0 / 70.0),
+                3,
+                64,
+            ),
+            RateProfile::diurnal(500.0, 10_000.0, period, period.mul_f64(0.08), 3, 64),
+        ]
+    }
+
+    fn pax_book(own: Endpoint) -> AddressBook {
+        AddressBook {
+            own,
+            leader: Endpoint::host(99, PAXOS_LEADER_PORT),
+            acceptors: (0..Self::N_ACCEPTORS as u32)
+                .map(|i| Endpoint::host(10 + i, PAXOS_ACCEPTOR_PORT))
+                .collect(),
+            learners: vec![Endpoint::host(30, PAXOS_LEARNER_PORT)],
+        }
+    }
+
+    /// Builds the rig: all three tenants preloaded and idling in
+    /// software, both FPGA leaders parked.
+    pub fn new(seed: u64, keys: u64, names: u64, profiles: [RateProfile; 3]) -> Self {
+        let mut sim = Simulator::new(seed);
+        let inter_tor = LinkSpec::ten_gbe(Self::penalty().extra_latency);
+
+        // KVS slice (home ToR A): client → lake@A → lake@B → memcached.
+        let mut server = MemcachedServer::new(MemcachedConfig::i7_behind_lake());
+        server.preload((0..keys).map(|i| {
+            let k = key_name(i);
+            let v = expected_value(&k, 64);
+            (k, v)
+        }));
+        let kvs_server = sim.add_node(server);
+        let kvs_dev_home = sim.add_node(LakeDevice::new(LakeCacheConfig::tiny(2_048, 65_536), 5));
+        let kvs_dev_remote = sim.add_node(LakeDevice::new(LakeCacheConfig::tiny(2_048, 65_536), 5));
+        let kvs_client = sim.add_node(KvsClient::open_loop(
+            Endpoint::host(1, 40_000),
+            Endpoint::host(2, MEMCACHED_PORT),
+            profiles[Self::KVS_APP].rate_at(Nanos::ZERO),
+            Box::new(UniformGen {
+                keys,
+                get_ratio: 0.97,
+                value_len: 64,
+            }),
+        ));
+        sim.connect_duplex(
+            kvs_client,
+            PortId::P0,
+            kvs_dev_home,
+            PortId::P0,
+            LinkSpec::ten_gbe(Nanos::from_nanos(500)),
+        );
+        sim.connect_duplex(
+            kvs_dev_home,
+            HOST_DMA_PORT,
+            kvs_dev_remote,
+            PortId::P0,
+            inter_tor,
+        );
+        sim.connect_duplex(
+            kvs_dev_remote,
+            HOST_DMA_PORT,
+            kvs_server,
+            PortId::P0,
+            LinkSpec::ideal(),
+        );
+
+        // DNS slice (home ToR B): client → emu@B → emu@A → NSD.
+        let zone = Zone::synthetic(names);
+        let dns_server = sim.add_node(DnsServer::new(
+            DnsServerConfig::nsd_behind_emu(),
+            zone.clone(),
+        ));
+        let dns_dev_home = sim.add_node(EmuDevice::new(zone.clone()));
+        let dns_dev_remote = sim.add_node(EmuDevice::new(zone));
+        let dns_client = sim.add_node(DnsClient::new(
+            Endpoint::host(3, 41_000),
+            Endpoint::host(4, DNS_PORT),
+            profiles[Self::DNS_APP].rate_at(Nanos::ZERO),
+            names,
+        ));
+        sim.connect_duplex(
+            dns_client,
+            PortId::P0,
+            dns_dev_home,
+            PortId::P0,
+            LinkSpec::ten_gbe(Nanos::from_nanos(500)),
+        );
+        sim.connect_duplex(
+            dns_dev_home,
+            HOST_DMA_PORT,
+            dns_dev_remote,
+            PortId::P0,
+            inter_tor,
+        );
+        sim.connect_duplex(
+            dns_dev_remote,
+            HOST_DMA_PORT,
+            dns_server,
+            PortId::P0,
+            LinkSpec::ideal(),
+        );
+
+        // Paxos slice (home ToR A): virtual-leader steering over one
+        // software leader and one FPGA leader per ToR; the ToR-B leader
+        // sits across the inter-ToR detour.
+        let n_ports = 4 + 1 + Self::N_ACCEPTORS as u16;
+        let pax_switch = sim.add_node(L2Switch::new(n_ports));
+        let mut next_port = 0u16;
+        let mut attach = |sim: &mut Simulator<Packet>, node: NodeId, extra: Nanos| -> PortId {
+            let p = PortId(next_port);
+            next_port += 1;
+            sim.connect_duplex(
+                node,
+                PortId::P0,
+                pax_switch,
+                p,
+                LinkSpec::ten_gbe(Nanos::from_micros(1) + extra),
+            );
+            p
+        };
+        let pax_sw_leader = sim.add_node(PaxosNode::new(
+            RoleEngine::Leader(Leader::bootstrap(1, Self::N_ACCEPTORS)),
+            Platform::host(HostConfig::libpaxos_leader()),
+            Self::pax_book(Endpoint::host(20, PAXOS_LEADER_PORT)),
+        ));
+        let pax_sw_port = attach(&mut sim, pax_sw_leader, Nanos::ZERO);
+        let hw_a = sim.add_node(PaxosNode::new(
+            RoleEngine::Idle,
+            Platform::fpga(),
+            Self::pax_book(Endpoint::host(21, PAXOS_LEADER_PORT)),
+        ));
+        let hw_a_port = attach(&mut sim, hw_a, Nanos::ZERO);
+        let hw_b = sim.add_node(PaxosNode::new(
+            RoleEngine::Idle,
+            Platform::fpga(),
+            Self::pax_book(Endpoint::host(22, PAXOS_LEADER_PORT)),
+        ));
+        let hw_b_port = attach(&mut sim, hw_b, Self::penalty().extra_latency);
+        let mut pax_acceptors = Vec::new();
+        for i in 0..Self::N_ACCEPTORS as u32 {
+            let ep = Endpoint::host(10 + i, PAXOS_ACCEPTOR_PORT);
+            let n = sim.add_node(PaxosNode::new(
+                RoleEngine::Acceptor(Acceptor::new(i as u8, AcceptorStorage::unbounded())),
+                Platform::host(HostConfig::libpaxos_acceptor()),
+                Self::pax_book(ep),
+            ));
+            attach(&mut sim, n, Nanos::ZERO);
+            pax_acceptors.push(n);
+        }
+        let pax_learner = sim.add_node(PaxosNode::new(
+            RoleEngine::Learner(Learner::new(Self::N_ACCEPTORS)),
+            Platform::host(HostConfig::libpaxos_learner()),
+            Self::pax_book(Endpoint::host(30, PAXOS_LEARNER_PORT)),
+        ));
+        attach(&mut sim, pax_learner, Nanos::ZERO);
+        let pax_client = sim.add_node(PaxosClient::open_loop(
+            100,
+            Endpoint::host(99, PAXOS_LEADER_PORT),
+            profiles[Self::PAX_APP].rate_at(Nanos::ZERO),
+            Self::PAX_TIMEOUT,
+        ));
+        attach(&mut sim, pax_client, Nanos::ZERO);
+        sim.node_mut::<L2Switch>(pax_switch)
+            .steer(Match::udp_dst(PAXOS_LEADER_PORT), pax_sw_port);
+        // Idle standby leaders are parked (§9.2).
+        sim.node_mut::<PaxosNode>(hw_a).set_parked(true);
+        sim.node_mut::<PaxosNode>(hw_b).set_parked(true);
+
+        MultiTorRig {
+            sim,
+            kvs_client,
+            kvs_dev_home,
+            kvs_dev_remote,
+            kvs_server,
+            dns_client,
+            dns_dev_home,
+            dns_dev_remote,
+            dns_server,
+            pax_switch,
+            pax_client,
+            pax_sw_leader,
+            pax_hw_leaders: [hw_a, hw_b],
+            pax_acceptors,
+            pax_learner,
+            pax_sw_port,
+            pax_hw_ports: [hw_a_port, hw_b_port],
+            profiles,
+            pax_round: Cell::new(2),
+        }
+    }
+
+    /// The three tenants' fleet descriptors, calibrated the same way as
+    /// [`SharedDeviceRig::fleet_apps`]: idle terms are the metered
+    /// parked/unparked powers of the very device models the simulation
+    /// runs, software dynamic terms are the host CPU models linearised at
+    /// a fit anchor. The Paxos slice is metered over its three leader
+    /// platforms (acceptors and learner draw the same power under every
+    /// placement, so they cancel out of every comparison and are left
+    /// out of both the meter and the analysis).
+    pub fn fleet_apps() -> Vec<FleetApp> {
+        let lake_cfg = LakeCacheConfig::tiny(8, 32);
+        let lake_parked = LakeDevice::new(lake_cfg, 5).power_w(Nanos::ZERO);
+        let lake_active = LakeDevice::new(lake_cfg, 5)
+            .started_in_hardware()
+            .power_w(Nanos::ZERO);
+        let emu_parked = EmuDevice::new(Zone::synthetic(1)).power_w(Nanos::ZERO);
+        let emu_active = EmuDevice::new(Zone::synthetic(1))
+            .started_in_hardware()
+            .power_w(Nanos::ZERO);
+        let book = Self::pax_book(Endpoint::host(21, PAXOS_LEADER_PORT));
+        let mut fpga = PaxosNode::new(RoleEngine::Idle, Platform::fpga(), book.clone());
+        let fpga_active = Node::power_w(&fpga, Nanos::ZERO);
+        fpga.set_parked(true);
+        let fpga_parked = Node::power_w(&fpga, Nanos::ZERO);
+        let host_leader_idle = Node::power_w(
+            &PaxosNode::new(
+                RoleEngine::Idle,
+                Platform::host(HostConfig::libpaxos_leader()),
+                book,
+            ),
+            Nanos::ZERO,
+        );
+
+        // Each tenant pays its home partition in both placements and its
+        // remote partition always parked; only the resident partition's
+        // unpark delta differs between placements, exactly as metered.
+        let mc = MemcachedConfig::i7_behind_lake();
+        let kvs_sw_idle = calib::I7_PLATFORM_IDLE_W + 2.0 * lake_parked;
+        let kvs_dyn_at_fit = mc
+            .cpu
+            .dynamic_w(Self::KVS_FIT_PPS * mc.service_time.as_secs_f64());
+        let kvs_hw_idle = calib::I7_PLATFORM_IDLE_W + lake_parked + lake_active;
+
+        let nsd = DnsServerConfig::nsd_behind_emu();
+        let dns_sw_idle = calib::I7_PLATFORM_IDLE_W + 2.0 * emu_parked;
+        let dns_dyn_at_fit = nsd
+            .cpu
+            .dynamic_w(Self::DNS_FIT_PPS * nsd.service_time.as_secs_f64());
+        let dns_hw_idle = calib::I7_PLATFORM_IDLE_W + emu_parked + emu_active;
+
+        let lp = HostConfig::libpaxos_leader();
+        let pax_sw_idle = host_leader_idle + 2.0 * fpga_parked;
+        let pax_dyn_at_fit = lp.cpu.dynamic_w(
+            Self::PAX_FIT_PPS * Self::PAX_LEADER_MSGS_PER_CMD * lp.service.as_secs_f64(),
+        );
+        let pax_hw_idle = host_leader_idle + fpga_parked + fpga_active;
+
+        vec![
+            FleetApp {
+                name: "kvs".into(),
+                demand: SharedDeviceRig::kvs_demand(),
+                home: Self::TOR_A,
+                analysis: PlacementAnalysis {
+                    software: EnergyParams {
+                        idle_w: kvs_sw_idle,
+                        sleep_w: 0.0,
+                        active_w: kvs_sw_idle + kvs_dyn_at_fit,
+                        peak_rate_pps: Self::KVS_FIT_PPS,
+                    },
+                    network: EnergyParams {
+                        idle_w: kvs_hw_idle,
+                        sleep_w: 0.0,
+                        active_w: kvs_hw_idle + calib::LAKE_DYNAMIC_MAX_W,
+                        peak_rate_pps: calib::LAKE_LINE_RATE_PPS,
+                    },
+                },
+            },
+            FleetApp {
+                name: "dns".into(),
+                demand: SharedDeviceRig::dns_demand(),
+                home: Self::TOR_B,
+                analysis: PlacementAnalysis {
+                    software: EnergyParams {
+                        idle_w: dns_sw_idle,
+                        sleep_w: 0.0,
+                        active_w: dns_sw_idle + dns_dyn_at_fit,
+                        peak_rate_pps: Self::DNS_FIT_PPS,
+                    },
+                    network: EnergyParams {
+                        idle_w: dns_hw_idle,
+                        sleep_w: 0.0,
+                        active_w: dns_hw_idle + calib::EMU_DNS_DYNAMIC_MAX_W,
+                        peak_rate_pps: calib::EMU_DNS_PEAK_RPS,
+                    },
+                },
+            },
+            FleetApp {
+                name: "paxos".into(),
+                demand: Self::pax_demand(),
+                home: Self::TOR_A,
+                analysis: PlacementAnalysis {
+                    software: EnergyParams {
+                        idle_w: pax_sw_idle,
+                        sleep_w: 0.0,
+                        active_w: pax_sw_idle + pax_dyn_at_fit,
+                        peak_rate_pps: Self::PAX_FIT_PPS,
+                    },
+                    network: EnergyParams {
+                        idle_w: pax_hw_idle,
+                        sleep_w: 0.0,
+                        active_w: pax_hw_idle + calib::P4XOS_DYNAMIC_MAX_W,
+                        peak_rate_pps: calib::P4XOS_FPGA_PEAK_MPS,
+                    },
+                },
+            },
+        ]
+    }
+
+    /// A fleet controller over the two-ToR fabric with the standard
+    /// hysteresis settings.
+    pub fn fleet_controller(interval: Nanos) -> FleetController {
+        FleetController::new(
+            FleetControllerConfig::standard(interval),
+            Self::fabric(),
+            Self::fleet_apps(),
+        )
+    }
+
+    /// A controller pinned to a fixed placement vector (the static
+    /// baselines): an infinite sustain window means no condition ever
+    /// completes.
+    pub fn pinned_controller(interval: Nanos, placements: [Placement; 3]) -> FleetController {
+        let config = FleetControllerConfig {
+            sustain_samples: u32::MAX,
+            ..FleetControllerConfig::standard(interval)
+        };
+        FleetController::new(config, Self::fabric(), Self::fleet_apps())
+            .with_initial_placements(&placements)
+    }
+
+    /// Runs the experiment until `until` under `controller`, driving all
+    /// three tenants' diurnal schedules and recording per-app timelines
+    /// plus total metered energy.
+    pub fn run(&mut self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
+        let ids = ApplyIds {
+            kvs_client: self.kvs_client,
+            kvs_dev_home: self.kvs_dev_home,
+            kvs_dev_remote: self.kvs_dev_remote,
+            kvs_server: self.kvs_server,
+            dns_client: self.dns_client,
+            dns_dev_home: self.dns_dev_home,
+            dns_dev_remote: self.dns_dev_remote,
+            dns_server: self.dns_server,
+            pax_client: self.pax_client,
+            pax_switch: self.pax_switch,
+            pax_sw_leader: self.pax_sw_leader,
+            pax_hw_leaders: self.pax_hw_leaders,
+            pax_sw_port: self.pax_sw_port,
+            pax_hw_ports: self.pax_hw_ports,
+            pax_round: &self.pax_round,
+        };
+        // Execute any pre-seeded placements on the simulated hardware.
+        let now = self.sim.now();
+        let seeded: Vec<Placement> = controller.placements().to_vec();
+        for (app, &p) in seeded.iter().enumerate() {
+            if p.is_offloaded() {
+                apply_multi_tor_placement(&mut self.sim, &ids, now, app, p);
+            }
+        }
+        let interval = controller.config().interval;
+        let profiles = self.profiles.clone();
+        run_fleet_controlled(
+            &mut self.sim,
+            controller,
+            until,
+            |sim| {
+                let now = sim.now();
+                // Follow the offered-rate schedules.
+                sim.node_mut::<KvsClient>(ids.kvs_client)
+                    .set_rate(profiles[Self::KVS_APP].rate_at(now));
+                sim.node_mut::<DnsClient>(ids.dns_client)
+                    .set_rate(profiles[Self::DNS_APP].rate_at(now));
+                sim.node_mut::<PaxosClient>(ids.pax_client)
+                    .set_rate(profiles[Self::PAX_APP].rate_at(now));
+                // Host-measured offered rates, sampled mid-interval (see
+                // SharedDeviceRig::run: completions would understate the
+                // offered load exactly when the software side saturates).
+                let mid = now - interval.mul_f64(0.5);
+                let kvs_offered = profiles[Self::KVS_APP].rate_at(mid);
+                let dns_offered = profiles[Self::DNS_APP].rate_at(mid);
+                let pax_offered = profiles[Self::PAX_APP].rate_at(mid);
+                let (kvs_done, kvs_lat) = sim.node_mut::<KvsClient>(ids.kvs_client).take_window();
+                let (dns_done, dns_lat) = sim.node_mut::<DnsClient>(ids.dns_client).take_window();
+                let (pax_done, pax_lat) = sim.node_mut::<PaxosClient>(ids.pax_client).take_window();
+                // Network-measured rates (§9.1 feedback): the served
+                // rate over the elapsed interval. Every completion
+                // passed through the tenant's device partitions, and the
+                // per-interval count reacts within one sample — the
+                // devices' own sliding-window estimators average over a
+                // full second, which is fine for the in-dataplane
+                // threshold controller but would make the fleet compare
+                // a stale incumbent against fresh challengers.
+                let dt = interval.as_secs_f64();
+                let kvs_hw_rate = kvs_done as f64 / dt;
+                let dns_hw_rate = dns_done as f64 / dt;
+                let pax_hw_rate = pax_done as f64 / dt;
+                vec![
+                    AppObservation {
+                        sample: FleetSample {
+                            host: HostSample {
+                                rapl_w: sim
+                                    .node_ref::<MemcachedServer>(ids.kvs_server)
+                                    .power_w(now),
+                                app_cpu_util: sim
+                                    .node_ref::<MemcachedServer>(ids.kvs_server)
+                                    .app_utilization(),
+                                hw_app_rate: kvs_hw_rate,
+                            },
+                            offered_pps: kvs_offered,
+                        },
+                        completed: kvs_done,
+                        latency_p50_ns: kvs_lat.quantile(0.5),
+                        latency_p99_ns: kvs_lat.quantile(0.99),
+                        power_w: sim.instant_power(&[
+                            ids.kvs_dev_home,
+                            ids.kvs_dev_remote,
+                            ids.kvs_server,
+                        ]),
+                    },
+                    AppObservation {
+                        sample: FleetSample {
+                            host: HostSample {
+                                rapl_w: Node::power_w(
+                                    sim.node_ref::<DnsServer>(ids.dns_server),
+                                    now,
+                                ),
+                                app_cpu_util: sim
+                                    .node_ref::<DnsServer>(ids.dns_server)
+                                    .utilization(),
+                                hw_app_rate: dns_hw_rate,
+                            },
+                            offered_pps: dns_offered,
+                        },
+                        completed: dns_done,
+                        latency_p50_ns: dns_lat.quantile(0.5),
+                        latency_p99_ns: dns_lat.quantile(0.99),
+                        power_w: sim.instant_power(&[
+                            ids.dns_dev_home,
+                            ids.dns_dev_remote,
+                            ids.dns_server,
+                        ]),
+                    },
+                    AppObservation {
+                        sample: FleetSample {
+                            host: HostSample {
+                                rapl_w: Node::power_w(
+                                    sim.node_ref::<PaxosNode>(ids.pax_sw_leader),
+                                    now,
+                                ),
+                                app_cpu_util: 0.0,
+                                hw_app_rate: pax_hw_rate,
+                            },
+                            offered_pps: pax_offered,
+                        },
+                        completed: pax_done,
+                        latency_p50_ns: pax_lat.quantile(0.5),
+                        latency_p99_ns: pax_lat.quantile(0.99),
+                        power_w: sim.instant_power(&[
+                            ids.pax_sw_leader,
+                            ids.pax_hw_leaders[0],
+                            ids.pax_hw_leaders[1],
+                        ]),
+                    },
+                ]
+            },
+            |sim, t, app, p| apply_multi_tor_placement(sim, &ids, t, app, p),
+        )
+    }
+
+    /// Total commands acknowledged by the Paxos client.
+    pub fn pax_acked(&self) -> u64 {
+        self.sim
+            .node_ref::<PaxosClient>(self.pax_client)
+            .stats()
+            .acked
+    }
+}
+
+/// The node handles the placement executor needs, copied out of the rig
+/// (plus a shared reference to the election-round counter) so the harness
+/// closures can borrow the simulator mutably alongside it.
+#[derive(Clone, Copy)]
+struct ApplyIds<'a> {
+    kvs_client: NodeId,
+    kvs_dev_home: NodeId,
+    kvs_dev_remote: NodeId,
+    kvs_server: NodeId,
+    dns_client: NodeId,
+    dns_dev_home: NodeId,
+    dns_dev_remote: NodeId,
+    dns_server: NodeId,
+    pax_client: NodeId,
+    pax_switch: NodeId,
+    pax_sw_leader: NodeId,
+    pax_hw_leaders: [NodeId; 2],
+    pax_sw_port: PortId,
+    pax_hw_ports: [PortId; 2],
+    pax_round: &'a Cell<u16>,
+}
+
+/// Executes one placement decision on the simulated hardware: partition
+/// parking for the bump-in-the-wire tenants, virtual-leader re-steering
+/// for Paxos.
+fn apply_multi_tor_placement(
+    sim: &mut Simulator<Packet>,
+    ids: &ApplyIds<'_>,
+    t: Nanos,
+    app: usize,
+    p: Placement,
+) {
+    let on = |d: DeviceId| {
+        if p == Placement::Device(d) {
+            Placement::HARDWARE
+        } else {
+            Placement::Software
+        }
+    };
+    match app {
+        MultiTorRig::KVS_APP => {
+            sim.node_mut::<LakeDevice>(ids.kvs_dev_home)
+                .apply_placement(t, on(MultiTorRig::TOR_A));
+            sim.node_mut::<LakeDevice>(ids.kvs_dev_remote)
+                .apply_placement(t, on(MultiTorRig::TOR_B));
+        }
+        MultiTorRig::DNS_APP => {
+            sim.node_mut::<EmuDevice>(ids.dns_dev_home)
+                .apply_placement(t, on(MultiTorRig::TOR_B));
+            sim.node_mut::<EmuDevice>(ids.dns_dev_remote)
+                .apply_placement(t, on(MultiTorRig::TOR_A));
+        }
+        MultiTorRig::PAX_APP => {
+            let (to_node, to_port) = match p {
+                Placement::Software => (ids.pax_sw_leader, ids.pax_sw_port),
+                Placement::Device(d) => {
+                    (ids.pax_hw_leaders[d.index()], ids.pax_hw_ports[d.index()])
+                }
+            };
+            // Quiesce every other leader; park idle FPGAs (§9.2).
+            for (&n, &port) in std::iter::once(&ids.pax_sw_leader)
+                .chain(ids.pax_hw_leaders.iter())
+                .zip(std::iter::once(&ids.pax_sw_port).chain(ids.pax_hw_ports.iter()))
+            {
+                if n != to_node {
+                    let node = sim.node_mut::<PaxosNode>(n);
+                    node.deactivate();
+                    node.set_parked(true);
+                    sim.node_mut::<L2Switch>(ids.pax_switch).unsteer_port(port);
+                }
+            }
+            sim.node_mut::<PaxosNode>(to_node).set_parked(false);
+            sim.node_mut::<L2Switch>(ids.pax_switch)
+                .steer(Match::udp_dst(PAXOS_LEADER_PORT), to_port);
+            let round = ids.pax_round.get();
+            ids.pax_round.set(round + 1);
+            sim.with_node_ctx::<PaxosNode, _>(to_node, |n, ctx| n.activate_leader(ctx, round));
+        }
+        other => panic!("unknown app index {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inc_ondemand::FleetController;
+
+    /// The three tenants' calibrated benefit curves have the shape the
+    /// scheduler depends on: negative in the valley (software wins when
+    /// idle), clearly positive at each tenant's peak, and the KVS — the
+    /// anchor tenant of ToR A — out-scores the Paxos program at their
+    /// overlapping peaks so the smaller program is the one that spills.
+    #[test]
+    fn multi_tor_benefit_calibration() {
+        let ctl = FleetController::new(
+            inc_ondemand::FleetControllerConfig::standard(Nanos::from_millis(150)),
+            MultiTorRig::fabric(),
+            MultiTorRig::fleet_apps(),
+        );
+        let (kvs, dns, pax) = (
+            MultiTorRig::KVS_APP,
+            MultiTorRig::DNS_APP,
+            MultiTorRig::PAX_APP,
+        );
+        for (app, valley, peak) in [
+            (kvs, 2_000.0, 120_000.0),
+            (dns, 2_000.0, 80_000.0),
+            (pax, 500.0, 10_000.0),
+        ] {
+            let b_lo = ctl.benefit_w(app, valley);
+            let b_hi = ctl.benefit_w(app, peak);
+            println!("app {app}: benefit({valley}) = {b_lo:.2} W, benefit({peak}) = {b_hi:.2} W");
+            assert!(b_lo < 0.0, "app {app} profitable at valley: {b_lo:.2} W");
+            assert!(b_hi > 2.0, "app {app} not profitable at peak: {b_hi:.2} W");
+        }
+        let kvs_score = ctl.score(kvs, MultiTorRig::TOR_A, 110_000.0);
+        let pax_score = ctl.score(pax, MultiTorRig::TOR_A, 10_000.0);
+        println!("scores at overlap: kvs {kvs_score:.2}, pax {pax_score:.2}");
+        assert!(
+            kvs_score * 1.25 > pax_score,
+            "paxos would preempt the kvs incumbent: {kvs_score:.2} vs {pax_score:.2}"
+        );
     }
 }

@@ -77,7 +77,7 @@ impl OnDemandEnvelope {
                 let sw = self.software_placement_w(rate);
                 let hw = self.hardware_placement_w(rate);
                 let (placement, on_demand_w) = if rate >= shift {
-                    (Placement::Hardware, hw)
+                    (Placement::HARDWARE, hw)
                 } else {
                     (Placement::Software, sw)
                 };
@@ -124,7 +124,7 @@ mod tests {
         let env = kvs_envelope();
         let pts = env.sample(1_200_000.0, 60);
         assert_eq!(pts.first().unwrap().placement, Placement::Software);
-        assert_eq!(pts.last().unwrap().placement, Placement::Hardware);
+        assert_eq!(pts.last().unwrap().placement, Placement::HARDWARE);
         // The placement flips exactly once along the sweep.
         let flips = pts
             .windows(2)

@@ -1,14 +1,17 @@
-//! Multi-application on-demand scheduling over one shared device.
+//! Multi-application on-demand scheduling over a fabric of devices.
 //!
 //! §9 evaluates each application with the programmable device to itself;
-//! at production scale the device is a shared, capacity-bounded resource,
-//! so per-app offload decisions must be *arbitrated*. The
-//! [`FleetController`] extends the single-app [`HostController`] design to
-//! a fleet: every sampling interval it reads one [`FleetSample`] per
-//! application, prices each app's offload benefit with its §8
-//! [`PlacementAnalysis`] at the measured rate, and solves a greedy
-//! benefit-per-capacity-unit knapsack over the device's
-//! [`DeviceCapacity`] ledger.
+//! at production scale devices are shared, capacity-bounded resources —
+//! and §9.4 widens the view from one card to a rack, where every ToR
+//! hosts its own device and the controller decides *where* a program
+//! runs, not just *whether* it is offloaded. The [`FleetController`]
+//! extends the single-app [`HostController`] design to that fleet: every
+//! sampling interval it reads one [`FleetSample`] per application, prices
+//! each app's offload benefit with its §8 [`PlacementAnalysis`] at the
+//! measured rate, applies the [`DeviceFabric`]'s locality haircut for
+//! placements away from the app's home ToR, and solves a greedy
+//! benefit-per-capacity-unit knapsack over the **(app × device)**
+//! candidate set.
 //!
 //! The anti-flapping machinery is the [`HostController`]'s, generalised:
 //!
@@ -20,10 +23,14 @@
 //! * *asymmetric thresholds* — offload starts above
 //!   [`FleetControllerConfig::min_benefit_w`] but eviction only below
 //!   `min_benefit_w * evict_fraction`, leaving a dead band;
-//! * *stickiness* — resident apps compete in the knapsack with their score
-//!   multiplied by [`FleetControllerConfig::stickiness`], so a marginal
-//!   newcomer cannot displace an incumbent of nearly equal value. A
-//!   clearly better newcomer still preempts: arbitration, not tenure.
+//! * *stickiness* — a resident app competes in the knapsack with its score
+//!   **on its current device** multiplied by
+//!   [`FleetControllerConfig::stickiness`], so a marginal newcomer cannot
+//!   displace an incumbent of nearly equal value — and, equally, an app
+//!   cannot ping-pong between ToRs: a move to another device is priced
+//!   like a fresh offload and must beat the app's own sticky incumbent
+//!   score. A clearly better alternative still wins: arbitration, not
+//!   tenure.
 //!
 //! Rate feedback follows §9.1: while an app runs in software its offered
 //! rate is measured at the host ([`FleetSample::offered_pps`]); once it is
@@ -33,23 +40,26 @@
 //!
 //! [`HostController`]: crate::host::HostController
 
-use inc_hw::{DeviceCapacity, Placement, ProgramResources};
+use inc_hw::{DeviceFabric, DeviceId, Placement, ProgramResources};
 use inc_sim::Nanos;
 
 use crate::decision::PlacementAnalysis;
 use crate::host::HostSample;
 
-/// One schedulable application sharing the device.
+/// One schedulable application sharing the device fabric.
 #[derive(Clone, Debug)]
 pub struct FleetApp {
     /// Human-readable name (timelines, logs).
     pub name: String,
     /// Device resources the app's dataplane program occupies when
-    /// offloaded (its capacity claim).
+    /// offloaded (its capacity claim — the same on every device).
     pub demand: ProgramResources,
     /// The §8 energy analysis used to price the offload benefit at a
     /// given rate.
     pub analysis: PlacementAnalysis,
+    /// The device on the app's own ToR: placements elsewhere pay the
+    /// fabric's cross-ToR penalty.
+    pub home: DeviceId,
 }
 
 /// Per-application controller inputs for one sampling interval.
@@ -77,15 +87,15 @@ pub struct FleetControllerConfig {
     /// Consecutive samples a condition must hold before a shift.
     pub sustain_samples: u32,
     /// Minimum estimated power saving (watts) for an app to become an
-    /// offload candidate.
+    /// offload candidate on a device (after the locality haircut).
     pub min_benefit_w: f64,
     /// An offloaded app is evicted only when its benefit falls below
     /// `min_benefit_w * evict_fraction` (the hysteresis dead band),
     /// sustained over the window. In `[0, 1]`.
     pub evict_fraction: f64,
-    /// Score multiplier for resident apps in the knapsack ordering
-    /// (≥ 1.0). A newcomer must beat an incumbent by this factor to
-    /// preempt it.
+    /// Score multiplier for a resident app on its current device
+    /// (≥ 1.0). A newcomer — or the same app eyeing a different ToR —
+    /// must beat the incumbent score by this factor to displace it.
     pub stickiness: f64,
 }
 
@@ -114,37 +124,40 @@ pub struct FleetShift {
     pub to: Placement,
     /// The rate estimate that priced the decision, packets/second.
     pub rate_pps: f64,
-    /// The estimated benefit at that rate, watts.
+    /// The estimated benefit at that rate, watts — penalty-adjusted for
+    /// the target device when the shift is an offload.
     pub benefit_w: f64,
 }
 
-/// The multi-application on-demand scheduler.
+/// The multi-application on-demand scheduler over a device fabric.
 ///
 /// # Examples
 ///
 /// ```
-/// use inc_hw::{DeviceCapacity, Placement, PipelineBudget, ProgramResources};
+/// use inc_hw::{DeviceFabric, DeviceId, Placement, PipelineBudget, ProgramResources};
 /// use inc_ondemand::{
 ///     dns_analysis, kvs_analysis, FleetApp, FleetController, FleetControllerConfig,
 /// };
 /// use inc_sim::Nanos;
 ///
-/// let capacity = DeviceCapacity::new(PipelineBudget::tofino_like());
+/// let fabric = DeviceFabric::single(PipelineBudget::tofino_like());
 /// let apps = vec![
 ///     FleetApp {
 ///         name: "kvs".into(),
 ///         demand: ProgramResources { stages: 7, sram_bytes: 40 << 20, parse_depth_bytes: 96 },
 ///         analysis: kvs_analysis(),
+///         home: DeviceId::LOCAL,
 ///     },
 ///     FleetApp {
 ///         name: "dns".into(),
 ///         demand: ProgramResources { stages: 6, sram_bytes: 20 << 20, parse_depth_bytes: 128 },
 ///         analysis: dns_analysis(),
+///         home: DeviceId::LOCAL,
 ///     },
 /// ];
 /// let ctl = FleetController::new(
 ///     FleetControllerConfig::standard(Nanos::from_secs(1)),
-///     capacity,
+///     fabric,
 ///     apps,
 /// );
 /// assert_eq!(ctl.placements(), &[Placement::Software, Placement::Software]);
@@ -152,7 +165,7 @@ pub struct FleetShift {
 #[derive(Clone, Debug)]
 pub struct FleetController {
     config: FleetControllerConfig,
-    capacity: DeviceCapacity,
+    fabric: DeviceFabric,
     apps: Vec<FleetApp>,
     placements: Vec<Placement>,
     up_streaks: Vec<u32>,
@@ -162,15 +175,24 @@ pub struct FleetController {
 
 impl FleetController {
     /// Creates a scheduler with every app starting in software placement.
-    pub fn new(
-        config: FleetControllerConfig,
-        capacity: DeviceCapacity,
-        apps: Vec<FleetApp>,
-    ) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if an app's home device is not in the fabric.
+    pub fn new(config: FleetControllerConfig, fabric: DeviceFabric, apps: Vec<FleetApp>) -> Self {
+        for app in &apps {
+            assert!(
+                app.home.index() < fabric.device_count(),
+                "app {:?} is homed at {} but the fabric has {} devices",
+                app.name,
+                app.home,
+                fabric.device_count()
+            );
+        }
         let n = apps.len();
         FleetController {
             config,
-            capacity,
+            fabric,
             apps,
             placements: vec![Placement::Software; n],
             up_streaks: vec![0; n],
@@ -185,17 +207,17 @@ impl FleetController {
     ///
     /// # Panics
     ///
-    /// Panics if the hardware-resident subset does not fit the device
+    /// Panics if the device-resident subset does not fit its devices
     /// (`placements` must be feasible) or its length differs from the
     /// number of apps.
     pub fn with_initial_placements(mut self, placements: &[Placement]) -> Self {
         assert_eq!(placements.len(), self.apps.len());
-        self.capacity.clear();
+        self.fabric.clear();
         for (i, &p) in placements.iter().enumerate() {
-            if p == Placement::Hardware {
-                self.capacity
-                    .admit(i as u64, self.apps[i].demand)
-                    .expect("initial placements must fit the device");
+            if let Placement::Device(d) = p {
+                self.fabric
+                    .admit(d, i as u64, self.apps[i].demand)
+                    .expect("initial placements must fit the fabric");
             }
         }
         self.placements = placements.to_vec();
@@ -212,9 +234,9 @@ impl FleetController {
         &self.apps
     }
 
-    /// The capacity ledger (reflecting the current placements).
-    pub fn capacity(&self) -> &DeviceCapacity {
-        &self.capacity
+    /// The device fabric (its ledgers reflect the current placements).
+    pub fn fabric(&self) -> &DeviceFabric {
+        &self.fabric
     }
 
     /// The configuration.
@@ -228,31 +250,40 @@ impl FleetController {
     }
 
     /// Estimated power saved by offloading `app` at `rate_pps` (§8 dynamic
-    /// terms): software watts minus network watts. Negative when software
-    /// is cheaper.
+    /// terms): software watts minus network watts, before any locality
+    /// penalty. Negative when software is cheaper.
     pub fn benefit_w(&self, app: usize, rate_pps: f64) -> f64 {
         let (sw, hw) = self.apps[app].analysis.energy_per_second(rate_pps);
         sw - hw
     }
 
-    /// Benefit per capacity unit: the knapsack ranking key used by
-    /// [`FleetController::sample`]. The cost is floored so a degenerate
-    /// zero-demand app yields an (enormous) finite score rather than a
-    /// NaN from 0/0.
-    pub fn score(&self, app: usize, rate_pps: f64) -> f64 {
+    /// The benefit of placing `app` on `device` at `rate_pps`: the raw §8
+    /// benefit scaled by the fabric's locality factor (1.0 at home, the
+    /// cross-ToR haircut elsewhere).
+    pub fn effective_benefit_w(&self, app: usize, device: DeviceId, rate_pps: f64) -> f64 {
+        self.benefit_w(app, rate_pps) * self.fabric.benefit_factor(self.apps[app].home, device)
+    }
+
+    /// Benefit per capacity unit of placing `app` on `device`: the
+    /// knapsack ranking key used by [`FleetController::sample`]. The cost
+    /// is floored so a degenerate zero-demand app yields an (enormous)
+    /// finite score rather than a NaN from 0/0.
+    pub fn score(&self, app: usize, device: DeviceId, rate_pps: f64) -> f64 {
         let cost = self
-            .capacity
+            .fabric
+            .device(device)
             .cost_units(&self.apps[app].demand)
             .max(f64::MIN_POSITIVE);
-        self.benefit_w(app, rate_pps) / cost
+        self.effective_benefit_w(app, device, rate_pps) / cost
     }
 
     /// The rate estimate the controller trusts for `app` given its current
     /// placement (§9.1 feedback rule).
     fn trusted_rate(&self, app: usize, s: &FleetSample) -> f64 {
-        match self.placements[app] {
-            Placement::Hardware => s.host.hw_app_rate,
-            Placement::Software => s.offered_pps,
+        if self.placements[app].is_offloaded() {
+            s.host.hw_app_rate
+        } else {
+            s.offered_pps
         }
     }
 
@@ -269,19 +300,23 @@ impl FleetController {
         let benefits: Vec<f64> = (0..n).map(|i| self.benefit_w(i, rates[i])).collect();
 
         // Streak accounting (the HostController sustain rule, per app).
-        for (i, &benefit) in benefits.iter().enumerate() {
+        // The up-streak — consecutive samples of raw benefit above the
+        // floor since the app's last placement change — gates *entering*
+        // a device: a software app's first offload and, equally, a
+        // resident app's move to a different ToR. A resident app is
+        // additionally judged by the benefit it actually delivers where
+        // it runs (haircut included) for the eviction streak.
+        for i in 0..n {
+            if benefits[i] >= self.config.min_benefit_w {
+                self.up_streaks[i] = self.up_streaks[i].saturating_add(1);
+            } else {
+                self.up_streaks[i] = 0;
+            }
             match self.placements[i] {
-                Placement::Software => {
-                    self.down_streaks[i] = 0;
-                    if benefit >= self.config.min_benefit_w {
-                        self.up_streaks[i] = self.up_streaks[i].saturating_add(1);
-                    } else {
-                        self.up_streaks[i] = 0;
-                    }
-                }
-                Placement::Hardware => {
-                    self.up_streaks[i] = 0;
-                    if benefit < self.config.min_benefit_w * self.config.evict_fraction {
+                Placement::Software => self.down_streaks[i] = 0,
+                Placement::Device(d) => {
+                    let delivered = self.effective_benefit_w(i, d, rates[i]);
+                    if delivered < self.config.min_benefit_w * self.config.evict_fraction {
                         self.down_streaks[i] = self.down_streaks[i].saturating_add(1);
                     } else {
                         self.down_streaks[i] = 0;
@@ -290,59 +325,89 @@ impl FleetController {
             }
         }
 
-        // Candidate set: residents keep competing until their eviction
-        // condition sustains (even through transient dips — that is the
-        // hysteresis); newcomers join only after their benefit sustains.
-        let mut candidates: Vec<(f64, usize)> = Vec::new();
+        // Candidate set over (app × device): residents keep competing
+        // until their eviction condition sustains (even through transient
+        // dips — that is the hysteresis); newcomers join only after their
+        // benefit sustains. A resident's candidacy on its *current*
+        // device carries the stickiness premium; on any other device it
+        // is priced like a fresh offload, so cross-ToR moves also fight
+        // the hysteresis.
+        let mut candidates: Vec<(f64, usize, DeviceId)> = Vec::new();
         for (i, &rate) in rates.iter().enumerate() {
-            let raw = self.score(i, rate);
             match self.placements[i] {
-                Placement::Hardware => {
+                Placement::Device(cur) => {
                     if self.down_streaks[i] < self.config.sustain_samples {
-                        candidates.push((raw * self.config.stickiness, i));
+                        for d in self.fabric.device_ids() {
+                            if d == cur {
+                                candidates.push((
+                                    self.score(i, d, rate) * self.config.stickiness,
+                                    i,
+                                    d,
+                                ));
+                            } else if self.up_streaks[i] >= self.config.sustain_samples
+                                && self.effective_benefit_w(i, d, rate) >= self.config.min_benefit_w
+                            {
+                                // A cross-ToR move is a fresh offload: it
+                                // needs its own sustained profitability
+                                // (so a pinned controller, or a briefly
+                                // hot app, never hops racks).
+                                candidates.push((self.score(i, d, rate), i, d));
+                            }
+                        }
                     }
                 }
                 Placement::Software => {
                     if self.up_streaks[i] >= self.config.sustain_samples {
-                        candidates.push((raw, i));
+                        for d in self.fabric.device_ids() {
+                            if self.effective_benefit_w(i, d, rate) >= self.config.min_benefit_w {
+                                candidates.push((self.score(i, d, rate), i, d));
+                            }
+                        }
                     }
                 }
             }
         }
         // Greedy knapsack: best benefit-per-capacity-unit first. Ties
-        // break on the lower index for determinism.
-        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        let mut chosen = DeviceCapacity::new(self.capacity.budget());
-        let mut selected = vec![false; n];
-        for &(_, i) in &candidates {
-            if chosen.admit(i as u64, self.apps[i].demand).is_ok() {
-                selected[i] = true;
+        // break on the lower app index, then the lower device index
+        // (home candidates sort before remote ones of equal score only
+        // via their higher, un-haircut scores).
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut chosen = self.fabric.fresh();
+        let mut selected: Vec<Option<DeviceId>> = vec![None; n];
+        for &(_, i, d) in &candidates {
+            if selected[i].is_none() && chosen.admit(d, i as u64, self.apps[i].demand).is_ok() {
+                selected[i] = Some(d);
             }
         }
 
-        // Execute the diff between the chosen set and the current one.
+        // Execute the diff between the chosen assignment and the current
+        // one. A cross-device move is a single decision (the executor
+        // tears down one residency and programs the other).
         let mut decisions = Vec::new();
         for i in 0..n {
-            let want = if selected[i] {
-                Placement::Hardware
-            } else {
-                Placement::Software
+            let want = match selected[i] {
+                Some(d) => Placement::Device(d),
+                None => Placement::Software,
             };
             if want != self.placements[i] {
                 self.placements[i] = want;
                 self.up_streaks[i] = 0;
                 self.down_streaks[i] = 0;
+                let benefit_w = match want {
+                    Placement::Device(d) => self.effective_benefit_w(i, d, rates[i]),
+                    Placement::Software => benefits[i],
+                };
                 self.shifts.push(FleetShift {
                     at: now,
                     app: i,
                     to: want,
                     rate_pps: rates[i],
-                    benefit_w: benefits[i],
+                    benefit_w,
                 });
                 decisions.push((i, want));
             }
         }
-        self.capacity = chosen;
+        self.fabric = chosen;
         decisions
     }
 }
@@ -350,7 +415,7 @@ impl FleetController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use inc_hw::PipelineBudget;
+    use inc_hw::{CrossTorPenalty, PipelineBudget};
     use inc_power::EnergyParams;
 
     /// A synthetic analysis with software dynamic slope `slope_w_per_pps`
@@ -373,6 +438,10 @@ mod tests {
     }
 
     fn app(name: &str, stages: u32, slope: f64, unpark: f64) -> FleetApp {
+        app_homed(name, stages, slope, unpark, DeviceId::LOCAL)
+    }
+
+    fn app_homed(name: &str, stages: u32, slope: f64, unpark: f64, home: DeviceId) -> FleetApp {
         FleetApp {
             name: name.into(),
             demand: ProgramResources {
@@ -381,12 +450,23 @@ mod tests {
                 parse_depth_bytes: 64,
             },
             analysis: analysis(slope, unpark),
+            home,
         }
     }
 
-    /// Budget with 12 stages: a 7-stage and a 6-stage app cannot co-reside.
-    fn contended() -> DeviceCapacity {
-        DeviceCapacity::new(PipelineBudget::tofino_like())
+    /// Single device with 12 stages: a 7-stage and a 6-stage app cannot
+    /// co-reside.
+    fn contended() -> DeviceFabric {
+        DeviceFabric::single(PipelineBudget::tofino_like())
+    }
+
+    /// Two 12-stage ToRs with the standard cross-ToR penalty.
+    fn two_tors() -> DeviceFabric {
+        DeviceFabric::homogeneous(
+            2,
+            PipelineBudget::tofino_like(),
+            CrossTorPenalty::standard(),
+        )
     }
 
     fn sample(offered: f64, hw_rate: f64) -> FleetSample {
@@ -424,11 +504,11 @@ mod tests {
             assert!(ctl.sample(t(step), &s).is_empty(), "sustain not yet met");
         }
         let d = ctl.sample(t(3), &s);
-        assert_eq!(d, vec![(1, Placement::Hardware)]);
+        assert_eq!(d, vec![(1, Placement::HARDWARE)]);
         // App 0 stays software: it no longer fits (7 + 6 > 12 stages).
         assert_eq!(
             ctl.placements(),
-            &[Placement::Software, Placement::Hardware]
+            &[Placement::Software, Placement::HARDWARE]
         );
         // And it stays that way while both loads hold (no flapping).
         for step in 4..=20 {
@@ -447,7 +527,7 @@ mod tests {
         }
         assert_eq!(
             ctl.placements(),
-            &[Placement::Software, Placement::Hardware]
+            &[Placement::Software, Placement::HARDWARE]
         );
         // App b's demand dies; the network-side rate feedback reports the
         // collapse (offered is ignored for the resident app).
@@ -463,10 +543,10 @@ mod tests {
         // in its place.
         assert_eq!(
             ctl.placements(),
-            &[Placement::Hardware, Placement::Software]
+            &[Placement::HARDWARE, Placement::Software]
         );
         assert!(decisions.contains(&(1, Placement::Software)));
-        assert!(decisions.contains(&(0, Placement::Hardware)));
+        assert!(decisions.contains(&(0, Placement::HARDWARE)));
     }
 
     #[test]
@@ -477,7 +557,7 @@ mod tests {
         for step in 1..=3 {
             ctl.sample(t(step), &hot);
         }
-        assert_eq!(ctl.placements(), &[Placement::Hardware]);
+        assert_eq!(ctl.placements(), &[Placement::HARDWARE]);
         // Two idle samples (below sustain), then hot again: no eviction.
         let idle = [sample(0.0, 0.0)];
         assert!(ctl.sample(t(4), &idle).is_empty());
@@ -485,7 +565,7 @@ mod tests {
         assert!(ctl.sample(t(6), &hot).is_empty());
         assert!(ctl.sample(t(7), &idle).is_empty());
         assert!(ctl.sample(t(8), &idle).is_empty());
-        assert_eq!(ctl.placements(), &[Placement::Hardware]);
+        assert_eq!(ctl.placements(), &[Placement::HARDWARE]);
         // A third consecutive idle sample completes the window.
         let d = ctl.sample(t(9), &idle);
         assert_eq!(d, vec![(0, Placement::Software)]);
@@ -502,7 +582,7 @@ mod tests {
         for step in 1..=3 {
             ctl.sample(t(step), &warm);
         }
-        assert_eq!(ctl.placements()[0], Placement::Hardware);
+        assert_eq!(ctl.placements()[0], Placement::HARDWARE);
         // The rival reaches a slightly higher rate — within the 25 %
         // stickiness band, so the incumbent holds.
         let marginal = [sample(100_000.0, 100_000.0), sample(110_000.0, 0.0)];
@@ -519,7 +599,7 @@ mod tests {
             }
         }
         assert!(moved.contains(&(0, Placement::Software)));
-        assert!(moved.contains(&(1, Placement::Hardware)));
+        assert!(moved.contains(&(1, Placement::HARDWARE)));
     }
 
     #[test]
@@ -543,8 +623,8 @@ mod tests {
             ..cfg()
         };
         let mut ctl = FleetController::new(pinned, contended(), apps)
-            .with_initial_placements(&[Placement::Hardware, Placement::Software]);
-        assert!(ctl.capacity().is_resident(0));
+            .with_initial_placements(&[Placement::HARDWARE, Placement::Software]);
+        assert!(ctl.fabric().is_resident(0));
         for step in 1..=30 {
             // Wildly varying load in both directions.
             let r = if step % 2 == 0 { 500_000.0 } else { 0.0 };
@@ -554,7 +634,7 @@ mod tests {
         }
         assert_eq!(
             ctl.placements(),
-            &[Placement::Hardware, Placement::Software]
+            &[Placement::HARDWARE, Placement::Software]
         );
         assert!(ctl.shifts().is_empty());
     }
@@ -564,6 +644,136 @@ mod tests {
     fn infeasible_initial_placements_rejected() {
         let apps = vec![app("a", 7, 0.1, 2.0), app("b", 6, 0.1, 2.0)];
         let _ = FleetController::new(cfg(), contended(), apps)
-            .with_initial_placements(&[Placement::Hardware, Placement::Hardware]);
+            .with_initial_placements(&[Placement::HARDWARE, Placement::HARDWARE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "homed")]
+    fn out_of_fabric_home_rejected() {
+        let apps = vec![app_homed("lost", 4, 0.1, 2.0, DeviceId(3))];
+        let _ = FleetController::new(cfg(), contended(), apps);
+    }
+
+    // --- Fabric-specific behaviour. ---
+
+    #[test]
+    fn oversubscribed_home_spills_to_the_remote_tor() {
+        // Two apps homed on ToR 0, together too big for one device; the
+        // second-best spills to ToR 1 because its penalty-adjusted
+        // benefit still clears the floor.
+        let apps = vec![
+            app_homed("big", 7, 0.14, 2.0, DeviceId(0)),
+            app_homed("spill", 6, 0.10, 2.0, DeviceId(0)),
+        ];
+        let mut ctl = FleetController::new(cfg(), two_tors(), apps);
+        let s = [sample(100_000.0, 100_000.0), sample(100_000.0, 100_000.0)];
+        for step in 1..=3 {
+            ctl.sample(t(step), &s);
+        }
+        assert_eq!(
+            ctl.placements(),
+            &[
+                Placement::Device(DeviceId(0)),
+                Placement::Device(DeviceId(1))
+            ]
+        );
+        // The spilled app's recorded benefit carries the haircut.
+        let spill = ctl.shifts().iter().find(|s| s.app == 1).unwrap();
+        let raw = ctl.benefit_w(1, 100_000.0);
+        let haircut = CrossTorPenalty::standard().benefit_factor;
+        assert!((spill.benefit_w - raw * haircut).abs() < 1e-9);
+        // Stable thereafter: no ping-pong between the ToRs.
+        for step in 4..=30 {
+            assert!(ctl.sample(t(step), &s).is_empty());
+        }
+    }
+
+    #[test]
+    fn remote_placement_requires_the_haircut_benefit_to_clear_the_floor() {
+        // Raw benefit 1.1 W clears the 1 W floor at home, but the 0.85×
+        // haircut (0.935 W) does not — so when home is full the app stays
+        // in software rather than spilling at a loss.
+        let apps = vec![
+            app_homed("hog", 12, 0.14, 2.0, DeviceId(0)), // fills ToR 0
+            app_homed("meek", 6, 0.031, 2.0, DeviceId(0)), // 3.1-2 = 1.1 W
+        ];
+        let mut ctl = FleetController::new(cfg(), two_tors(), apps);
+        let s = [sample(100_000.0, 100_000.0), sample(100_000.0, 100_000.0)];
+        for step in 1..=10 {
+            ctl.sample(t(step), &s);
+        }
+        assert_eq!(ctl.placements()[0], Placement::Device(DeviceId(0)));
+        assert_eq!(ctl.placements()[1], Placement::Software);
+    }
+
+    #[test]
+    fn app_returns_home_when_capacity_frees_only_if_decisively_better() {
+        // The spilled app sits on ToR 1. When the hog on its home ToR
+        // leaves, the app comes home only if its un-haircut home score
+        // beats its sticky remote score — use a deep 0.5 haircut so
+        // home is decisively (2× > 1.25×) better.
+        let penalty = CrossTorPenalty {
+            extra_latency: Nanos::from_micros(2),
+            benefit_factor: 0.5,
+        };
+        let fabric = DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), penalty);
+        let apps = vec![
+            app_homed("hog", 7, 0.30, 2.0, DeviceId(0)),
+            app_homed("mover", 6, 0.10, 2.0, DeviceId(0)),
+        ];
+        let mut ctl = FleetController::new(cfg(), fabric, apps);
+        let both = [sample(100_000.0, 100_000.0), sample(100_000.0, 100_000.0)];
+        for step in 1..=3 {
+            ctl.sample(t(step), &both);
+        }
+        assert_eq!(
+            ctl.placements(),
+            &[
+                Placement::Device(DeviceId(0)),
+                Placement::Device(DeviceId(1))
+            ]
+        );
+        // The hog's traffic dies; after its eviction window the mover
+        // comes home in the same decision pass.
+        let hog_idle = [sample(100_000.0, 500.0), sample(100_000.0, 100_000.0)];
+        let mut moved = Vec::new();
+        for step in 4..=10 {
+            moved.extend(ctl.sample(t(step), &hog_idle));
+            if !moved.is_empty() {
+                break;
+            }
+        }
+        assert!(moved.contains(&(0, Placement::Software)), "{moved:?}");
+        assert!(
+            moved.contains(&(1, Placement::Device(DeviceId(0)))),
+            "{moved:?}"
+        );
+        // One decision for the move, not an evict+offload pair.
+        assert_eq!(
+            ctl.shifts().iter().filter(|s| s.app == 1).count(),
+            2,
+            "{:?}",
+            ctl.shifts()
+        );
+    }
+
+    #[test]
+    fn sticky_incumbent_device_resists_marginal_cross_tor_moves() {
+        // Symmetric fabric, app homed on ToR 0 but resident on ToR 1
+        // (seeded). Its home score is 1/0.9 ≈ 1.11× the remote score —
+        // inside the 1.25× stickiness band — so it must NOT hop home.
+        let penalty = CrossTorPenalty {
+            extra_latency: Nanos::from_micros(2),
+            benefit_factor: 0.9,
+        };
+        let fabric = DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), penalty);
+        let apps = vec![app_homed("settled", 6, 0.10, 2.0, DeviceId(0))];
+        let mut ctl = FleetController::new(cfg(), fabric, apps)
+            .with_initial_placements(&[Placement::Device(DeviceId(1))]);
+        let s = [sample(100_000.0, 100_000.0)];
+        for step in 1..=30 {
+            assert!(ctl.sample(t(step), &s).is_empty(), "hopped at {step}");
+        }
+        assert_eq!(ctl.placements(), &[Placement::Device(DeviceId(1))]);
     }
 }

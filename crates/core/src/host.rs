@@ -138,11 +138,11 @@ impl HostController {
                     self.up_streak = 0;
                 }
                 if self.up_streak >= self.config.sustain_samples {
-                    self.transition(now, Placement::Hardware, s);
-                    return Some(Placement::Hardware);
+                    self.transition(now, Placement::HARDWARE, s);
+                    return Some(Placement::HARDWARE);
                 }
             }
-            Placement::Hardware => {
+            Placement::Device(_) => {
                 self.up_streak = 0;
                 // Shift-back needs the network-side rate feedback (host
                 // power is no longer attributable to the app) plus host
@@ -213,7 +213,7 @@ mod tests {
         assert_eq!(c.sample(t(3), cold()), None);
         assert_eq!(c.sample(t(4), hot()), None);
         assert_eq!(c.sample(t(5), hot()), None);
-        assert_eq!(c.sample(t(6), hot()), Some(Placement::Hardware));
+        assert_eq!(c.sample(t(6), hot()), Some(Placement::HARDWARE));
         assert_eq!(c.shifts().len(), 1);
         assert_eq!(c.shifts()[0].at, t(6));
     }
@@ -239,7 +239,7 @@ mod tests {
         for s in 1..=3 {
             c.sample(t(s), hot());
         }
-        assert_eq!(c.placement(), Placement::Hardware);
+        assert_eq!(c.placement(), Placement::HARDWARE);
         // Hardware still busy: no shift back even if host power is low.
         let busy = HostSample {
             rapl_w: 30.0,
@@ -277,7 +277,7 @@ mod tests {
         for s in 4..=50 {
             assert_eq!(c.sample(t(s), moderate), None);
         }
-        assert_eq!(c.placement(), Placement::Hardware);
+        assert_eq!(c.placement(), Placement::HARDWARE);
         assert_eq!(c.shifts().len(), 1);
     }
 }

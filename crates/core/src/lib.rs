@@ -17,8 +17,9 @@
 //! * [`run_host_controlled`] / [`Timeline`] — the experiment harness that
 //!   plays the controller daemon against a simulation (Figures 6 and 7).
 //! * [`FleetController`] / [`run_fleet_controlled`] — the multi-application
-//!   scheduler arbitrating one shared, capacity-bounded device via a
-//!   greedy benefit-per-capacity knapsack.
+//!   scheduler placing programs across a capacity-bounded device fabric
+//!   (one device per ToR, §9.4) via a greedy benefit-per-capacity
+//!   knapsack over (app × device) candidates.
 //! * [`PlacementAnalysis`] — the §8 energy-model questions and tipping
 //!   point.
 //! * [`OnDemandEnvelope`] — the Figure 5 composite power curve.
@@ -58,4 +59,7 @@ pub use tor::TorRack;
 
 // Re-export the pieces of the on-demand interface that live lower in the
 // stack, so downstream users have one import surface.
-pub use inc_hw::{NetControllerConfig, NetRateController, Placement, RateTrigger};
+pub use inc_hw::{
+    CrossTorPenalty, DeviceFabric, DeviceId, NetControllerConfig, NetRateController, Placement,
+    RateTrigger,
+};

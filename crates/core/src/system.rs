@@ -307,7 +307,7 @@ mod tests {
         );
         // One shift up (during the burst) and one back down (after).
         assert_eq!(timeline.shifts.len(), 2);
-        assert_eq!(timeline.shifts[0].1, Placement::Hardware);
+        assert_eq!(timeline.shifts[0].1, Placement::HARDWARE);
         assert_eq!(timeline.shifts[1].1, Placement::Software);
         // The up-shift came after the 3-sample sustain inside the burst.
         let up_at = timeline.shifts[0].0;
@@ -329,7 +329,7 @@ mod tests {
     fn fleet_loop_arbitrates_and_records() {
         use crate::decision::PlacementAnalysis;
         use crate::fleet::{FleetApp, FleetControllerConfig};
-        use inc_hw::{DeviceCapacity, PipelineBudget, ProgramResources};
+        use inc_hw::{DeviceFabric, DeviceId, PipelineBudget, ProgramResources};
         use inc_power::EnergyParams;
 
         let analysis = |slope_per_kpps: f64| PlacementAnalysis {
@@ -356,16 +356,18 @@ mod tests {
                 name: "slow-burner".into(),
                 demand: demand(7),
                 analysis: analysis(0.08),
+                home: DeviceId::LOCAL,
             },
             FleetApp {
                 name: "hot-shot".into(),
                 demand: demand(6),
                 analysis: analysis(0.16),
+                home: DeviceId::LOCAL,
             },
         ];
         let mut ctl = crate::fleet::FleetController::new(
             FleetControllerConfig::standard(Nanos::from_millis(100)),
-            DeviceCapacity::new(PipelineBudget::tofino_like()),
+            DeviceFabric::single(PipelineBudget::tofino_like()),
             apps,
         );
         let mut sim: Simulator<()> = Simulator::new(0);
@@ -391,7 +393,7 @@ mod tests {
                 (0..2)
                     .map(|app| {
                         let rate = offered(app, now);
-                        let hw = placements.borrow()[app] == Placement::Hardware;
+                        let hw = placements.borrow()[app] == Placement::HARDWARE;
                         AppObservation {
                             sample: FleetSample {
                                 host: HostSample {
@@ -417,11 +419,11 @@ mod tests {
         // both end in software.
         let s1 = timeline.shifts_for(1);
         assert_eq!(s1.len(), 2, "app 1 round-trips: {s1:?}");
-        assert_eq!(s1[0].1, Placement::Hardware);
+        assert_eq!(s1[0].1, Placement::HARDWARE);
         assert!(s1[0].0 < Nanos::from_secs(2));
         let s0 = timeline.shifts_for(0);
         assert_eq!(s0.len(), 2, "app 0 round-trips: {s0:?}");
-        assert_eq!(s0[0].1, Placement::Hardware);
+        assert_eq!(s0[0].1, Placement::HARDWARE);
         // App 0 could only enter after app 1 left (one slot).
         assert!(s0[0].0 >= s1[1].0, "{s0:?} vs {s1:?}");
         // The capacity bound held at every row.
@@ -431,7 +433,7 @@ mod tests {
             .zip(&timeline.per_app[1].rows)
         {
             assert!(
-                !(r0.placement == Placement::Hardware && r1.placement == Placement::Hardware),
+                !(r0.placement == Placement::HARDWARE && r1.placement == Placement::HARDWARE),
                 "both hardware-resident at {}",
                 r0.t
             );

@@ -107,7 +107,7 @@ impl EmuDevice {
 
     /// Starts serving in hardware (the always-on §4.4 configuration).
     pub fn started_in_hardware(mut self) -> Self {
-        self.apply_placement(Nanos::ZERO, Placement::Hardware);
+        self.apply_placement(Nanos::ZERO, Placement::HARDWARE);
         self.shift_log.clear();
         self.stats.shifts = 0;
         self
@@ -140,7 +140,7 @@ impl EmuDevice {
         self.stats.shifts += 1;
         self.shift_log.push((now, placement));
         match placement {
-            Placement::Hardware => self.card.unpark(),
+            Placement::Device(_) => self.card.unpark(),
             Placement::Software => {
                 self.card.park();
                 self.core.quiesce(now);
@@ -217,7 +217,7 @@ impl Node<Packet> for EmuDevice {
                     }
                 }
                 match self.placement {
-                    Placement::Hardware => self.serve_hw(ctx, msg),
+                    Placement::Device(_) => self.serve_hw(ctx, msg),
                     Placement::Software => {
                         self.stats.to_host += 1;
                         ctx.send_after(
@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn placement_shift_logs() {
         let mut dev = EmuDevice::new(Zone::synthetic(4));
-        dev.apply_placement(Nanos::from_secs(1), Placement::Hardware);
+        dev.apply_placement(Nanos::from_secs(1), Placement::HARDWARE);
         dev.apply_placement(Nanos::from_secs(2), Placement::Software);
         assert_eq!(dev.stats().shifts, 2);
         assert_eq!(dev.shift_log.len(), 2);

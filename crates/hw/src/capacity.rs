@@ -83,35 +83,40 @@ impl DeviceCapacity {
             })
     }
 
-    /// Checks whether `extra` would fit alongside the current residents.
-    pub fn fits(&self, extra: &ProgramResources) -> bool {
+    /// The single combine-and-check rule shared by [`DeviceCapacity::fits`]
+    /// and [`DeviceCapacity::admit`]: stages and SRAM add to the current
+    /// residents, parse depth is a shared maximum, and the result must
+    /// pass the budget's own admission check.
+    fn check_alongside_residents(&self, extra: &ProgramResources) -> Result<(), PipelineError> {
         let used = self.used();
         let combined = ProgramResources {
             stages: used.stages + extra.stages,
             sram_bytes: used.sram_bytes + extra.sram_bytes,
             parse_depth_bytes: used.parse_depth_bytes.max(extra.parse_depth_bytes),
         };
-        self.budget.admit(&combined).is_ok()
+        self.budget.admit(&combined)
+    }
+
+    /// Checks whether `extra` would fit alongside the current residents.
+    pub fn fits(&self, extra: &ProgramResources) -> bool {
+        self.check_alongside_residents(extra).is_ok()
     }
 
     /// Grants `app` the resources `r`, or explains why it cannot.
     ///
     /// Re-admitting a resident app first releases its old allocation, so
-    /// an app can grow or shrink its share in place.
+    /// an app can grow or shrink its share in place. Admission succeeds
+    /// exactly when [`DeviceCapacity::fits`] (with the app's own previous
+    /// share excluded) holds — both go through the same combine rule.
     pub fn admit(&mut self, app: AppSlot, r: ProgramResources) -> Result<(), PipelineError> {
         let previous = self.allocs.remove(&app);
-        let used = self.used();
-        let combined = ProgramResources {
-            stages: used.stages + r.stages,
-            sram_bytes: used.sram_bytes + r.sram_bytes,
-            parse_depth_bytes: used.parse_depth_bytes.max(r.parse_depth_bytes),
-        };
-        match self.budget.admit(&combined) {
+        match self.check_alongside_residents(&r) {
             Ok(()) => {
                 self.allocs.insert(app, r);
                 Ok(())
             }
             Err(e) => {
+                let used = self.used();
                 // Roll back the speculative release; keep the budget's own
                 // diagnosis (it names the violated dimension) and add the
                 // contention the decision actually saw — the app's own
@@ -141,32 +146,41 @@ impl DeviceCapacity {
         self.allocs.clear();
     }
 
-    /// The scalar cost of a program: the largest fraction of any budget
-    /// dimension it consumes (its bottleneck share), in `(0, ∞)`. A
-    /// program whose cost exceeds 1 can never fit.
-    pub fn cost_units(&self, r: &ProgramResources) -> f64 {
-        let stage_frac = if self.budget.stages == 0 {
-            f64::INFINITY
-        } else {
-            r.stages as f64 / self.budget.stages as f64
-        };
-        let sram_frac = if self.budget.sram_bytes == 0 {
-            f64::INFINITY
-        } else {
-            r.sram_bytes as f64 / self.budget.sram_bytes as f64
-        };
-        // Parse depth is shared, not consumed: it gates feasibility (via
-        // admit) but costs nothing to co-residents.
-        stage_frac.max(sram_frac)
+    /// Fraction of a budget dimension that `amount` represents, with one
+    /// convention shared by [`DeviceCapacity::cost_units`] and
+    /// [`DeviceCapacity::occupancy`]: demanding any amount of a dimension
+    /// the device does not have is infinitely expensive, demanding none
+    /// of it is free. (The old `occupancy` used `.max(1)` denominators
+    /// and clamped to 1.0, silently reporting a zero-sized dimension as
+    /// healthy and masking overcommit.)
+    fn dimension_frac(amount: u64, budget: u64) -> f64 {
+        match (amount, budget) {
+            (0, 0) => 0.0,
+            (_, 0) => f64::INFINITY,
+            (a, b) => a as f64 / b as f64,
+        }
     }
 
-    /// Fraction of the bottleneck dimension currently allocated, in
-    /// `[0, 1]`.
+    /// The scalar cost of a program: the largest fraction of any budget
+    /// dimension it consumes (its bottleneck share), in `[0, ∞]`. A
+    /// program whose cost exceeds 1 can never fit.
+    pub fn cost_units(&self, r: &ProgramResources) -> f64 {
+        // Parse depth is shared, not consumed: it gates feasibility (via
+        // admit) but costs nothing to co-residents.
+        Self::dimension_frac(r.stages as u64, self.budget.stages as u64)
+            .max(Self::dimension_frac(r.sram_bytes, self.budget.sram_bytes))
+    }
+
+    /// Fraction of the bottleneck dimension currently allocated. Every
+    /// allocation goes through [`DeviceCapacity::admit`], so this stays
+    /// in `[0, 1]` — it is deliberately *not* clamped, so an overcommit
+    /// introduced by a future bug (or a shrunk budget) reads as `> 1`
+    /// instead of being masked.
     pub fn occupancy(&self) -> f64 {
         let used = self.used();
-        let stage_frac = used.stages as f64 / self.budget.stages.max(1) as f64;
-        let sram_frac = used.sram_bytes as f64 / self.budget.sram_bytes.max(1) as f64;
-        stage_frac.max(sram_frac).min(1.0)
+        Self::dimension_frac(used.stages as u64, self.budget.stages as u64).max(
+            Self::dimension_frac(used.sram_bytes, self.budget.sram_bytes),
+        )
     }
 }
 
@@ -255,6 +269,56 @@ mod tests {
         assert!((cap.cost_units(&kvs()) - 40.0 / 48.0).abs() < 1e-9);
         // DNS: stages 6/12 = 0.5, SRAM 20/48 = 0.417 -> stage-bound.
         assert!((cap.cost_units(&dns()) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sized_budget_dimension_is_infinite_not_masked() {
+        // Regression: `occupancy` used `.max(1)` denominators and a
+        // `.min(1.0)` clamp, so a zero-SRAM device looked healthily
+        // occupied while `cost_units` called the same demand infinite.
+        let no_sram = PipelineBudget {
+            stages: 12,
+            sram_bytes: 0,
+            parse_depth_bytes: 192,
+        };
+        let mut cap = DeviceCapacity::new(no_sram);
+        // Any SRAM demand is infinitely expensive and never admitted.
+        assert_eq!(cap.cost_units(&dns()), f64::INFINITY);
+        assert!(!cap.fits(&dns()));
+        assert!(cap.admit(0, dns()).is_err());
+        // A stateless program is finite, admissible, and both metrics
+        // agree on the stage fraction.
+        let stateless = ProgramResources {
+            stages: 3,
+            sram_bytes: 0,
+            parse_depth_bytes: 64,
+        };
+        assert!((cap.cost_units(&stateless) - 0.25).abs() < 1e-9);
+        cap.admit(1, stateless).unwrap();
+        assert!((cap.occupancy() - 0.25).abs() < 1e-9);
+        // An empty ledger on the degenerate device occupies nothing.
+        cap.clear();
+        assert_eq!(cap.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn fits_and_admit_agree() {
+        // `admit` is implemented on the same combine rule as `fits`, so
+        // the two can no longer drift; spot-check both directions around
+        // the boundary (the exhaustive check is a proptest in
+        // `tests/properties.rs`).
+        let mut cap = DeviceCapacity::new(PipelineBudget::tofino_like());
+        cap.admit(0, kvs()).unwrap();
+        let five = ProgramResources {
+            stages: 5,
+            sram_bytes: 1 << 20,
+            parse_depth_bytes: 64,
+        };
+        let six = ProgramResources { stages: 6, ..five };
+        assert!(cap.fits(&five));
+        assert!(!cap.fits(&six));
+        assert!(cap.admit(1, five).is_ok());
+        assert!(cap.admit(2, six).is_err());
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! A fabric of programmable devices: one capacity ledger per ToR.
+//!
+//! §9.4 widens the on-demand question from one card to a rack: "the
+//! processing demands of the application may be beyond the resources of a
+//! single network device", and a datacenter operator has one programmable
+//! device per ToR switch, so the controller's decision is no longer
+//! *whether* to offload but *where*. [`DeviceFabric`] is that set: an
+//! indexed collection of [`DeviceCapacity`] ledgers — possibly
+//! heterogeneous budgets — plus the locality model that prices placing an
+//! application's program away from its home ToR.
+//!
+//! The locality model is deliberately coarse, in the spirit of Gray's
+//! *Distributed Computing Economics*: computation should sit where its
+//! benefit per unit of scarce resource is highest, and moving it away
+//! from its data costs a fixed detour. An app placed on a remote ToR pays
+//! [`CrossTorPenalty::extra_latency`] per packet each way (the traffic
+//! detours through the inter-ToR link) and its power benefit is scaled by
+//! [`CrossTorPenalty::benefit_factor`] (the detour burns switch and link
+//! energy that the offload no longer saves).
+
+use inc_sim::Nanos;
+
+use crate::capacity::{AppSlot, DeviceCapacity};
+use crate::pipeline::{PipelineBudget, PipelineError, ProgramResources};
+
+/// Identifier of one programmable device in a fabric (conventionally, the
+/// card attached to one ToR switch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u16);
+
+impl DeviceId {
+    /// The single device of a one-card topology (every pre-fabric
+    /// controller and device model offloads here).
+    pub const LOCAL: DeviceId = DeviceId(0);
+
+    /// The device's position in its fabric's index space.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tor{}", self.0)
+    }
+}
+
+/// The price of placing a program on a device other than its home ToR.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrossTorPenalty {
+    /// Extra one-way per-packet latency of the detour through the
+    /// inter-ToR fabric (paid once per direction).
+    pub extra_latency: Nanos,
+    /// Multiplier applied to the estimated offload benefit of a remote
+    /// placement, in `[0, 1]`: the detour keeps links and switch ports
+    /// busy, clawing back part of the power the offload saves.
+    pub benefit_factor: f64,
+}
+
+impl CrossTorPenalty {
+    /// No penalty: every device is as good as home (single-ToR fabrics).
+    pub const NONE: CrossTorPenalty = CrossTorPenalty {
+        extra_latency: Nanos::ZERO,
+        benefit_factor: 1.0,
+    };
+
+    /// A typical intra-rack-row detour: a couple of microseconds of extra
+    /// propagation/serialisation and a 15 % benefit haircut.
+    ///
+    /// The haircut is deliberately *not* the reciprocal of the fleet
+    /// scheduler's standard 1.25× stickiness premium: a factor of
+    /// exactly 1/1.25 = 0.8 would make a remote incumbent's sticky
+    /// score and its home score an exact mathematical tie, so "stay
+    /// remote" vs "hop home" would be decided by float rounding noise
+    /// instead of a decisive benefit. 0.85 keeps the settled incumbent
+    /// clearly ahead.
+    pub fn standard() -> Self {
+        CrossTorPenalty {
+            extra_latency: Nanos::from_micros(2),
+            benefit_factor: 0.85,
+        }
+    }
+}
+
+/// An indexed set of per-device capacity ledgers with a locality model.
+///
+/// Apps are identified by the same [`AppSlot`] across all devices, and the
+/// fabric maintains the invariant that an app is resident on **at most one
+/// device** (a program is loaded in one place).
+///
+/// # Examples
+///
+/// ```
+/// use inc_hw::{CrossTorPenalty, DeviceFabric, DeviceId, PipelineBudget, ProgramResources};
+///
+/// let mut fabric = DeviceFabric::homogeneous(
+///     2,
+///     PipelineBudget::tofino_like(),
+///     CrossTorPenalty::standard(),
+/// );
+/// let kvs = ProgramResources { stages: 7, sram_bytes: 40 << 20, parse_depth_bytes: 96 };
+/// let dns = ProgramResources { stages: 6, sram_bytes: 20 << 20, parse_depth_bytes: 128 };
+/// fabric.admit(DeviceId(0), 0, kvs).unwrap();
+/// // The programs cannot share one device (13 stages > 12)...
+/// assert!(fabric.admit(DeviceId(0), 1, dns).is_err());
+/// // ...but the second ToR has room.
+/// fabric.admit(DeviceId(1), 1, dns).unwrap();
+/// assert_eq!(fabric.residency(1), Some(DeviceId(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeviceFabric {
+    devices: Vec<DeviceCapacity>,
+    penalty: CrossTorPenalty,
+}
+
+impl DeviceFabric {
+    /// Creates a fabric with one (empty) ledger per budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets` is empty or holds more devices than
+    /// [`DeviceId`] can index.
+    pub fn new(budgets: Vec<PipelineBudget>, penalty: CrossTorPenalty) -> Self {
+        assert!(!budgets.is_empty(), "a fabric needs at least one device");
+        assert!(
+            budgets.len() <= u16::MAX as usize,
+            "device count exceeds the DeviceId index space"
+        );
+        DeviceFabric {
+            devices: budgets.into_iter().map(DeviceCapacity::new).collect(),
+            penalty,
+        }
+    }
+
+    /// A single-device fabric with no locality penalty: the pre-§9.4
+    /// shared-card topology.
+    pub fn single(budget: PipelineBudget) -> Self {
+        DeviceFabric::new(vec![budget], CrossTorPenalty::NONE)
+    }
+
+    /// `n` identical devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn homogeneous(n: usize, budget: PipelineBudget, penalty: CrossTorPenalty) -> Self {
+        DeviceFabric::new(vec![budget; n], penalty)
+    }
+
+    /// An empty copy: same budgets and penalty, no allocations. Used by
+    /// schedulers to build a candidate assignment before committing.
+    pub fn fresh(&self) -> Self {
+        DeviceFabric {
+            devices: self
+                .devices
+                .iter()
+                .map(|d| DeviceCapacity::new(d.budget()))
+                .collect(),
+            penalty: self.penalty,
+        }
+    }
+
+    /// Number of devices in the fabric.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Iterates the device identifiers in index order.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.devices.len() as u16).map(DeviceId)
+    }
+
+    /// The ledger of one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn device(&self, id: DeviceId) -> &DeviceCapacity {
+        &self.devices[id.index()]
+    }
+
+    /// Mutable access to one device's ledger (for bootstrap/ad-hoc edits;
+    /// note that going through the fabric's own [`DeviceFabric::admit`]
+    /// preserves the one-residency invariant, this does not).
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut DeviceCapacity {
+        &mut self.devices[id.index()]
+    }
+
+    /// The locality penalty model.
+    pub fn penalty(&self) -> CrossTorPenalty {
+        self.penalty
+    }
+
+    /// Benefit multiplier for an app homed at `home` placed on `at`:
+    /// 1.0 at home, [`CrossTorPenalty::benefit_factor`] anywhere else.
+    pub fn benefit_factor(&self, home: DeviceId, at: DeviceId) -> f64 {
+        if home == at {
+            1.0
+        } else {
+            self.penalty.benefit_factor
+        }
+    }
+
+    /// One-way extra latency for an app homed at `home` placed on `at`.
+    pub fn extra_latency(&self, home: DeviceId, at: DeviceId) -> Nanos {
+        if home == at {
+            Nanos::ZERO
+        } else {
+            self.penalty.extra_latency
+        }
+    }
+
+    /// The device currently hosting `app`, if any.
+    pub fn residency(&self, app: AppSlot) -> Option<DeviceId> {
+        self.device_ids()
+            .find(|&id| self.devices[id.index()].is_resident(app))
+    }
+
+    /// Grants `app` the resources `r` on device `id`, releasing any
+    /// allocation it holds elsewhere (a program moves, it is not copied).
+    /// On failure every existing allocation is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn admit(
+        &mut self,
+        id: DeviceId,
+        app: AppSlot,
+        r: ProgramResources,
+    ) -> Result<(), PipelineError> {
+        self.devices[id.index()].admit(app, r)?;
+        for (i, dev) in self.devices.iter_mut().enumerate() {
+            if i != id.index() {
+                dev.release(app);
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases whatever `app` holds anywhere; returns `true` if it held
+    /// anything.
+    pub fn release(&mut self, app: AppSlot) -> bool {
+        let mut held = false;
+        for dev in &mut self.devices {
+            held |= dev.release(app);
+        }
+        held
+    }
+
+    /// Whether `app` is resident on any device.
+    pub fn is_resident(&self, app: AppSlot) -> bool {
+        self.residency(app).is_some()
+    }
+
+    /// Releases every allocation on every device.
+    pub fn clear(&mut self) {
+        for dev in &mut self.devices {
+            dev.clear();
+        }
+    }
+
+    /// Total applications resident across the fabric.
+    pub fn resident_count(&self) -> usize {
+        self.devices
+            .iter()
+            .map(DeviceCapacity::resident_count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kvs() -> ProgramResources {
+        ProgramResources {
+            stages: 7,
+            sram_bytes: 40 << 20,
+            parse_depth_bytes: 96,
+        }
+    }
+
+    fn dns() -> ProgramResources {
+        ProgramResources {
+            stages: 6,
+            sram_bytes: 20 << 20,
+            parse_depth_bytes: 128,
+        }
+    }
+
+    fn two_tors() -> DeviceFabric {
+        DeviceFabric::homogeneous(
+            2,
+            PipelineBudget::tofino_like(),
+            CrossTorPenalty::standard(),
+        )
+    }
+
+    #[test]
+    fn spills_to_the_second_device() {
+        let mut f = two_tors();
+        f.admit(DeviceId(0), 0, kvs()).unwrap();
+        assert!(f.admit(DeviceId(0), 1, dns()).is_err());
+        f.admit(DeviceId(1), 1, dns()).unwrap();
+        assert_eq!(f.residency(0), Some(DeviceId(0)));
+        assert_eq!(f.residency(1), Some(DeviceId(1)));
+        assert_eq!(f.resident_count(), 2);
+    }
+
+    #[test]
+    fn admit_moves_rather_than_copies() {
+        let mut f = two_tors();
+        f.admit(DeviceId(0), 0, dns()).unwrap();
+        f.admit(DeviceId(1), 0, dns()).unwrap();
+        assert_eq!(f.residency(0), Some(DeviceId(1)));
+        assert!(!f.device(DeviceId(0)).is_resident(0));
+        // A failed move leaves the old residency in place.
+        f.admit(DeviceId(0), 1, kvs()).unwrap();
+        assert!(f.admit(DeviceId(0), 0, kvs()).is_err());
+        assert_eq!(f.residency(0), Some(DeviceId(1)));
+    }
+
+    #[test]
+    fn heterogeneous_budgets() {
+        let small = PipelineBudget {
+            stages: 6,
+            sram_bytes: 24 << 20,
+            parse_depth_bytes: 128,
+        };
+        let mut f = DeviceFabric::new(
+            vec![PipelineBudget::tofino_like(), small],
+            CrossTorPenalty::NONE,
+        );
+        // The big program only fits the big device.
+        assert!(f.admit(DeviceId(1), 0, kvs()).is_err());
+        f.admit(DeviceId(0), 0, kvs()).unwrap();
+        f.admit(DeviceId(1), 1, dns()).unwrap();
+        assert_eq!(f.device(DeviceId(1)).resident_count(), 1);
+    }
+
+    #[test]
+    fn locality_model() {
+        let f = two_tors();
+        let p = f.penalty();
+        assert_eq!(f.benefit_factor(DeviceId(0), DeviceId(0)), 1.0);
+        assert_eq!(f.benefit_factor(DeviceId(0), DeviceId(1)), p.benefit_factor);
+        assert_eq!(f.extra_latency(DeviceId(1), DeviceId(1)), Nanos::ZERO);
+        assert_eq!(f.extra_latency(DeviceId(1), DeviceId(0)), p.extra_latency);
+        // The single-device constructor has no penalty to pay.
+        let s = DeviceFabric::single(PipelineBudget::tofino_like());
+        assert_eq!(s.penalty(), CrossTorPenalty::NONE);
+        assert_eq!(s.device_count(), 1);
+    }
+
+    #[test]
+    fn fresh_copies_budgets_not_allocations() {
+        let mut f = two_tors();
+        f.admit(DeviceId(0), 7, dns()).unwrap();
+        let g = f.fresh();
+        assert_eq!(g.resident_count(), 0);
+        assert_eq!(g.device_count(), 2);
+        assert_eq!(
+            g.device(DeviceId(0)).budget(),
+            f.device(DeviceId(0)).budget()
+        );
+    }
+
+    #[test]
+    fn release_and_clear() {
+        let mut f = two_tors();
+        f.admit(DeviceId(1), 3, dns()).unwrap();
+        assert!(f.is_resident(3));
+        assert!(f.release(3));
+        assert!(!f.release(3));
+        f.admit(DeviceId(0), 4, dns()).unwrap();
+        f.clear();
+        assert_eq!(f.resident_count(), 0);
+    }
+}

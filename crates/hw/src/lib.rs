@@ -13,11 +13,14 @@
 //!   state and resource admission (§6, §10).
 //! * [`DeviceCapacity`] — multi-application capacity ledger over one
 //!   budget, for shared-device scheduling.
+//! * [`DeviceFabric`] — a set of such ledgers, one per ToR (§9.4), with
+//!   the cross-ToR locality penalty model.
 //! * [`TofinoModel`] — the normalized-power ASIC model (§6).
 //! * [`SmartNicModel`] — the §10 architecture survey.
 
 pub mod asic;
 pub mod capacity;
+pub mod fabric;
 pub mod memory;
 pub mod netfpga;
 pub mod offload;
@@ -26,6 +29,7 @@ pub mod smartnic;
 
 pub use asic::{TofinoModel, TofinoProgram};
 pub use capacity::{AppSlot, DeviceCapacity};
+pub use fabric::{CrossTorPenalty, DeviceFabric, DeviceId};
 pub use memory::{MemoryKind, MemorySpec};
 pub use netfpga::{
     modules, SumeCard, HOST_DMA_PORT, NET_PORT_COUNT, PCIE_DMA_ONE_WAY, SHELL_PIPELINE_LATENCY,

@@ -15,21 +15,42 @@
 
 use inc_sim::{Nanos, WindowRate};
 
+use crate::fabric::DeviceId;
+
 /// Where an application currently executes.
+///
+/// §9.4 generalises the original boolean (host software vs *the* card) to
+/// a fabric of devices, one per ToR: an offloaded application is resident
+/// on a specific [`DeviceId`]. Single-device code paths use
+/// [`Placement::HARDWARE`] — residency on the conventional
+/// [`DeviceId::LOCAL`] — and test the direction of a placement with
+/// [`Placement::is_offloaded`] rather than naming a device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Placement {
-    /// The host software serves requests; the device acts as a plain NIC.
+    /// The host software serves requests; every device acts as a plain
+    /// NIC for this application.
     Software,
-    /// The network device terminates requests.
-    Hardware,
+    /// The identified network device terminates requests.
+    Device(DeviceId),
 }
 
 impl Placement {
-    /// The opposite placement.
-    pub fn flipped(self) -> Placement {
+    /// Residency on the single device of a one-card topology
+    /// (`Device(DeviceId::LOCAL)`): what "hardware placement" meant before
+    /// the fabric generalisation.
+    pub const HARDWARE: Placement = Placement::Device(DeviceId::LOCAL);
+
+    /// Whether the application is served by a network device (any of
+    /// them) rather than host software.
+    pub const fn is_offloaded(self) -> bool {
+        matches!(self, Placement::Device(_))
+    }
+
+    /// The device hosting the application, if it is offloaded.
+    pub const fn device(self) -> Option<DeviceId> {
         match self {
-            Placement::Software => Placement::Hardware,
-            Placement::Hardware => Placement::Software,
+            Placement::Software => None,
+            Placement::Device(id) => Some(id),
         }
     }
 }
@@ -154,8 +175,8 @@ impl NetRateController {
         }
         let rate = self.window.rate(now);
         let next = match self.placement {
-            Placement::Software if rate > self.config.up.rate_pps => Placement::Hardware,
-            Placement::Hardware if rate < self.config.down.rate_pps => Placement::Software,
+            Placement::Software if rate > self.config.up.rate_pps => Placement::HARDWARE,
+            Placement::Device(_) if rate < self.config.down.rate_pps => Placement::Software,
             _ => return None,
         };
         self.placement = next;
@@ -221,8 +242,8 @@ mod tests {
     fn sustained_high_rate_shifts_up() {
         let mut ctl = NetRateController::new(cfg(), Nanos::ZERO);
         let d = drive(&mut ctl, Nanos::ZERO, Nanos::from_millis(300), 5_000.0);
-        assert_eq!(d, Some(Placement::Hardware));
-        assert_eq!(ctl.placement(), Placement::Hardware);
+        assert_eq!(d, Some(Placement::HARDWARE));
+        assert_eq!(ctl.placement(), Placement::HARDWARE);
         assert_eq!(ctl.shifts(), 1);
     }
 
@@ -239,7 +260,7 @@ mod tests {
     fn hysteresis_band_prevents_bouncing() {
         let mut ctl = NetRateController::new(cfg(), Nanos::ZERO);
         drive(&mut ctl, Nanos::ZERO, Nanos::from_millis(300), 5_000.0);
-        assert_eq!(ctl.placement(), Placement::Hardware);
+        assert_eq!(ctl.placement(), Placement::HARDWARE);
         // 500 pps sits inside the band (below up=1000, above down=200):
         // no shift in either direction, no matter how long it persists.
         let d = drive(
@@ -249,7 +270,7 @@ mod tests {
             500.0,
         );
         assert_eq!(d, None);
-        assert_eq!(ctl.placement(), Placement::Hardware);
+        assert_eq!(ctl.placement(), Placement::HARDWARE);
         assert_eq!(ctl.shifts(), 1);
     }
 
@@ -266,7 +287,7 @@ mod tests {
     fn traffic_stop_shifts_down_via_ticks() {
         let mut ctl = NetRateController::new(cfg(), Nanos::ZERO);
         drive(&mut ctl, Nanos::ZERO, Nanos::from_millis(300), 5_000.0);
-        assert_eq!(ctl.placement(), Placement::Hardware);
+        assert_eq!(ctl.placement(), Placement::HARDWARE);
         // Silence: only ticks arrive.
         let d = drive(&mut ctl, Nanos::from_millis(300), Nanos::from_secs(1), 0.0);
         assert_eq!(d, Some(Placement::Software));
@@ -281,8 +302,10 @@ mod tests {
     }
 
     #[test]
-    fn placement_flip() {
-        assert_eq!(Placement::Software.flipped(), Placement::Hardware);
-        assert_eq!(Placement::Hardware.flipped(), Placement::Software);
+    fn placement_helpers() {
+        assert!(!Placement::Software.is_offloaded());
+        assert!(Placement::HARDWARE.is_offloaded());
+        assert_eq!(Placement::Software.device(), None);
+        assert_eq!(Placement::Device(DeviceId(3)).device(), Some(DeviceId(3)));
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Sits as a bump-in-the-wire between the network (port 0) and the host
 //! (the PCIe/DMA port). The embedded packet classifier splits memcached
-//! traffic from normal traffic; in [`Placement::Hardware`] mode memcached
+//! traffic from normal traffic; in [`Placement::HARDWARE`] mode memcached
 //! GETs are served from the two-level cache by an array of processing
 //! elements, with misses forwarded to the host; in [`Placement::Software`]
 //! mode the card is parked (memories in reset, logic clock-gated) and all
@@ -171,7 +171,7 @@ impl LakeDevice {
 
     /// Starts in hardware mode (used by the always-on experiments of §4).
     pub fn started_in_hardware(mut self) -> Self {
-        self.apply_placement(Nanos::ZERO, Placement::Hardware);
+        self.apply_placement(Nanos::ZERO, Placement::HARDWARE);
         self.shift_log.clear();
         self.stats.shifts = 0;
         self
@@ -207,7 +207,7 @@ impl LakeDevice {
         self.stats.shifts += 1;
         self.shift_log.push((now, placement));
         match placement {
-            Placement::Hardware => {
+            Placement::Device(_) => {
                 self.card.unpark();
                 match self.park_policy {
                     // Memories come out of reset cold (§9.2).
@@ -352,7 +352,7 @@ impl LakeDevice {
     /// Inspects a host reply: if it answers a forwarded miss, warm the
     /// cache with the returned value.
     fn absorb_host_reply(&mut self, pkt: &Packet) {
-        if self.placement != Placement::Hardware {
+        if !self.placement.is_offloaded() {
             return;
         }
         let Ok(frame) = UdpFrame::parse(pkt) else {
@@ -406,7 +406,7 @@ impl Node<Packet> for LakeDevice {
                         }
                     }
                     match self.placement {
-                        Placement::Hardware => self.serve_hw(ctx, msg),
+                        Placement::Device(_) => self.serve_hw(ctx, msg),
                         Placement::Software => {
                             self.stats.to_host += 1;
                             ctx.send_after(
@@ -474,7 +474,7 @@ mod tests {
     #[test]
     fn hardware_mode_full_power() {
         let dev = LakeDevice::sume_default().started_in_hardware();
-        assert_eq!(dev.placement(), Placement::Hardware);
+        assert_eq!(dev.placement(), Placement::HARDWARE);
         let p = dev.card.power_w(0.0);
         assert!((p - calib::LAKE_STANDALONE_IDLE_W).abs() < 1e-9, "{p}");
     }
@@ -484,7 +484,7 @@ mod tests {
         let mut dev = LakeDevice::new(LakeCacheConfig::tiny(4, 16), 2).started_in_hardware();
         dev.cache.warm(b"k".to_vec(), b"v".to_vec(), 0);
         dev.apply_placement(Nanos::from_secs(1), Placement::Software);
-        dev.apply_placement(Nanos::from_secs(2), Placement::Hardware);
+        dev.apply_placement(Nanos::from_secs(2), Placement::HARDWARE);
         assert_eq!(dev.cache.get(b"k"), Lookup::Miss);
         assert_eq!(dev.stats().shifts, 2);
         assert_eq!(dev.shift_log.len(), 2);

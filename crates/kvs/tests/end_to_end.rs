@@ -128,7 +128,7 @@ fn shift_to_hardware_preserves_throughput_and_improves_latency() {
     let now = rig.sim.now();
     rig.sim
         .node_mut::<LakeDevice>(rig.device)
-        .apply_placement(now, Placement::Hardware);
+        .apply_placement(now, Placement::HARDWARE);
     // Warm-up second, then measure.
     rig.sim.run_until(Nanos::from_secs(2));
     let _ = rig.sim.node_mut::<KvsClient>(rig.client).take_window();

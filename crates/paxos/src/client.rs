@@ -11,7 +11,14 @@ use inc_sim::{impl_node_any, Ctx, Histogram, Nanos, Node, PortId, Timer};
 
 use crate::msg::{ClientCommand, MsgType, PaxosMsg, PAXOS_CLIENT_PORT};
 
+const TAG_PACE: u64 = 1;
 const TAG_TIMEOUT_BASE: u64 = 1 << 32;
+
+/// Upper bound on the open-loop pacing timer: even when the inter-issue
+/// gap is long (low rate) or infinite (rate 0), the client re-reads its
+/// offered rate at least this often, so a [`PaxosClient::set_rate`] is
+/// picked up promptly.
+const PACE_POLL: Nanos = Nanos::from_millis(10);
 
 /// Cumulative client statistics.
 #[derive(Clone, Copy, Debug, Default)]
@@ -24,12 +31,20 @@ pub struct PaxosClientStats {
     pub acked: u64,
 }
 
-/// A closed-loop Paxos client.
+/// A Paxos client: closed-loop by default (`concurrency` outstanding
+/// commands, a new one issued per ack), or open-loop when built with
+/// [`PaxosClient::open_loop`] (commands paced at an offered rate,
+/// schedulable mid-run via [`PaxosClient::set_rate`] — the shape the
+/// diurnal fleet experiments drive).
 pub struct PaxosClient {
     id: u32,
     own: Endpoint,
     leader: Endpoint,
     concurrency: u32,
+    /// `Some(rate_pps)` in open-loop mode.
+    paced: Option<f64>,
+    /// When the last open-loop command was issued (pacing reference).
+    last_issue: Nanos,
     timeout: Nanos,
     payload_len: usize,
     next_seq: u64,
@@ -53,6 +68,8 @@ impl PaxosClient {
             own: Endpoint::host(id, PAXOS_CLIENT_PORT),
             leader,
             concurrency,
+            paced: None,
+            last_issue: Nanos::ZERO,
             timeout,
             payload_len: 16,
             next_seq: 0,
@@ -63,6 +80,30 @@ impl PaxosClient {
             window_acked_base: 0,
             stopped: false,
         }
+    }
+
+    /// Creates an open-loop client issuing commands at `rate_pps`
+    /// regardless of acks (retries still fire per command after
+    /// `timeout`). The rate can be rescheduled with
+    /// [`PaxosClient::set_rate`].
+    pub fn open_loop(id: u32, leader: Endpoint, rate_pps: f64, timeout: Nanos) -> Self {
+        assert!(rate_pps >= 0.0 && rate_pps.is_finite());
+        PaxosClient {
+            paced: Some(rate_pps),
+            ..PaxosClient::new(id, leader, 0, timeout)
+        }
+    }
+
+    /// Changes the offered rate of an open-loop client; takes effect at
+    /// the next pacing tick (at most 10 ms away, whatever the old rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is closed-loop.
+    pub fn set_rate(&mut self, rate_pps: f64) {
+        assert!(rate_pps >= 0.0 && rate_pps.is_finite());
+        assert!(self.paced.is_some(), "set_rate on a closed-loop client");
+        self.paced = Some(rate_pps);
     }
 
     /// Returns cumulative statistics.
@@ -100,16 +141,55 @@ impl PaxosClient {
         ctx.send(PortId::P0, self.request_packet(seq));
         ctx.schedule_in(self.timeout, TAG_TIMEOUT_BASE + seq);
     }
+
+    /// The time the next open-loop command is due: one inter-arrival gap
+    /// after the previous issue, or never at rate zero.
+    fn pace_due(&self) -> Option<Nanos> {
+        let rate = self.paced.expect("pacing only runs in open-loop mode");
+        // Clamp the gap to 1 ns: an absurd rate must not round it to
+        // zero and spin the simulator at one instant forever.
+        (rate > 0.0)
+            .then(|| self.last_issue + Nanos::from_secs_f64(1.0 / rate).max(Nanos::from_nanos(1)))
+    }
+
+    /// Schedules the next pacing tick: at the due instant when it is
+    /// near, else a [`PACE_POLL`] re-check — the rate is re-read on
+    /// every tick, so `set_rate` never waits out a long stale gap.
+    fn schedule_pace(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        let wait = match self.pace_due() {
+            Some(due) => due
+                .saturating_sub(ctx.now())
+                .max(Nanos::from_nanos(1))
+                .min(PACE_POLL),
+            None => PACE_POLL,
+        };
+        ctx.schedule_in(wait, TAG_PACE);
+    }
 }
 
 impl Node<Packet> for PaxosClient {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
-        for _ in 0..self.concurrency {
-            self.issue_new(ctx);
+        if self.paced.is_some() {
+            self.schedule_pace(ctx);
+        } else {
+            for _ in 0..self.concurrency {
+                self.issue_new(ctx);
+            }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, timer: Timer) {
+        if timer.tag == TAG_PACE {
+            if self.stopped {
+                return;
+            }
+            if self.pace_due().is_some_and(|due| ctx.now() >= due) {
+                self.last_issue = ctx.now();
+                self.issue_new(ctx);
+            }
+            self.schedule_pace(ctx);
+            return;
+        }
         if timer.tag < TAG_TIMEOUT_BASE {
             return;
         }
@@ -151,7 +231,9 @@ impl Node<Packet> for PaxosClient {
         let lat = (now - first_sent).as_nanos();
         self.latency.record(lat);
         self.window_latency.record(lat);
-        if !self.stopped {
+        // Closed-loop: every ack funds the next command. Open-loop issue
+        // is driven by the pacing timer instead.
+        if !self.stopped && self.paced.is_none() {
             self.issue_new(ctx);
         }
     }
@@ -161,4 +243,103 @@ impl Node<Packet> for PaxosClient {
     }
 
     impl_node_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inc_sim::Simulator;
+
+    /// A sink that counts the client's requests without ever replying.
+    struct Sink {
+        seen: u64,
+    }
+
+    impl Node<Packet> for Sink {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Packet>, _port: PortId, _pkt: Packet) {
+            self.seen += 1;
+        }
+        fn label(&self) -> String {
+            "sink".into()
+        }
+        inc_sim::impl_node_any!();
+    }
+
+    #[test]
+    fn open_loop_paces_at_the_offered_rate() {
+        let mut sim: Simulator<Packet> = Simulator::new(1);
+        let sink = sim.add_node(Sink { seen: 0 });
+        // 1 kpps, and a timeout far beyond the horizon so no retries mix
+        // into the count.
+        let client = sim.add_node(PaxosClient::open_loop(
+            7,
+            Endpoint::host(99, crate::msg::PAXOS_LEADER_PORT),
+            1_000.0,
+            Nanos::from_secs(100),
+        ));
+        sim.connect_duplex(
+            client,
+            PortId::P0,
+            sink,
+            PortId::P0,
+            inc_sim::LinkSpec::ideal(),
+        );
+        sim.run_until(Nanos::from_millis(100));
+        let issued = sim.node_ref::<PaxosClient>(client).stats().issued;
+        assert!((95..=105).contains(&issued), "issued {issued}");
+        // Rescheduling the rate changes the pace within one tick.
+        sim.node_mut::<PaxosClient>(client).set_rate(10_000.0);
+        sim.run_until(Nanos::from_millis(200));
+        let issued2 = sim.node_ref::<PaxosClient>(client).stats().issued - issued;
+        assert!((950..=1_060).contains(&issued2), "issued {issued2}");
+        // Unacked commands stay outstanding (no closed-loop refill), and
+        // a zero rate idles.
+        sim.node_mut::<PaxosClient>(client).set_rate(0.0);
+        let before = sim.node_ref::<PaxosClient>(client).stats().issued;
+        sim.run_until(Nanos::from_millis(400));
+        assert_eq!(sim.node_ref::<PaxosClient>(client).stats().issued, before);
+        assert_eq!(sim.node_ref::<PaxosClient>(client).stats().acked, 0);
+    }
+
+    #[test]
+    fn set_rate_is_picked_up_within_the_poll_interval() {
+        let mut sim: Simulator<Packet> = Simulator::new(3);
+        let sink = sim.add_node(Sink { seen: 0 });
+        // 5 pps: the inter-issue gap (200 ms) is far beyond the 10 ms
+        // pacing poll, so a rate change must not wait out the old gap.
+        let client = sim.add_node(PaxosClient::open_loop(
+            8,
+            Endpoint::host(99, crate::msg::PAXOS_LEADER_PORT),
+            5.0,
+            Nanos::from_secs(100),
+        ));
+        sim.connect_duplex(
+            client,
+            PortId::P0,
+            sink,
+            PortId::P0,
+            inc_sim::LinkSpec::ideal(),
+        );
+        sim.run_until(Nanos::from_millis(50));
+        assert_eq!(sim.node_ref::<PaxosClient>(client).stats().issued, 0);
+        sim.node_mut::<PaxosClient>(client).set_rate(10_000.0);
+        sim.run_until(Nanos::from_millis(80));
+        // Picked up within one poll (≤ 10 ms): at least 20 ms of issuing
+        // at 10 kpps, i.e. ≥ 150 commands (not the 0 the stale 200 ms
+        // gap would deliver).
+        let issued = sim.node_ref::<PaxosClient>(client).stats().issued;
+        assert!(issued >= 150, "issued {issued}");
+    }
+
+    #[test]
+    #[should_panic(expected = "closed-loop")]
+    fn set_rate_rejects_closed_loop_clients() {
+        let mut c = PaxosClient::new(
+            1,
+            Endpoint::host(99, crate::msg::PAXOS_LEADER_PORT),
+            4,
+            Nanos::from_millis(50),
+        );
+        c.set_rate(5.0);
+    }
 }

@@ -369,6 +369,32 @@ impl PaxosNode {
         self.engine = RoleEngine::Idle;
     }
 
+    /// Parks or unparks an FPGA platform (§9.2: an idle standby leader
+    /// need not burn full logic power). No-op for host and ASIC
+    /// platforms — the host's power already follows utilisation, and the
+    /// ASIC is a shared switch that cannot power-gate per program.
+    pub fn set_parked(&mut self, parked: bool) {
+        if let Platform::Fpga { card, .. } = &mut self.platform {
+            if parked {
+                card.park();
+            } else {
+                card.unpark();
+            }
+        }
+    }
+
+    /// The §9.1-style network-measured application rate at this node
+    /// (hardware platforms meter it in the classifier; host platforms
+    /// report 0 — their rate is host-measured).
+    pub fn measured_rate(&mut self, now: Nanos) -> f64 {
+        match &mut self.platform {
+            Platform::Fpga { rate_window, .. } | Platform::Asic { rate_window, .. } => {
+                rate_window.rate(now)
+            }
+            Platform::Host { .. } => 0.0,
+        }
+    }
+
     fn emit(
         &mut self,
         ctx: &mut Ctx<'_, Packet>,

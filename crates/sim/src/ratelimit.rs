@@ -61,7 +61,8 @@ impl TokenBucket {
         }
     }
 
-    /// Returns the earliest time at which `n` tokens will be available.
+    /// Returns the earliest time at which `n` tokens will be available,
+    /// i.e. a time at which [`TokenBucket::try_take`] of `n` succeeds.
     ///
     /// Returns `now` if they are available already, or [`Nanos::MAX`] if
     /// the rate is zero and the bucket cannot satisfy the request.
@@ -70,11 +71,37 @@ impl TokenBucket {
         if self.tokens + 1e-9 >= n {
             return now;
         }
-        if self.rate_per_sec == 0.0 {
+        if self.rate_per_sec == 0.0 || n > self.burst + 1e-9 {
+            // No refill, or a request larger than the bucket can ever
+            // hold: it will never be satisfiable.
             return Nanos::MAX;
         }
         let deficit = n - self.tokens;
-        now + Nanos::from_secs_f64(deficit / self.rate_per_sec)
+        // Round the wake time *up* to the covering nanosecond:
+        // `from_secs_f64` rounds to nearest, so the returned time could
+        // land 1 ns before the deficit is refilled and a caller looping
+        // `next_available` → `try_take` would spin forever.
+        let wake_ns = (deficit / self.rate_per_sec * 1e9).ceil();
+        let Some(mut t) = (wake_ns <= u64::MAX as f64)
+            .then(|| now.checked_add(Nanos::from_nanos(wake_ns as u64)))
+            .flatten()
+        else {
+            return Nanos::MAX;
+        };
+        // The refill at `t` recomputes `dt · rate` in floating point, so
+        // cover any residual rounding by advancing until the take is
+        // actually satisfiable (never more than a few ns).
+        loop {
+            let mut probe = *self;
+            probe.refill(t);
+            if probe.tokens + 1e-9 >= n {
+                return t;
+            }
+            t = match t.checked_add(Nanos::from_nanos(1)) {
+                Some(next) => next,
+                None => return Nanos::MAX,
+            };
+        }
     }
 
     /// Returns the current token balance at time `now`.
@@ -125,6 +152,36 @@ mod tests {
         // 1 token at 10/s takes 100 ms.
         assert_eq!(t, Nanos::from_millis(100));
         assert!(tb.try_take(t, 1.0));
+    }
+
+    #[test]
+    fn next_available_always_satisfies_the_take() {
+        // Regression: the deficit → wake-time conversion rounded to
+        // *nearest* nanosecond, so for awkward rates the returned time
+        // could be 1 ns short and a `next_available` → `try_take` loop
+        // would spin. Rates chosen so `1/rate` is not a whole number of
+        // nanoseconds.
+        for rate in [3.0, 7.0, 9.99, 333.3, 1_234_567.0, 99_999_983.0] {
+            for take in [1.0, 2.5, 7.0] {
+                let mut tb = TokenBucket::new(rate, 8.0);
+                let mut now = Nanos::ZERO;
+                for step in 0..200 {
+                    let t = tb.next_available(now, take);
+                    assert!(t < Nanos::MAX);
+                    assert!(
+                        tb.try_take(t, take),
+                        "rate {rate}: take of {take} at predicted t={t} failed (step {step})"
+                    );
+                    now = t;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_request_is_never_available() {
+        let mut tb = TokenBucket::new(1_000.0, 4.0);
+        assert_eq!(tb.next_available(Nanos::ZERO, 5.0), Nanos::MAX);
     }
 
     #[test]

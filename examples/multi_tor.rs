@@ -1,0 +1,113 @@
+//! Three tenants, two ToRs: the on-demand scheduler placing programs
+//! across a device fabric (§9.4).
+//!
+//! A KVS (LaKe) and a Paxos leader (P4xos) are homed on ToR A, a DNS
+//! (Emu) on ToR B. Each ToR's device admits only one of the big programs
+//! at a time, so when the KVS and Paxos peaks overlap the fleet
+//! controller must *place*, not just offload: the Paxos program spills to
+//! the ToR-B device — paying the cross-ToR latency detour and a benefit
+//! haircut — whenever its penalty-adjusted score still wins. The run is
+//! compared against all-software and the best single-device schedules.
+//!
+//! Run with: `cargo run --release --example multi_tor`
+
+use inc::hw::Placement;
+use inc::sim::Nanos;
+use inc_bench::rigs::MultiTorRig;
+
+const KEYS: u64 = 512;
+const NAMES: u64 = 512;
+const PERIOD: Nanos = Nanos::from_millis(3_500);
+const HORIZON: Nanos = Nanos::from_millis(3_500);
+const INTERVAL: Nanos = Nanos::from_millis(150);
+
+fn run(label: &str, mut controller: inc::ondemand::FleetController) -> f64 {
+    let mut rig = MultiTorRig::new(42, KEYS, NAMES, MultiTorRig::contended_profiles(PERIOD));
+    let timeline = rig.run(&mut controller, HORIZON);
+    println!("\n=== {label} ===");
+    for s in controller.shifts() {
+        println!(
+            "  t={:>5.2}s  {:>5} -> {:<8}  ({:.1} kpps, {:+.1} W)",
+            s.at.as_secs_f64(),
+            controller.apps()[s.app].name,
+            match s.to {
+                Placement::Software => "software".to_string(),
+                Placement::Device(d) => format!("{d}"),
+            },
+            s.rate_pps / 1e3,
+            s.benefit_w,
+        );
+    }
+    let covered = timeline.per_app[0]
+        .rows
+        .last()
+        .map_or(0.0, |r| r.t.as_secs_f64());
+    println!(
+        "  energy {:.1} J over {covered:.2} s, paxos acked {}",
+        timeline.energy_j,
+        rig.pax_acked()
+    );
+    if label == "fleet-controlled" {
+        println!("\n   t     kvs_kpps  dns_kpps  pax_kpps   kvs_plc   dns_plc   pax_plc  total_W");
+        let rows = |app: usize| &timeline.per_app[app].rows;
+        for i in (0..rows(0).len()).step_by(2) {
+            let (rk, rd, rp) = (&rows(0)[i], &rows(1)[i], &rows(2)[i]);
+            let plc = |p: Placement| match p {
+                Placement::Software => "software".to_string(),
+                Placement::Device(d) => format!("{d}"),
+            };
+            println!(
+                "{:>5.2}  {:>8.1}  {:>8.1}  {:>8.1}  {:>8}  {:>8}  {:>8}  {:>7.1}",
+                rk.t.as_secs_f64(),
+                rk.throughput_pps / 1e3,
+                rd.throughput_pps / 1e3,
+                rp.throughput_pps / 1e3,
+                plc(rk.placement),
+                plc(rd.placement),
+                plc(rp.placement),
+                rk.power_w + rd.power_w + rp.power_w,
+            );
+        }
+    }
+    timeline.energy_j
+}
+
+fn main() {
+    let fleet = run("fleet-controlled", MultiTorRig::fleet_controller(INTERVAL));
+    let sw = run(
+        "all-software",
+        MultiTorRig::pinned_controller(INTERVAL, [Placement::Software; 3]),
+    );
+    let kvs_a = run(
+        "static kvs@torA",
+        MultiTorRig::pinned_controller(
+            INTERVAL,
+            [
+                Placement::Device(MultiTorRig::TOR_A),
+                Placement::Software,
+                Placement::Software,
+            ],
+        ),
+    );
+    let dns_pax_b = run(
+        "static dns@torB + paxos@torB",
+        MultiTorRig::pinned_controller(
+            INTERVAL,
+            [
+                Placement::Software,
+                Placement::Device(MultiTorRig::TOR_B),
+                Placement::Device(MultiTorRig::TOR_B),
+            ],
+        ),
+    );
+    let best_single = kvs_a.min(dns_pax_b);
+    println!("\n=== summary ===");
+    println!("  fleet-controlled     {fleet:>7.1} J");
+    println!("  all-software         {sw:>7.1} J");
+    println!("  best single-device   {best_single:>7.1} J");
+    println!(
+        "  fleet saves {:.1} J vs software, {:.1} J vs best single device",
+        sw - fleet,
+        best_single - fleet
+    );
+}

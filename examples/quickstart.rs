@@ -67,7 +67,7 @@ fn main() {
     // --- Shift to hardware (what the on-demand controller would do). ---
     let now = sim.now();
     sim.node_mut::<LakeDevice>(device)
-        .apply_placement(now, Placement::Hardware);
+        .apply_placement(now, Placement::HARDWARE);
     sim.run_until(Nanos::from_secs(2)); // Cache warm-up second.
     let _ = sim.node_mut::<KvsClient>(client).take_window();
     sim.run_until(Nanos::from_secs(3));

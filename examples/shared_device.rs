@@ -74,11 +74,11 @@ fn main() {
     );
     let kvs_hw = run(
         "static kvs-offloaded",
-        SharedDeviceRig::pinned_controller(INTERVAL, [Placement::Hardware, Placement::Software]),
+        SharedDeviceRig::pinned_controller(INTERVAL, [Placement::HARDWARE, Placement::Software]),
     );
     let dns_hw = run(
         "static dns-offloaded",
-        SharedDeviceRig::pinned_controller(INTERVAL, [Placement::Software, Placement::Hardware]),
+        SharedDeviceRig::pinned_controller(INTERVAL, [Placement::Software, Placement::HARDWARE]),
     );
 
     println!("\n=== energy comparison ===");

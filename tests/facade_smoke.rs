@@ -85,7 +85,7 @@ fn quickstart_scenario_runs() {
     // Shift to hardware; let the cache warm before measuring.
     let now = sim.now();
     sim.node_mut::<LakeDevice>(device)
-        .apply_placement(now, Placement::Hardware);
+        .apply_placement(now, Placement::HARDWARE);
     sim.run_until(Nanos::from_millis(600));
     let _ = sim.node_mut::<KvsClient>(client).take_window();
     sim.run_until(Nanos::from_millis(900));

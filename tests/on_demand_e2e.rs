@@ -86,7 +86,7 @@ fn network_controller_shifts_up_under_load_and_back_when_idle() {
     sim.run_until(Nanos::from_secs(2));
     assert_eq!(
         sim.node_ref::<LakeDevice>(device).placement(),
-        Placement::Hardware
+        Placement::HARDWARE
     );
 
     // Back to a trickle: shifts back to software (hysteresis band).
@@ -146,7 +146,7 @@ fn host_controller_drives_the_figure6_loop() {
     );
 
     assert_eq!(timeline.shifts.len(), 2, "up during burst, down after");
-    assert_eq!(timeline.shifts[0].1, Placement::Hardware);
+    assert_eq!(timeline.shifts[0].1, Placement::HARDWARE);
     assert_eq!(timeline.shifts[1].1, Placement::Software);
     let up = timeline.shifts[0].0;
     // Shift came after the sustain window inside the burst.
@@ -246,7 +246,7 @@ fn shift_under_sets_keeps_store_authoritative() {
     sim.run_until(Nanos::from_millis(100));
     let now = sim.now();
     sim.node_mut::<LakeDevice>(device)
-        .apply_placement(now, Placement::Hardware);
+        .apply_placement(now, Placement::HARDWARE);
 
     // Issue write-heavy traffic in hardware placement.
     sim.node_mut::<KvsClient>(client).set_rate(30_000.0);

@@ -391,3 +391,186 @@ proptest! {
         }
     }
 }
+
+// --- Capacity ledger and fleet-scheduler invariants. ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `fits` and `admit` are implemented on one combine rule, so they
+    /// must agree exactly: on a fresh slot, `fits(r)` ⟺ `admit(slot, r)`
+    /// succeeds — for arbitrary budgets (including zero-sized dimensions)
+    /// and arbitrary pre-existing residents.
+    #[test]
+    fn capacity_fits_iff_admit_succeeds(
+        b_stages in 0u32..24,
+        b_sram_mb in 0u64..64,
+        b_parse in 0u32..256,
+        residents in proptest::collection::vec((1u32..10, 1u64..32, 32u32..200), 0..4),
+        r_stages in 0u32..12,
+        r_sram_mb in 0u64..48,
+        r_parse in 0u32..256,
+    ) {
+        use inc::hw::{DeviceCapacity, PipelineBudget, ProgramResources};
+        let mut cap = DeviceCapacity::new(PipelineBudget {
+            stages: b_stages,
+            sram_bytes: b_sram_mb << 20,
+            parse_depth_bytes: b_parse,
+        });
+        for (i, &(s, m, p)) in residents.iter().enumerate() {
+            // Whatever fails to fit is simply not admitted; the ledger
+            // stays consistent either way.
+            let _ = cap.admit(i as u64, ProgramResources {
+                stages: s,
+                sram_bytes: m << 20,
+                parse_depth_bytes: p,
+            });
+        }
+        let extra = ProgramResources {
+            stages: r_stages,
+            sram_bytes: r_sram_mb << 20,
+            parse_depth_bytes: r_parse,
+        };
+        let fits = cap.fits(&extra);
+        let admitted = cap.clone().admit(99, extra).is_ok();
+        prop_assert_eq!(fits, admitted, "fits {} vs admit {}", fits, admitted);
+        // And the cost/occupancy conventions agree on degenerate budgets:
+        // infinite cost ⇒ can never fit (unless the demand is zero too).
+        if cap.cost_units(&extra) == f64::INFINITY {
+            prop_assert!(!fits);
+        }
+    }
+
+    /// `TokenBucket::next_available` names a time at which the take
+    /// really succeeds (the deficit conversion must round up, not to
+    /// nearest), for awkward rates and repeated take/wait cycles.
+    #[test]
+    fn token_bucket_next_available_satisfies_take(
+        rate in 0.1f64..10_000_000.0,
+        burst in 1.0f64..1_000.0,
+        take_frac in 0.01f64..1.0,
+        cycles in 1usize..50,
+    ) {
+        let n = (burst * take_frac).max(0.001);
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut now = Nanos::ZERO;
+        for _ in 0..cycles {
+            let t = tb.next_available(now, n);
+            prop_assert!(t < Nanos::MAX);
+            prop_assert!(tb.try_take(t, n), "take of {} at predicted {} failed", n, t);
+            now = t;
+        }
+    }
+
+    /// Fleet-scheduler invariants under random sample streams, over a
+    /// two-ToR fabric with the rig's capacity shape: (1) the placement
+    /// vector never oversubscribes any device's budget; (2) no program
+    /// enters a device — first offload *or* cross-ToR move — without its
+    /// benefit having cleared the floor for the full sustain window
+    /// since its last placement change.
+    #[test]
+    fn fleet_controller_budget_and_sustain_invariants(
+        rates in proptest::collection::vec(
+            (0u32..300_000, 0u32..300_000, 0u32..40_000), 8..60),
+    ) {
+        use inc::hw::{CrossTorPenalty, DeviceCapacity, DeviceFabric, DeviceId,
+                      PipelineBudget, ProgramResources};
+        use inc::ondemand::{FleetApp, FleetController, FleetControllerConfig,
+                            FleetSample, HostSample, Placement, PlacementAnalysis};
+        use inc::power::EnergyParams;
+
+        let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 52.0,
+                sleep_w: 0.0,
+                active_w: 52.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        };
+        let app = |name: &str, stages: u32, sram_mb: u64, slope: f64, home: u16| FleetApp {
+            name: name.into(),
+            demand: ProgramResources {
+                stages,
+                sram_bytes: sram_mb << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(slope),
+            home: DeviceId(home),
+        };
+        // The rig's shape: two big programs homed on ToR 0, one on ToR 1.
+        let apps = vec![
+            app("kvs", 7, 40, 0.08, 0),
+            app("dns", 6, 20, 0.10, 1),
+            app("pax", 6, 4, 0.30, 0),
+        ];
+        let config = FleetControllerConfig::standard(Nanos::from_millis(100));
+        let fabric = DeviceFabric::homogeneous(
+            2,
+            PipelineBudget::tofino_like(),
+            CrossTorPenalty::standard(),
+        );
+        let mut ctl = FleetController::new(config, fabric, apps.clone());
+
+        // Oracle state: consecutive profitable samples per app since its
+        // last placement change (mirrors the controller's up-streak).
+        let mut hot = [0u32; 3];
+        let mut placements = [Placement::Software; 3];
+        for (step, &(r0, r1, r2)) in rates.iter().enumerate() {
+            let rs = [r0 as f64, r1 as f64, r2 as f64];
+            // Consistent feedback: the device measures what is offered.
+            let samples: Vec<FleetSample> = rs
+                .iter()
+                .map(|&r| FleetSample {
+                    host: HostSample {
+                        rapl_w: 50.0,
+                        app_cpu_util: 0.2,
+                        hw_app_rate: r,
+                    },
+                    offered_pps: r,
+                })
+                .collect();
+            for i in 0..3 {
+                if ctl.benefit_w(i, rs[i]) >= ctl.config().min_benefit_w {
+                    hot[i] += 1;
+                } else {
+                    hot[i] = 0;
+                }
+            }
+            let now = Nanos::from_millis(100 * (step as u64 + 1));
+            let decisions = ctl.sample(now, &samples);
+            for &(i, to) in &decisions {
+                if let Placement::Device(_) = to {
+                    // Invariant 2: entering a device (from software or
+                    // from another device) requires the full window.
+                    prop_assert!(
+                        hot[i] >= ctl.config().sustain_samples,
+                        "step {}: app {} entered {:?} with streak {}",
+                        step, i, to, hot[i]
+                    );
+                }
+                placements[i] = to;
+                hot[i] = 0;
+            }
+            prop_assert_eq!(&placements[..], ctl.placements());
+            // Invariant 1: replay the placement vector into fresh
+            // ledgers — every admission must succeed.
+            for dev in [DeviceId(0), DeviceId(1)] {
+                let mut ledger = DeviceCapacity::new(PipelineBudget::tofino_like());
+                for i in 0..3 {
+                    if placements[i] == Placement::Device(dev) {
+                        prop_assert!(
+                            ledger.admit(i as u64, apps[i].demand).is_ok(),
+                            "step {}: {:?} oversubscribed", step, dev
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -71,7 +71,7 @@ fn fleet_arbitrates_the_shared_device_and_beats_every_static_schedule() {
     // hosted both programs.
     for (rk, rd) in fleet.per_app[KVS].rows.iter().zip(&fleet.per_app[DNS].rows) {
         assert!(
-            !(rk.placement == Placement::Hardware && rd.placement == Placement::Hardware),
+            !(rk.placement == Placement::HARDWARE && rd.placement == Placement::HARDWARE),
             "both tenants hardware-resident at {}",
             rk.t
         );
@@ -87,15 +87,15 @@ fn fleet_arbitrates_the_shared_device_and_beats_every_static_schedule() {
         fleet.shifts.len(),
         fleet.shifts
     );
-    assert_eq!(kvs_shifts.first().map(|s| s.1), Some(Placement::Hardware));
-    assert_eq!(dns_shifts.first().map(|s| s.1), Some(Placement::Hardware));
+    assert_eq!(kvs_shifts.first().map(|s| s.1), Some(Placement::HARDWARE));
+    assert_eq!(dns_shifts.first().map(|s| s.1), Some(Placement::HARDWARE));
 
     // --- Hysteresis respected: nothing can shift before the sustain
     // window completes, and the KVS (whose peak comes first) leads.
     let sustain = Nanos::from_millis(150 * 3);
     let first = fleet.shifts.first().expect("at least one shift");
     assert_eq!(first.1, KVS, "the first-peaking tenant offloads first");
-    assert_eq!(first.2, Placement::Hardware);
+    assert_eq!(first.2, Placement::HARDWARE);
     assert!(first.0 >= sustain, "shift at {} before sustain", first.0);
     // It fired while the KVS was climbing toward its peak, not at dawn.
     assert!(
@@ -114,7 +114,7 @@ fn fleet_arbitrates_the_shared_device_and_beats_every_static_schedule() {
     assert!(
         dns_shifts
             .iter()
-            .any(|&(t, p)| t == handover && p == Placement::Hardware),
+            .any(|&(t, p)| t == handover && p == Placement::HARDWARE),
         "dns did not take over at {handover}: {dns_shifts:?}"
     );
 
@@ -148,10 +148,10 @@ fn fleet_arbitrates_the_shared_device_and_beats_every_static_schedule() {
         SharedDeviceRig::pinned_controller(INTERVAL, [Placement::Software, Placement::Software]);
     let (_, sw_timeline) = run(&mut all_sw);
     let mut kvs_hw =
-        SharedDeviceRig::pinned_controller(INTERVAL, [Placement::Hardware, Placement::Software]);
+        SharedDeviceRig::pinned_controller(INTERVAL, [Placement::HARDWARE, Placement::Software]);
     let (_, kvs_timeline) = run(&mut kvs_hw);
     let mut dns_hw =
-        SharedDeviceRig::pinned_controller(INTERVAL, [Placement::Software, Placement::Hardware]);
+        SharedDeviceRig::pinned_controller(INTERVAL, [Placement::Software, Placement::HARDWARE]);
     let (_, dns_timeline) = run(&mut dns_hw);
 
     // The pinned baselines really were static.
@@ -192,7 +192,7 @@ fn per_app_timelines_record_the_offload_windows() {
     };
     assert_eq!(
         placement_at(SharedDeviceRig::KVS_APP, Nanos::from_millis(1_300)),
-        Placement::Hardware
+        Placement::HARDWARE
     );
     assert_eq!(
         placement_at(SharedDeviceRig::DNS_APP, Nanos::from_millis(1_300)),
@@ -204,7 +204,7 @@ fn per_app_timelines_record_the_offload_windows() {
     );
     assert_eq!(
         placement_at(SharedDeviceRig::DNS_APP, Nanos::from_millis(2_400)),
-        Placement::Hardware
+        Placement::HARDWARE
     );
     // The weighted throughput statistics see the full offered load: the
     // mean over the whole day is far above the valley rate.
