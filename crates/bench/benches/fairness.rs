@@ -1,0 +1,150 @@
+//! Weighted-DRF arbitration benchmarks: the fairness-augmented decision
+//! path in isolation — the starvation accounting, claim/clip pass and
+//! admission checks must stay cheap next to the plain knapsack — and a
+//! short contended-fabric run under the full fleet control loop.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use inc_bench::rigs::ContendedFabricRig;
+use inc_hw::{CrossTorPenalty, DeviceFabric, DeviceId, PipelineBudget, ProgramResources};
+use inc_ondemand::{
+    FleetApp, FleetController, FleetControllerConfig, FleetSample, HostSample, PlacementAnalysis,
+};
+use inc_power::EnergyParams;
+use inc_sim::Nanos;
+
+fn sample(rate: f64) -> FleetSample {
+    FleetSample {
+        host: HostSample {
+            rapl_w: 45.0,
+            app_cpu_util: rate / 1e6,
+            hw_app_rate: rate,
+        },
+        offered_pps: rate,
+    }
+}
+
+/// A synthetic contended fleet: `n` tenants striped across `tors` home
+/// devices with descending weights, everyone hot all the time, plus one
+/// unsatisfiable tenant exercising the admission-reject path. Demands
+/// are sized so roughly two tenants fill a device — sustained queues,
+/// claims and clips every starvation window.
+fn contended_fleet(n: usize, tors: usize, starvation_window: u32) -> FleetController {
+    let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+        software: EnergyParams {
+            idle_w: 40.0,
+            sleep_w: 0.0,
+            active_w: 40.0 + slope_per_kpps * 1_000.0,
+            peak_rate_pps: 1_000_000.0,
+        },
+        network: EnergyParams {
+            idle_w: 42.0,
+            sleep_w: 0.0,
+            active_w: 42.1,
+            peak_rate_pps: 10_000_000.0,
+        },
+    };
+    let mut apps: Vec<FleetApp> = (0..n)
+        .map(|i| FleetApp {
+            name: format!("tenant-{i}"),
+            demand: ProgramResources {
+                stages: 5 + (i as u32 % 3),
+                sram_bytes: (8 + i as u64 % 9) << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(0.05 + 0.02 * i as f64),
+            home: DeviceId((i % tors) as u16),
+            weight: 1.0 + (i % 3) as f64,
+        })
+        .collect();
+    apps.push(FleetApp {
+        name: "unsatisfiable".into(),
+        demand: ProgramResources {
+            stages: 20,
+            sram_bytes: 64 << 20,
+            parse_depth_bytes: 64,
+        },
+        analysis: analysis(0.10),
+        home: DeviceId(0),
+        weight: 1.0,
+    });
+    let config = FleetControllerConfig {
+        starvation_window,
+        ..FleetControllerConfig::standard(Nanos::from_millis(1))
+    };
+    FleetController::new(
+        config,
+        DeviceFabric::homogeneous(
+            tors,
+            PipelineBudget::tofino_like(),
+            CrossTorPenalty::standard(),
+        ),
+        apps,
+    )
+}
+
+fn bench_fairness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fairness");
+
+    // The decision path with the fairness machinery active, at the
+    // rig's scale and at a rack-row scale. Everyone stays hot, so every
+    // starvation window triggers a claim/clip cycle — the worst case
+    // for the arbitration layer.
+    for (apps, tors) in [(4usize, 2usize), (12, 4)] {
+        let name = format!("drf_decisions_{apps}apps_{tors}tors_x10k");
+        g.bench_function(&name, |bench| {
+            bench.iter(|| {
+                let mut ctl = contended_fleet(apps, tors, 8);
+                let n = ctl.apps().len();
+                let mut shifts = 0usize;
+                for step in 1..=10_000u64 {
+                    let samples: Vec<FleetSample> = (0..n).map(|_| sample(120_000.0)).collect();
+                    shifts += ctl.sample(Nanos::from_millis(step), &samples).len();
+                }
+                black_box(shifts)
+            })
+        });
+    }
+
+    // The same fleet with fairness disabled: the cost of the layer is
+    // the delta against this baseline.
+    g.bench_function("pure_benefit_decisions_4apps_2tors_x10k", |bench| {
+        bench.iter(|| {
+            let mut ctl = contended_fleet(4, 2, u32::MAX);
+            let n = ctl.apps().len();
+            let mut shifts = 0usize;
+            for step in 1..=10_000u64 {
+                let samples: Vec<FleetSample> = (0..n).map(|_| sample(120_000.0)).collect();
+                shifts += ctl.sample(Nanos::from_millis(step), &samples).len();
+            }
+            black_box(shifts)
+        })
+    });
+
+    // One short contended window of the model-driven four-tenant rig
+    // under the full fleet control loop (claims, clips, rejection).
+    g.bench_function("contended_fabric_run_2s_four_tenants", |bench| {
+        bench.iter(|| {
+            let horizon = Nanos::from_secs(2);
+            let rig = ContendedFabricRig::new(ContendedFabricRig::contended_profiles(horizon));
+            let mut ctl = ContendedFabricRig::fleet_controller(Nanos::from_millis(25));
+            let timeline = rig.run(&mut ctl, horizon);
+            black_box(timeline.energy_j)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_fairness
+}
+criterion_main!(benches);

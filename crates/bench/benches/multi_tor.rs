@@ -53,6 +53,7 @@ fn synthetic_fleet(n: usize, tors: usize) -> FleetController {
             },
             analysis: analysis(0.05 + 0.01 * i as f64),
             home: DeviceId((i % tors) as u16),
+            weight: 1.0,
         })
         .collect();
     FleetController::new(

@@ -210,4 +210,27 @@ fn main() {
         },
     ];
     print_csv("t_seconds", &series);
+
+    // Machine-readable summary for the CI perf-trajectory artifact.
+    inc_bench::emit_metrics(
+        "fig6",
+        &[
+            ("energy_j", timeline.energy_j()),
+            ("shift_up_s", up.map_or(f64::NAN, |t| t.as_secs_f64())),
+            ("shift_down_s", down.map_or(f64::NAN, |t| t.as_secs_f64())),
+            (
+                "mean_throughput_pps",
+                timeline
+                    .mean_throughput_pps(Nanos::ZERO, horizon)
+                    .unwrap_or(f64::NAN),
+            ),
+            (
+                "median_latency_ns",
+                timeline
+                    .median_latency_ns(Nanos::ZERO, horizon)
+                    .map_or(f64::NAN, |l| l as f64),
+            ),
+            ("replies", stats.received as f64),
+        ],
+    );
 }

@@ -96,6 +96,43 @@ pub fn rel_diff(a: f64, b: f64) -> f64 {
     (a - b).abs() / b.abs().max(1e-12)
 }
 
+/// Writes `metrics` as a flat JSON object to
+/// `$INC_METRICS_DIR/<name>.json` when that environment variable is set;
+/// a no-op otherwise. The CI bench-smoke script points `INC_METRICS_DIR`
+/// at its artifact directory, so every figure binary and example that
+/// calls this contributes a machine-readable summary to the uploaded
+/// perf-trajectory artifact without changing its stdout.
+///
+/// # Panics
+///
+/// Panics if the directory or file cannot be written (CI must notice).
+pub fn emit_metrics(name: &str, metrics: &[(&str, f64)]) {
+    let Ok(dir) = std::env::var("INC_METRICS_DIR") else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+    std::fs::create_dir_all(&dir).expect("create metrics dir");
+    std::fs::write(&path, render_metrics(metrics)).expect("write metrics file");
+}
+
+/// Renders a metric list as a JSON object. JSON has no NaN/inf literals,
+/// so a non-finite measurement (e.g. fig6's "no shift happened"
+/// sentinel) lands as `null` rather than making the artifact unparseable.
+fn render_metrics(metrics: &[(&str, f64)]) -> String {
+    let body = metrics
+        .iter()
+        .map(|(k, v)| {
+            if v.is_finite() {
+                format!("  \"{k}\": {v}")
+            } else {
+                format!("  \"{k}\": null")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n{body}\n}}\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +153,19 @@ mod tests {
     fn rel_diff_basics() {
         assert!(rel_diff(100.0, 100.0) < 1e-12);
         assert!((rel_diff(110.0, 100.0) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_render_as_valid_json_even_when_non_finite() {
+        let json = render_metrics(&[
+            ("energy_j", 42.5),
+            ("shift_up_s", f64::NAN),
+            ("shift_down_s", f64::INFINITY),
+        ]);
+        assert_eq!(
+            json,
+            "{\n  \"energy_j\": 42.5,\n  \"shift_up_s\": null,\n  \"shift_down_s\": null\n}\n"
+        );
+        assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 }

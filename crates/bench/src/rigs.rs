@@ -300,7 +300,7 @@ impl PaxosRig {
 /// engine serving memcached traffic and the Emu core serving DNS — each a
 /// bump-in-the-wire in front of its software server. Whether a
 /// partition's program may be *resident* (hardware placement) is decided
-/// by the `FleetController`'s shared [`DeviceCapacity`] ledger: the
+/// by the `FleetController`'s shared [`inc_hw::DeviceCapacity`] ledger: the
 /// [`SharedDeviceRig::shared_budget`] admits either program alone but not
 /// both, so every offload is an arbitration decision. The shell base
 /// power appears once per partition; it is a constant offset common to
@@ -515,6 +515,7 @@ impl SharedDeviceRig {
                 name: "kvs".into(),
                 demand: Self::kvs_demand(),
                 home: DeviceId::LOCAL,
+                weight: 1.0,
                 analysis: PlacementAnalysis {
                     software: EnergyParams {
                         idle_w: kvs_sw_idle,
@@ -534,6 +535,7 @@ impl SharedDeviceRig {
                 name: "dns".into(),
                 demand: Self::dns_demand(),
                 home: DeviceId::LOCAL,
+                weight: 1.0,
                 analysis: PlacementAnalysis {
                     software: EnergyParams {
                         idle_w: dns_sw_idle,
@@ -1057,6 +1059,7 @@ impl MultiTorRig {
                 name: "kvs".into(),
                 demand: SharedDeviceRig::kvs_demand(),
                 home: Self::TOR_A,
+                weight: 1.0,
                 analysis: PlacementAnalysis {
                     software: EnergyParams {
                         idle_w: kvs_sw_idle,
@@ -1076,6 +1079,7 @@ impl MultiTorRig {
                 name: "dns".into(),
                 demand: SharedDeviceRig::dns_demand(),
                 home: Self::TOR_B,
+                weight: 1.0,
                 analysis: PlacementAnalysis {
                     software: EnergyParams {
                         idle_w: dns_sw_idle,
@@ -1095,6 +1099,7 @@ impl MultiTorRig {
                 name: "paxos".into(),
                 demand: Self::pax_demand(),
                 home: Self::TOR_A,
+                weight: 1.0,
                 analysis: PlacementAnalysis {
                     software: EnergyParams {
                         idle_w: pax_sw_idle,
@@ -1365,6 +1370,264 @@ fn apply_multi_tor_placement(
     }
 }
 
+/// The fairness topology: two ToRs, four tenants, *sustained* (not
+/// offset) contention — the scenario the weighted-DRF arbitration layer
+/// exists for.
+///
+/// * **KVS** (LaKe-class, 7 stages / 40 MB — dominant share 0.83) and
+///   **Paxos** (P4xos-class, 6 stages — dominant share 0.50) are both
+///   homed on ToR A, whose device can host only one of them.
+/// * **DNS** (a beefier Emu variant: deeper name tables burn a seventh
+///   stage, 7 stages / 24 MB) is homed on ToR B and big enough that the
+///   Paxos program cannot co-reside with it there either (7 + 6 > 12) —
+///   so while the KVS and DNS peaks hold, the Paxos tenant fits
+///   *nowhere* and a pure benefit-maximising knapsack starves it
+///   indefinitely.
+/// * A second KVS tenant (**bulk**: a scan-heavy analytics cache whose
+///   program wants 14 stages / 60 MB) is sized to be *unsatisfiable*:
+///   its demand exceeds every device even empty, so admission control
+///   must reject it up front rather than let it thrash.
+///
+/// Unlike [`SharedDeviceRig`] and [`MultiTorRig`] — which exercise the
+/// packet-level device models — this rig is **model-driven**: the
+/// tenants' §8 analyses are stylised curves with the same relative
+/// economics as the calibrated tenants (KVS out-scores everyone, Paxos
+/// clears the floor but never wins a score fight), driven through
+/// [`run_fleet_controlled`] against closed-form observations. The
+/// fairness dance (queue → claim → clip → tenure → counter-claim) needs
+/// precisely shaped, *sustained* contention; the packet plumbing it
+/// would ride on is already end-to-end tested by the other rigs.
+pub struct ContendedFabricRig {
+    /// Offered-rate schedules, indexed like the fleet app vector.
+    pub profiles: [RateProfile; 4],
+}
+
+impl ContendedFabricRig {
+    /// Index of the KVS tenant in the fleet's app vector.
+    pub const KVS_APP: usize = 0;
+    /// Index of the DNS tenant in the fleet's app vector.
+    pub const DNS_APP: usize = 1;
+    /// Index of the Paxos tenant in the fleet's app vector.
+    pub const PAX_APP: usize = 2;
+    /// Index of the unsatisfiable bulk-analytics tenant.
+    pub const BULK_APP: usize = 3;
+
+    /// ToR A's device (home of the KVS, Paxos and bulk tenants).
+    pub const TOR_A: DeviceId = DeviceId(0);
+    /// ToR B's device (home of the DNS tenant).
+    pub const TOR_B: DeviceId = DeviceId(1);
+
+    /// Plateau rates, packets/second, indexed like the app vector.
+    const PEAK_PPS: [f64; 4] = [120_000.0, 90_000.0, 12_000.0, 100_000.0];
+    /// Software-mode latency of every tenant (model-level constant).
+    const SW_LATENCY_NS: u64 = 12_000;
+    /// Hardware-mode latency at the home ToR.
+    const HW_LATENCY_NS: u64 = 1_500;
+
+    /// The starvation window of the standard fairness configuration,
+    /// in samples: long enough that hand-overs are deliberate, short
+    /// enough that several play out within a run.
+    pub const STARVATION_WINDOW: u32 = 8;
+
+    /// The fabric: one Tofino-class pipeline per ToR with the standard
+    /// cross-ToR penalty.
+    pub fn fabric() -> DeviceFabric {
+        DeviceFabric::homogeneous(
+            2,
+            PipelineBudget::tofino_like(),
+            CrossTorPenalty::standard(),
+        )
+    }
+
+    /// The beefed-up Emu program of this rig's DNS tenant: one stage
+    /// more than [`SharedDeviceRig::dns_demand`], so ToR B cannot host
+    /// it beside the Paxos program.
+    pub fn dns_demand() -> ProgramResources {
+        ProgramResources {
+            stages: 7,
+            sram_bytes: 24 << 20,
+            parse_depth_bytes: 128,
+        }
+    }
+
+    /// The unsatisfiable bulk tenant's demand: over every device's stage
+    /// *and* SRAM budget, so `cost_units > 1` on each.
+    pub fn bulk_demand() -> ProgramResources {
+        ProgramResources {
+            stages: 14,
+            sram_bytes: 60 << 20,
+            parse_depth_bytes: 96,
+        }
+    }
+
+    /// A stylised §8 analysis: a software curve with dynamic slope
+    /// `slope_w_per_kpps` against a flat hardware curve `unpark_w` above
+    /// the shared idle floor — `benefit(r) ≈ slope · r − unpark`.
+    fn analysis(slope_w_per_kpps: f64, unpark_w: f64) -> PlacementAnalysis {
+        PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_w_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 50.0 + unpark_w,
+                sleep_w: 0.0,
+                active_w: 50.0 + unpark_w + 0.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        }
+    }
+
+    /// The four tenants. Plateau economics: KVS 10 W benefit (score
+    /// 12.0), DNS 6.1 W (score 10.5, sticky 13.1), Paxos 2.2 W (score
+    /// 4.4 — clears the 1 W floor even with the 0.85 remote haircut but
+    /// never wins a score fight), bulk 10 W (hot, but rejected). Equal
+    /// weights: each admitted tenant is entitled to 1/3 while all three
+    /// contend, which both big programs' dominant shares exceed — so
+    /// claims can clip in either direction and ToR A time-shares.
+    pub fn fleet_apps() -> Vec<FleetApp> {
+        vec![
+            FleetApp {
+                name: "kvs".into(),
+                demand: SharedDeviceRig::kvs_demand(),
+                analysis: Self::analysis(0.10, 2.0),
+                home: Self::TOR_A,
+                weight: 1.0,
+            },
+            FleetApp {
+                name: "dns".into(),
+                demand: Self::dns_demand(),
+                analysis: Self::analysis(0.09, 2.0),
+                home: Self::TOR_B,
+                weight: 1.0,
+            },
+            FleetApp {
+                name: "paxos".into(),
+                demand: MultiTorRig::pax_demand(),
+                analysis: Self::analysis(0.35, 2.0),
+                home: Self::TOR_A,
+                weight: 1.0,
+            },
+            FleetApp {
+                name: "kvs-bulk".into(),
+                demand: Self::bulk_demand(),
+                analysis: Self::analysis(0.12, 2.0),
+                home: Self::TOR_A,
+                weight: 1.0,
+            },
+        ]
+    }
+
+    /// The canonical contended day: everyone idles briefly, then all
+    /// four tenants hold their plateaus *simultaneously* until 0.8 s
+    /// before `horizon`, then idle again. Sustained overlap — not the
+    /// offset peaks of the other rigs — is what makes fairness, not
+    /// benefit, the binding constraint.
+    pub fn contended_profiles(horizon: Nanos) -> [RateProfile; 4] {
+        let start = Nanos::from_millis(200);
+        let stop = horizon - Nanos::from_millis(800);
+        Self::PEAK_PPS.map(|peak| {
+            RateProfile::steps(vec![(Nanos::ZERO, 1_000.0), (start, peak), (stop, 1_000.0)])
+        })
+    }
+
+    /// Builds the rig over the given schedules.
+    pub fn new(profiles: [RateProfile; 4]) -> Self {
+        ContendedFabricRig { profiles }
+    }
+
+    /// The standard fairness configuration: ordinary hysteresis plus the
+    /// rig's 8-sample starvation window.
+    pub fn config(interval: Nanos) -> FleetControllerConfig {
+        FleetControllerConfig {
+            starvation_window: Self::STARVATION_WINDOW,
+            ..FleetControllerConfig::standard(interval)
+        }
+    }
+
+    /// A weighted-DRF fleet controller over the rig's fabric.
+    pub fn fleet_controller(interval: Nanos) -> FleetController {
+        FleetController::new(Self::config(interval), Self::fabric(), Self::fleet_apps())
+    }
+
+    /// The pure benefit-maximising scheduler (fairness disabled): the
+    /// baseline that starves the Paxos tenant.
+    pub fn pure_benefit_controller(interval: Nanos) -> FleetController {
+        let config = FleetControllerConfig {
+            starvation_window: u32::MAX,
+            ..Self::config(interval)
+        };
+        FleetController::new(config, Self::fabric(), Self::fleet_apps())
+    }
+
+    /// A controller pinned to a fixed placement vector (static
+    /// baselines): an infinite sustain window means no condition ever
+    /// completes.
+    pub fn pinned_controller(interval: Nanos, placements: [Placement; 4]) -> FleetController {
+        let config = FleetControllerConfig {
+            sustain_samples: u32::MAX,
+            ..Self::config(interval)
+        };
+        FleetController::new(config, Self::fabric(), Self::fleet_apps())
+            .with_initial_placements(&placements)
+    }
+
+    /// Runs the model until `until`: the §8 curves supply rates, power
+    /// and latency per placement, `run_fleet_controlled` supplies the
+    /// control loop, streak machinery and bookkeeping. Metered power for
+    /// a remote placement gives back the share of the saving that the
+    /// detour burns, exactly as the scheduler prices it.
+    pub fn run(&self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
+        let mut sim: Simulator<()> = Simulator::new(0);
+        let apps = controller.apps().to_vec();
+        let fabric = Self::fabric();
+        let interval = controller.config().interval;
+        let placements = std::cell::RefCell::new(controller.placements().to_vec());
+        let profiles = self.profiles.clone();
+        run_fleet_controlled(
+            &mut sim,
+            controller,
+            until,
+            |sim| {
+                let now = sim.now();
+                let mid = now - interval.mul_f64(0.5);
+                (0..apps.len())
+                    .map(|i| {
+                        let rate = profiles[i].rate_at(mid);
+                        let placement = placements.borrow()[i];
+                        let (sw_w, hw_w) = apps[i].analysis.energy_per_second(rate);
+                        let (power_w, latency) = match placement {
+                            Placement::Software => (sw_w, Self::SW_LATENCY_NS),
+                            Placement::Device(d) => {
+                                let f = fabric.benefit_factor(apps[i].home, d);
+                                let detour = 2 * fabric.extra_latency(apps[i].home, d).as_nanos();
+                                (sw_w - f * (sw_w - hw_w), Self::HW_LATENCY_NS + detour)
+                            }
+                        };
+                        AppObservation {
+                            sample: FleetSample {
+                                host: HostSample {
+                                    rapl_w: sw_w,
+                                    app_cpu_util: rate / 1e6,
+                                    hw_app_rate: if placement.is_offloaded() { rate } else { 0.0 },
+                                },
+                                offered_pps: rate,
+                            },
+                            completed: (rate * interval.as_secs_f64()) as u64,
+                            latency_p50_ns: latency,
+                            latency_p99_ns: latency * 2,
+                            power_w,
+                        }
+                    })
+                    .collect()
+            },
+            |_sim, _t, app, p| placements.borrow_mut()[app] = p,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1405,5 +1668,60 @@ mod tests {
             kvs_score * 1.25 > pax_score,
             "paxos would preempt the kvs incumbent: {kvs_score:.2} vs {pax_score:.2}"
         );
+    }
+
+    /// The fairness rig's stylised economics have the shape its scenario
+    /// depends on: every admitted tenant is profitable at its plateau;
+    /// the Paxos program clears the floor even remotely but never wins a
+    /// score fight (so pure benefit starves it); the bulk tenant's
+    /// demand overflows every device; and the two ToR-A programs'
+    /// dominant shares both exceed the three-way entitlement, so claims
+    /// can clip in either direction.
+    #[test]
+    fn contended_fabric_calibration() {
+        let interval = Nanos::from_millis(100);
+        let ctl = ContendedFabricRig::fleet_controller(interval);
+        let (kvs, dns, pax, bulk) = (
+            ContendedFabricRig::KVS_APP,
+            ContendedFabricRig::DNS_APP,
+            ContendedFabricRig::PAX_APP,
+            ContendedFabricRig::BULK_APP,
+        );
+        for app in [kvs, dns, pax, bulk] {
+            let peak = ContendedFabricRig::contended_profiles(Nanos::from_secs(8))[app]
+                .rate_at(Nanos::from_secs(4));
+            assert!(ctl.benefit_w(app, 1_000.0) < 0.0, "app {app} hot at idle");
+            assert!(ctl.benefit_w(app, peak) > 2.0, "app {app} cold at peak");
+        }
+        // Paxos clears the offload floor even across the detour...
+        let pax_peak = 12_000.0;
+        let remote = ctl.effective_benefit_w(pax, ContendedFabricRig::TOR_B, pax_peak);
+        assert!(remote >= ctl.config().min_benefit_w);
+        // ...but cannot out-score either incumbent, sticky or not.
+        let pax_score = ctl.score(pax, ContendedFabricRig::TOR_A, pax_peak);
+        assert!(ctl.score(kvs, ContendedFabricRig::TOR_A, 120_000.0) > pax_score);
+        assert!(ctl.score(dns, ContendedFabricRig::TOR_B, 90_000.0) > pax_score);
+        // Admission control: only the bulk tenant is unsatisfiable.
+        for app in [kvs, dns, pax] {
+            assert_eq!(
+                ctl.admission_decision(app),
+                inc_ondemand::AdmissionDecision::Admit
+            );
+        }
+        assert_eq!(
+            ctl.admission_decision(bulk),
+            inc_ondemand::AdmissionDecision::Reject
+        );
+        let device = ContendedFabricRig::fabric()
+            .device(ContendedFabricRig::TOR_A)
+            .clone();
+        assert!(device.cost_units(&ContendedFabricRig::bulk_demand()) > 1.0);
+        // Both ToR-A programs are clippable at the 1/3 entitlement.
+        assert!(device.cost_units(&SharedDeviceRig::kvs_demand()) > 1.0 / 3.0);
+        assert!(device.cost_units(&MultiTorRig::pax_demand()) > 1.0 / 3.0);
+        // DNS and Paxos cannot co-reside on ToR B in this rig.
+        let mut b = device.clone();
+        b.admit(0, ContendedFabricRig::dns_demand()).unwrap();
+        assert!(!b.fits(&MultiTorRig::pax_demand()));
     }
 }

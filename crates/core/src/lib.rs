@@ -49,7 +49,10 @@ pub mod tor;
 pub use apps::Deployment;
 pub use decision::{dns_analysis, kvs_analysis, PlacementAnalysis};
 pub use envelope::{EnvelopePoint, OnDemandEnvelope};
-pub use fleet::{FleetApp, FleetController, FleetControllerConfig, FleetSample, FleetShift};
+pub use fleet::{
+    AdmissionDecision, FleetApp, FleetController, FleetControllerConfig, FleetSample, FleetShift,
+    ShiftReason,
+};
 pub use host::{HostController, HostControllerConfig, HostSample, Shift};
 pub use system::{
     run_fleet_controlled, run_host_controlled, AppObservation, FleetTimeline, IntervalObservation,

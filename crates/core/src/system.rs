@@ -11,7 +11,7 @@
 use inc_hw::Placement;
 use inc_sim::{Nanos, Payload, Simulator};
 
-use crate::fleet::{FleetController, FleetSample};
+use crate::fleet::{AdmissionDecision, FleetController, FleetSample};
 use crate::host::{HostController, HostSample};
 
 /// One timeline row (the Figure 6/7 plot data).
@@ -189,6 +189,13 @@ pub struct FleetTimeline {
     pub shifts: Vec<(Nanos, usize, Placement)>,
     /// Total metered energy over the run (all apps' slices), joules.
     pub energy_j: f64,
+    /// Each app's admission verdict at the end of the run: the
+    /// back-pressure surface — `Reject` names tenants whose demand can
+    /// never fit the fabric, `Queue` tenants still waiting for capacity.
+    pub admission: Vec<AdmissionDecision>,
+    /// Cumulative sampling intervals each app spent queued (wanting
+    /// capacity without receiving it), indexed like `per_app`.
+    pub queued_intervals: Vec<u64>,
 }
 
 impl FleetTimeline {
@@ -251,6 +258,8 @@ pub fn run_fleet_controlled<M: Payload>(
             timeline.energy_j += o.power_w * interval.as_secs_f64();
         }
     }
+    timeline.admission = (0..n).map(|i| controller.admission_decision(i)).collect();
+    timeline.queued_intervals = controller.queued_intervals().to_vec();
     timeline
 }
 
@@ -357,12 +366,14 @@ mod tests {
                 demand: demand(7),
                 analysis: analysis(0.08),
                 home: DeviceId::LOCAL,
+                weight: 1.0,
             },
             FleetApp {
                 name: "hot-shot".into(),
                 demand: demand(6),
                 analysis: analysis(0.16),
                 home: DeviceId::LOCAL,
+                weight: 1.0,
             },
         ];
         let mut ctl = crate::fleet::FleetController::new(

@@ -147,12 +147,13 @@ impl DeviceCapacity {
     }
 
     /// Fraction of a budget dimension that `amount` represents, with one
-    /// convention shared by [`DeviceCapacity::cost_units`] and
-    /// [`DeviceCapacity::occupancy`]: demanding any amount of a dimension
-    /// the device does not have is infinitely expensive, demanding none
-    /// of it is free. (The old `occupancy` used `.max(1)` denominators
-    /// and clamped to 1.0, silently reporting a zero-sized dimension as
-    /// healthy and masking overcommit.)
+    /// convention shared by [`DeviceCapacity::cost_units`],
+    /// [`DeviceCapacity::occupancy`] and [`DeviceCapacity::shares`]:
+    /// demanding any amount of a dimension the device does not have is
+    /// infinitely expensive, demanding none of it is free. (The old
+    /// `occupancy` used `.max(1)` denominators and clamped to 1.0,
+    /// silently reporting a zero-sized dimension as healthy and masking
+    /// overcommit.)
     fn dimension_frac(amount: u64, budget: u64) -> f64 {
         match (amount, budget) {
             (0, 0) => 0.0,
@@ -161,14 +162,37 @@ impl DeviceCapacity {
         }
     }
 
-    /// The scalar cost of a program: the largest fraction of any budget
-    /// dimension it consumes (its bottleneck share), in `[0, ∞]`. A
-    /// program whose cost exceeds 1 can never fit.
+    /// The per-dimension budget fractions `r` represents on this device:
+    /// the accounting unit of dominant-resource fairness. All three
+    /// dimensions are reported; [`ResourceShares::dominant`] folds them
+    /// into the DRF dominant share.
+    pub fn shares(&self, r: &ProgramResources) -> ResourceShares {
+        ResourceShares {
+            stages: Self::dimension_frac(r.stages as u64, self.budget.stages as u64),
+            sram: Self::dimension_frac(r.sram_bytes, self.budget.sram_bytes),
+            parse: Self::dimension_frac(
+                r.parse_depth_bytes as u64,
+                self.budget.parse_depth_bytes as u64,
+            ),
+        }
+    }
+
+    /// The dominant share `app` currently holds on this device: the
+    /// largest budget fraction across the consumed dimensions of its
+    /// allocation, or 0.0 when it holds nothing. This is the quantity a
+    /// DRF arbiter compares against a tenant's weighted entitlement.
+    pub fn dominant_share(&self, app: AppSlot) -> f64 {
+        self.allocs
+            .get(&app)
+            .map_or(0.0, |r| self.shares(r).dominant())
+    }
+
+    /// The scalar cost of a program: its dominant share — the largest
+    /// fraction of any *consumed* budget dimension (see
+    /// [`ResourceShares::dominant`]), in `[0, ∞]`. A program whose cost
+    /// exceeds 1 can never fit.
     pub fn cost_units(&self, r: &ProgramResources) -> f64 {
-        // Parse depth is shared, not consumed: it gates feasibility (via
-        // admit) but costs nothing to co-residents.
-        Self::dimension_frac(r.stages as u64, self.budget.stages as u64)
-            .max(Self::dimension_frac(r.sram_bytes, self.budget.sram_bytes))
+        self.shares(r).dominant()
     }
 
     /// Fraction of the bottleneck dimension currently allocated. Every
@@ -177,10 +201,32 @@ impl DeviceCapacity {
     /// introduced by a future bug (or a shrunk budget) reads as `> 1`
     /// instead of being masked.
     pub fn occupancy(&self) -> f64 {
-        let used = self.used();
-        Self::dimension_frac(used.stages as u64, self.budget.stages as u64).max(
-            Self::dimension_frac(used.sram_bytes, self.budget.sram_bytes),
-        )
+        self.shares(&self.used()).dominant()
+    }
+}
+
+/// The budget fractions one program occupies on one device, per
+/// dimension — the accounting unit of dominant-resource fairness.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceShares {
+    /// Fraction of the match-action stages.
+    pub stages: f64,
+    /// Fraction of the stateful SRAM.
+    pub sram: f64,
+    /// Fraction of the maximum parse depth. Reported for observability,
+    /// but *shared*, not consumed: one parser serves every resident, so
+    /// a deep parse deprives no co-tenant.
+    pub parse: f64,
+}
+
+impl ResourceShares {
+    /// The DRF dominant share: the largest fraction across the
+    /// *consumed* dimensions (stages and SRAM). Parse depth is excluded
+    /// by the same convention as [`DeviceCapacity::cost_units`]: it
+    /// gates feasibility but is not a divisible resource a fair-share
+    /// arbiter can hand out.
+    pub fn dominant(&self) -> f64 {
+        self.stages.max(self.sram)
     }
 }
 
@@ -319,6 +365,33 @@ mod tests {
         assert!(!cap.fits(&six));
         assert!(cap.admit(1, five).is_ok());
         assert!(cap.admit(2, six).is_err());
+    }
+
+    #[test]
+    fn shares_and_dominant_share_follow_the_ledger() {
+        let mut cap = DeviceCapacity::new(PipelineBudget::tofino_like());
+        // Not resident: no share.
+        assert_eq!(cap.dominant_share(0), 0.0);
+        cap.admit(0, kvs()).unwrap();
+        let s = cap.shares(&kvs());
+        assert!((s.stages - 7.0 / 12.0).abs() < 1e-9);
+        assert!((s.sram - 40.0 / 48.0).abs() < 1e-9);
+        assert!((s.parse - 96.0 / 192.0).abs() < 1e-9);
+        // Dominant = max over the consumed dimensions = cost_units.
+        assert!((cap.dominant_share(0) - cap.cost_units(&kvs())).abs() < 1e-9);
+        // Parse depth never dominates: a parse-heavy, otherwise tiny
+        // program has a small dominant share even at full parser depth.
+        let deep = ProgramResources {
+            stages: 1,
+            sram_bytes: 1 << 20,
+            parse_depth_bytes: 192,
+        };
+        let ds = cap.shares(&deep);
+        assert_eq!(ds.parse, 1.0);
+        assert!((ds.dominant() - 1.0 / 12.0).abs() < 1e-9);
+        // Release returns the share to zero.
+        cap.release(0);
+        assert_eq!(cap.dominant_share(0), 0.0);
     }
 
     #[test]

@@ -253,6 +253,16 @@ impl DeviceFabric {
         self.residency(app).is_some()
     }
 
+    /// The dominant share `app` holds on the device where it is resident
+    /// (0.0 when it is software-placed): the per-tenant quantity a DRF
+    /// arbiter compares against a weighted entitlement. Shares are
+    /// measured against the *hosting* device's budget, so the same
+    /// program is a larger share of a smaller ToR.
+    pub fn dominant_share(&self, app: AppSlot) -> f64 {
+        self.residency(app)
+            .map_or(0.0, |d| self.device(d).dominant_share(app))
+    }
+
     /// Releases every allocation on every device.
     pub fn clear(&mut self) {
         for dev in &mut self.devices {
@@ -364,6 +374,30 @@ mod tests {
             g.device(DeviceId(0)).budget(),
             f.device(DeviceId(0)).budget()
         );
+    }
+
+    #[test]
+    fn dominant_share_is_measured_on_the_hosting_device() {
+        let small = PipelineBudget {
+            stages: 8,
+            sram_bytes: 24 << 20,
+            parse_depth_bytes: 192,
+        };
+        let mut f = DeviceFabric::new(
+            vec![PipelineBudget::tofino_like(), small],
+            CrossTorPenalty::NONE,
+        );
+        // Software-placed: no share anywhere.
+        assert_eq!(f.dominant_share(0), 0.0);
+        f.admit(DeviceId(0), 0, dns()).unwrap();
+        // On the Tofino-class device DNS is stage-bound: 6/12.
+        assert!((f.dominant_share(0) - 0.5).abs() < 1e-9);
+        // The same program is a larger slice of the smaller ToR, where
+        // its SRAM becomes the bottleneck: 20 MB of 24 MB.
+        f.admit(DeviceId(1), 0, dns()).unwrap();
+        assert!((f.dominant_share(0) - 20.0 / 24.0).abs() < 1e-9);
+        f.release(0);
+        assert_eq!(f.dominant_share(0), 0.0);
     }
 
     #[test]

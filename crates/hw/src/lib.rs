@@ -28,7 +28,7 @@ pub mod pipeline;
 pub mod smartnic;
 
 pub use asic::{TofinoModel, TofinoProgram};
-pub use capacity::{AppSlot, DeviceCapacity};
+pub use capacity::{AppSlot, DeviceCapacity, ResourceShares};
 pub use fabric::{CrossTorPenalty, DeviceFabric, DeviceId};
 pub use memory::{MemoryKind, MemorySpec};
 pub use netfpga::{

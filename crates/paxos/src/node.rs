@@ -29,7 +29,7 @@ const GAP_PROBE_PERIOD: Nanos = Nanos::from_millis(25);
 pub struct AddressBook {
     /// This node's own endpoint.
     pub own: Endpoint,
-    /// The *virtual* leader endpoint ([`PAXOS_LEADER_PORT`]); the switch
+    /// The *virtual* leader endpoint ([`crate::PAXOS_LEADER_PORT`]); the switch
     /// steers it to whichever node is currently leader (§9.2).
     pub leader: Endpoint,
     /// All acceptor endpoints.

@@ -5,7 +5,7 @@
 //! no dependency on any particular packet format; `inc-net` instantiates it
 //! with its `Packet`. Execution is single-threaded and fully deterministic:
 //! events are ordered by `(time, sequence-number)` and all randomness flows
-//! from one seeded [`Rng`](crate::Rng).
+//! from one seeded [`Rng`].
 
 use std::any::Any;
 use std::cmp::Reverse;

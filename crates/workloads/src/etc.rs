@@ -1,5 +1,5 @@
 //! The Facebook "ETC" memcached workload (Atikoglu et al., the paper's
-//! [7]), used by the Figure 6 on-demand experiment via a mutilate-style
+//! \[7\]), used by the Figure 6 on-demand experiment via a mutilate-style
 //! client.
 //!
 //! The published characteristics reproduced here:

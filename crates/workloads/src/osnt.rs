@@ -1,8 +1,8 @@
 //! OSNT-style open-loop traffic generation (§4.1).
 //!
 //! The paper drives every power/throughput sweep with OSNT, an open-source
-//! tester that "control[s] data rates at very fine granularities and
-//! reproduce[s] results". [`OsntSource`] emits caller-built packets at a
+//! tester that "control\[s\] data rates at very fine granularities and
+//! reproduce\[s\] results". [`OsntSource`] emits caller-built packets at a
 //! precisely paced rate that can follow a [`RateProfile`] over time.
 
 use inc_net::Packet;

@@ -1,7 +1,7 @@
 //! Zipf-distributed sampling.
 //!
 //! Key popularity in the Facebook ETC workload follows a power law
-//! (Atikoglu et al., the paper's [7]). This sampler uses the
+//! (Atikoglu et al., the paper's \[7\]). This sampler uses the
 //! rejection-inversion method of Hörmann & Derflinger, which is O(1) per
 //! sample with no precomputed tables, so it scales to the 10⁹-key
 //! populations §5.3 discusses.

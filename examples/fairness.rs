@@ -1,0 +1,120 @@
+//! Four tenants, two ToRs, sustained contention: weighted-DRF
+//! arbitration versus pure benefit-maximising scheduling.
+//!
+//! The `ContendedFabricRig` holds all four plateaus simultaneously, so
+//! whoever loses the knapsack loses it *forever* unless fairness
+//! intervenes: under pure benefit the Paxos tenant is starved; under
+//! weighted DRF it claims its entitled share of device time at the
+//! starvation window, and the unsatisfiable bulk tenant is rejected up
+//! front instead of thrashing the queue.
+//!
+//! Run with: `cargo run --release --example fairness`
+
+use inc::hw::Placement;
+use inc::ondemand::{AdmissionDecision, FleetController, ShiftReason};
+use inc::sim::Nanos;
+use inc_bench::rigs::ContendedFabricRig;
+
+const HORIZON: Nanos = Nanos::from_secs(8);
+const INTERVAL: Nanos = Nanos::from_millis(100);
+const BUSY_FROM: Nanos = Nanos::from_millis(600);
+const BUSY_TO: Nanos = Nanos::from_millis(7_200);
+
+fn plc(p: Placement) -> String {
+    match p {
+        Placement::Software => "software".to_string(),
+        Placement::Device(d) => format!("{d}"),
+    }
+}
+
+fn run(label: &str, mut controller: FleetController) -> (f64, [f64; 4]) {
+    let rig = ContendedFabricRig::new(ContendedFabricRig::contended_profiles(HORIZON));
+    let timeline = rig.run(&mut controller, HORIZON);
+    println!("\n=== {label} ===");
+    for s in controller.shifts() {
+        println!(
+            "  t={:>5.2}s  {:>8} -> {:<8}  ({:>6.1} kpps, {:+5.1} W, {:?})",
+            s.at.as_secs_f64(),
+            controller.apps()[s.app].name,
+            plc(s.to),
+            s.rate_pps / 1e3,
+            s.benefit_w,
+            s.reason,
+        );
+    }
+    let mut shares = [0.0f64; 4];
+    for (app, share) in shares.iter_mut().enumerate() {
+        let rows: Vec<_> = timeline.per_app[app]
+            .rows
+            .iter()
+            .filter(|r| r.t >= BUSY_FROM && r.t < BUSY_TO)
+            .collect();
+        let resident = rows.iter().filter(|r| r.placement.is_offloaded()).count();
+        *share = resident as f64 / rows.len() as f64;
+        println!(
+            "  {:>8}: {:>5.1} % of the busy window on a device, {:>3} intervals queued, {:?}",
+            controller.apps()[app].name,
+            *share * 100.0,
+            timeline.queued_intervals[app],
+            timeline.admission[app],
+        );
+        if timeline.admission[app] == AdmissionDecision::Reject {
+            println!("            (demand exceeds every device: rejected up front, 0 shifts)");
+        }
+    }
+    let fair_shifts = controller
+        .shifts()
+        .iter()
+        .filter(|s| s.reason == ShiftReason::FairShare)
+        .count();
+    println!(
+        "  energy {:.1} J, {} shifts ({} fairness-driven)",
+        timeline.energy_j,
+        controller.shifts().len(),
+        fair_shifts
+    );
+    (timeline.energy_j, shares)
+}
+
+fn main() {
+    let (fair_energy, fair_shares) = run(
+        "weighted-DRF fleet",
+        ContendedFabricRig::fleet_controller(INTERVAL),
+    );
+    let (pure_energy, pure_shares) = run(
+        "pure benefit (fairness disabled)",
+        ContendedFabricRig::pure_benefit_controller(INTERVAL),
+    );
+    let (sw_energy, _) = run(
+        "all-software",
+        ContendedFabricRig::pinned_controller(INTERVAL, [Placement::Software; 4]),
+    );
+
+    println!("\n=== summary ===");
+    println!("  weighted-DRF fleet   {fair_energy:>7.1} J");
+    println!("  pure benefit         {pure_energy:>7.1} J");
+    println!("  all-software         {sw_energy:>7.1} J");
+    println!(
+        "  paxos device-time share: {:.0} % under DRF vs {:.0} % under pure benefit",
+        fair_shares[ContendedFabricRig::PAX_APP] * 100.0,
+        pure_shares[ContendedFabricRig::PAX_APP] * 100.0,
+    );
+    println!(
+        "  fairness costs {:.1} J of the {:.1} J the fleet saves vs software",
+        fair_energy - pure_energy,
+        sw_energy - fair_energy
+    );
+
+    inc_bench::emit_metrics(
+        "fairness",
+        &[
+            ("fair_energy_j", fair_energy),
+            ("pure_benefit_energy_j", pure_energy),
+            ("all_software_energy_j", sw_energy),
+            ("pax_share_drf", fair_shares[ContendedFabricRig::PAX_APP]),
+            ("pax_share_pure", pure_shares[ContendedFabricRig::PAX_APP]),
+            ("kvs_share_drf", fair_shares[ContendedFabricRig::KVS_APP]),
+            ("dns_share_drf", fair_shares[ContendedFabricRig::DNS_APP]),
+        ],
+    );
+}

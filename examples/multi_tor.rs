@@ -110,4 +110,16 @@ fn main() {
         sw - fleet,
         best_single - fleet
     );
+
+    // Machine-readable summary for the CI perf-trajectory artifact.
+    inc_bench::emit_metrics(
+        "multi_tor",
+        &[
+            ("fleet_energy_j", fleet),
+            ("all_software_energy_j", sw),
+            ("static_kvs_a_energy_j", kvs_a),
+            ("static_dns_pax_b_energy_j", dns_pax_b),
+            ("best_single_device_energy_j", best_single),
+        ],
+    );
 }

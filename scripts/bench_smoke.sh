@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# The single source of truth for the CI bench-smoke job (previously a
+# copy-pasted list of workflow steps). Builds every bench target, runs
+# one cheap paper-figure binary, the figure-6 timeline, the three
+# scheduling examples, their release-mode e2e tests, and the criterion
+# smoke targets.
+#
+# Figure binaries and examples write machine-readable JSON summaries to
+# $INC_METRICS_DIR (default: bench-artifacts/), which CI uploads as the
+# perf-trajectory artifact; fig6's CSV timeline is captured there too.
+#
+# Usage: scripts/bench_smoke.sh  (from the repo root; needs only cargo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export INC_METRICS_DIR="${INC_METRICS_DIR:-bench-artifacts}"
+mkdir -p "$INC_METRICS_DIR"
+
+echo "== build all bench targets =="
+cargo build --release --benches --workspace
+
+echo "== paper-figure binaries =="
+cargo run --release -p inc-bench --bin fig3a
+cargo run --release -p inc-bench --bin fig6 | tee "$INC_METRICS_DIR/fig6.csv"
+
+echo "== scheduling examples =="
+cargo run --release --example shared_device
+cargo run --release --example multi_tor
+cargo run --release --example fairness
+
+echo "== release-mode scheduling e2e tests =="
+cargo test --release -q --test shared_device
+cargo test --release -q --test multi_tor
+cargo test --release -q --test fairness
+
+echo "== criterion smoke targets =="
+cargo bench -p inc-bench --bench codecs
+cargo bench -p inc-bench --bench shared_device
+cargo bench -p inc-bench --bench multi_tor
+cargo bench -p inc-bench --bench fairness
+
+echo "== collected artifacts =="
+ls -l "$INC_METRICS_DIR"

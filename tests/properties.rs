@@ -462,6 +462,64 @@ proptest! {
         }
     }
 
+    /// Admission control is exact: a tenant is rejected up front *iff*
+    /// its demand fits no device in the fabric even when empty — for
+    /// arbitrary heterogeneous budgets and arbitrary demands, including
+    /// degenerate zero-sized dimensions.
+    #[test]
+    fn admission_reject_iff_demand_unfit_on_every_device(
+        budgets in proptest::collection::vec(
+            (0u32..16, 0u64..64, 32u32..256), 1..4),
+        d_stages in 0u32..20,
+        d_sram_mb in 0u64..80,
+        d_parse in 32u32..300,
+    ) {
+        use inc::hw::{CrossTorPenalty, DeviceFabric, PipelineBudget, ProgramResources};
+        use inc::ondemand::{AdmissionDecision, FleetApp, FleetController,
+                            FleetControllerConfig, PlacementAnalysis};
+        use inc::power::EnergyParams;
+        use inc::sim::Nanos;
+
+        let budgets: Vec<PipelineBudget> = budgets
+            .iter()
+            .map(|&(s, m, p)| PipelineBudget {
+                stages: s,
+                sram_bytes: m << 20,
+                parse_depth_bytes: p,
+            })
+            .collect();
+        let demand = ProgramResources {
+            stages: d_stages,
+            sram_bytes: d_sram_mb << 20,
+            parse_depth_bytes: d_parse,
+        };
+        let unfit_everywhere = budgets.iter().all(|b| b.admit(&demand).is_err());
+        let analysis = PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0, sleep_w: 0.0, active_w: 90.0, peak_rate_pps: 1e6,
+            },
+            network: EnergyParams {
+                idle_w: 52.0, sleep_w: 0.0, active_w: 52.1, peak_rate_pps: 1e7,
+            },
+        };
+        let fabric = DeviceFabric::new(budgets, CrossTorPenalty::standard());
+        let ctl = FleetController::new(
+            FleetControllerConfig::standard(Nanos::from_millis(100)),
+            fabric,
+            vec![FleetApp {
+                name: "probe".into(),
+                demand,
+                analysis,
+                home: inc::hw::DeviceId(0),
+                weight: 1.0,
+            }],
+        );
+        prop_assert_eq!(
+            ctl.admission_decision(0) == AdmissionDecision::Reject,
+            unfit_everywhere
+        );
+    }
+
     /// Fleet-scheduler invariants under random sample streams, over a
     /// two-ToR fabric with the rig's capacity shape: (1) the placement
     /// vector never oversubscribes any device's budget; (2) no program
@@ -502,6 +560,7 @@ proptest! {
             },
             analysis: analysis(slope),
             home: DeviceId(home),
+            weight: 1.0,
         };
         // The rig's shape: two big programs homed on ToR 0, one on ToR 1.
         let apps = vec![
@@ -569,6 +628,190 @@ proptest! {
                             "step {}: {:?} oversubscribed", step, dev
                         );
                     }
+                }
+            }
+        }
+    }
+
+    /// Weighted-DRF fairness and admission invariants under random rate
+    /// streams, over a two-ToR fabric with four tenants (three
+    /// satisfiable with random weights, one unsatisfiable driven hot
+    /// forever):
+    ///
+    /// 1. the rejected tenant never shifts, never queues, and stays
+    ///    `Reject` — admission control, not attrition;
+    /// 2. budgets are never oversubscribed, fairness clips included;
+    /// 3. device entries still require the full sustain window — claims
+    ///    obey the same hysteresis as benefit decisions;
+    /// 4. *fairness liveness*: no tenant stays starved past its weighted
+    ///    starvation window while an over-entitled incumbent holds a
+    ///    device the claimant could take — whenever a claim stays
+    ///    pending, removing every clippable (over-entitled) incumbent
+    ///    from each profitable device still must not fit the claimant.
+    #[test]
+    fn fleet_fairness_and_admission_invariants(
+        rates in proptest::collection::vec(
+            (0u32..300_000, 0u32..300_000, 0u32..40_000), 8..80),
+        w_kvs in 1u32..4,
+        w_pax in 1u32..4,
+    ) {
+        use inc::hw::{CrossTorPenalty, DeviceCapacity, DeviceFabric, DeviceId,
+                      PipelineBudget, ProgramResources};
+        use inc::ondemand::{AdmissionDecision, FleetApp, FleetController,
+                            FleetControllerConfig, FleetSample, HostSample, Placement,
+                            PlacementAnalysis, ShiftReason};
+        use inc::power::EnergyParams;
+
+        let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 52.0,
+                sleep_w: 0.0,
+                active_w: 52.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        };
+        let app = |name: &str, stages: u32, sram_mb: u64, slope: f64, home: u16,
+                   weight: f64| FleetApp {
+            name: name.into(),
+            demand: ProgramResources {
+                stages,
+                sram_bytes: sram_mb << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(slope),
+            home: DeviceId(home),
+            weight,
+        };
+        const BULK: usize = 3;
+        let apps = vec![
+            app("kvs", 7, 40, 0.08, 0, f64::from(w_kvs)),
+            app("dns", 7, 24, 0.10, 1, 1.0),
+            app("pax", 6, 4, 0.30, 0, f64::from(w_pax)),
+            app("bulk", 14, 60, 0.12, 0, 1.0), // unfit on every device
+        ];
+        let config = FleetControllerConfig {
+            starvation_window: 6,
+            ..FleetControllerConfig::standard(Nanos::from_millis(100))
+        };
+        let fabric = DeviceFabric::homogeneous(
+            2,
+            PipelineBudget::tofino_like(),
+            CrossTorPenalty::standard(),
+        );
+        let mut ctl = FleetController::new(config, fabric, apps.clone());
+        prop_assert_eq!(ctl.admission_decision(BULK), AdmissionDecision::Reject);
+
+        // Oracle: consecutive profitable samples per app since its last
+        // placement change.
+        let mut hot = [0u32; 4];
+        for (step, &(r0, r1, r2)) in rates.iter().enumerate() {
+            let rs = [r0 as f64, r1 as f64, r2 as f64, 200_000.0];
+            let samples: Vec<FleetSample> = rs
+                .iter()
+                .map(|&r| FleetSample {
+                    host: HostSample {
+                        rapl_w: 50.0,
+                        app_cpu_util: 0.2,
+                        hw_app_rate: r,
+                    },
+                    offered_pps: r,
+                })
+                .collect();
+            for i in 0..4 {
+                if ctl.benefit_w(i, rs[i]) >= ctl.config().min_benefit_w {
+                    hot[i] += 1;
+                } else {
+                    hot[i] = 0;
+                }
+            }
+            let now = Nanos::from_millis(100 * (step as u64 + 1));
+            let decisions = ctl.sample(now, &samples);
+            for &(i, to) in &decisions {
+                if to.is_offloaded() {
+                    // Invariant 3: entries — benefit, admission *and*
+                    // fairness claims — obey the sustain window.
+                    prop_assert!(
+                        hot[i] >= ctl.config().sustain_samples,
+                        "step {}: app {} entered {:?} with streak {}",
+                        step, i, to, hot[i]
+                    );
+                }
+                hot[i] = 0;
+            }
+
+            // Invariant 1: the unsatisfiable tenant is rejected, inert,
+            // and costs nothing.
+            prop_assert_eq!(ctl.admission_decision(BULK), AdmissionDecision::Reject);
+            prop_assert_eq!(ctl.placements()[BULK], Placement::Software);
+            prop_assert_eq!(ctl.queued_intervals()[BULK], 0);
+            prop_assert!(ctl.shifts().iter().all(|s| s.app != BULK));
+
+            // Invariant 2: budget replay, fairness clips included.
+            for dev in [DeviceId(0), DeviceId(1)] {
+                let mut ledger = DeviceCapacity::new(PipelineBudget::tofino_like());
+                for (i, app) in apps.iter().enumerate() {
+                    if ctl.placements()[i] == Placement::Device(dev) {
+                        prop_assert!(
+                            ledger.admit(i as u64, app.demand).is_ok(),
+                            "step {}: {:?} oversubscribed", step, dev
+                        );
+                    }
+                }
+            }
+
+            // Invariant 4: fairness liveness. A still-pending claim
+            // (streak beyond window + 1: the claim has definitely been
+            // evaluated and failed this sample) implies that on every
+            // device where the claimant's haircut benefit clears the
+            // floor, the incumbents fairness may NOT clip — those within
+            // their entitlement, or placed by a claim this very sample —
+            // already block it on their own.
+            //
+            // The contender set is reconstructed conservatively (a
+            // tenant that stopped being eligible this sample is
+            // dropped), which can only shrink the clippable set — the
+            // check never flags a clip the controller could not see.
+            let contending: Vec<bool> = (0..4)
+                .map(|j| ctl.placements()[j].is_offloaded() || ctl.starved_streak(j) >= 2)
+                .collect();
+            for i in 0..3 {
+                if ctl.starved_streak(i) <= ctl.starvation_threshold(i) + 1 {
+                    continue;
+                }
+                let total_w: f64 = (0..4)
+                    .filter(|&j| j == i || contending[j])
+                    .map(|j| apps[j].weight)
+                    .sum();
+                for dev in [DeviceId(0), DeviceId(1)] {
+                    let eff = ctl.effective_benefit_w(i, dev, rs[i]);
+                    if eff < ctl.config().min_benefit_w {
+                        continue;
+                    }
+                    let mut ledger = DeviceCapacity::new(PipelineBudget::tofino_like());
+                    for (j, app) in apps.iter().enumerate() {
+                        if ctl.placements()[j] != Placement::Device(dev) {
+                            continue;
+                        }
+                        let share = ctl.dominant_share(j);
+                        let fair_placed_now = ctl.shifts().iter().any(|s| {
+                            s.app == j && s.at == now && s.reason == ShiftReason::FairShare
+                        });
+                        if share <= app.weight / total_w || fair_placed_now {
+                            ledger.admit(j as u64, app.demand).unwrap();
+                        }
+                    }
+                    prop_assert!(
+                        !ledger.fits(&apps[i].demand),
+                        "step {}: app {} starved {} samples past its window \
+                         while {:?} had clippable room",
+                        step, i, ctl.starved_streak(i), dev
+                    );
                 }
             }
         }
