@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use inc_bench::rigs::MultiTorRig;
-use inc_hw::{CrossTorPenalty, DeviceFabric, DeviceId, PipelineBudget, ProgramResources};
+use inc_hw::{DeviceFabric, DeviceId, PipelineBudget, ProgramResources, TierCost, Topology};
 use inc_ondemand::{
     FleetApp, FleetController, FleetControllerConfig, FleetSample, HostSample, PlacementAnalysis,
 };
@@ -61,7 +61,12 @@ fn synthetic_fleet(n: usize, tors: usize) -> FleetController {
         DeviceFabric::homogeneous(
             tors,
             PipelineBudget::tofino_like(),
-            CrossTorPenalty::standard(),
+            Topology::fat_tree(
+                1,
+                tors,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
         ),
         apps,
     )

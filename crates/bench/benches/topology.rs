@@ -1,17 +1,19 @@
-//! Weighted-DRF arbitration benchmarks: the fairness-augmented decision
-//! path in isolation — the starvation accounting, claim/clip pass and
-//! admission checks must stay cheap next to the plain knapsack — and a
-//! short contended-fabric run under the full fleet control loop.
+//! Topology-aware scheduling benchmarks: the (app × device) decision
+//! path over a three-tier distance matrix — tier lookups, migration
+//! debits and min-cost hand-over planning must stay cheap next to the
+//! flat-penalty knapsack — plus a short pod-fabric run under the full
+//! fleet control loop.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use inc_bench::rigs::ContendedFabricRig;
+use inc_bench::rigs::PodFabricRig;
 use inc_hw::{DeviceFabric, DeviceId, PipelineBudget, ProgramResources, TierCost, Topology};
 use inc_ondemand::{
-    FleetApp, FleetController, FleetControllerConfig, FleetSample, HostSample, PlacementAnalysis,
+    ClaimPolicy, FleetApp, FleetController, FleetControllerConfig, FleetSample, HostSample,
+    PlacementAnalysis,
 };
 use inc_power::EnergyParams;
 use inc_sim::Nanos;
@@ -27,12 +29,10 @@ fn sample(rate: f64) -> FleetSample {
     }
 }
 
-/// A synthetic contended fleet: `n` tenants striped across `tors` home
-/// devices with descending weights, everyone hot all the time, plus one
-/// unsatisfiable tenant exercising the admission-reject path. Demands
-/// are sized so roughly two tenants fill a device — sustained queues,
-/// claims and clips every starvation window.
-fn contended_fleet(n: usize, tors: usize, starvation_window: u32) -> FleetController {
+/// A contended pod fabric at parametric scale: `pods × 2` ToRs with
+/// tiered costs, `n` tenants striped across the big ToRs so spills,
+/// claims and migration pricing all fire continuously.
+fn pod_fleet(n: usize, pods: usize, claim_policy: ClaimPolicy) -> FleetController {
     let analysis = |slope_per_kpps: f64| PlacementAnalysis {
         software: EnergyParams {
             idle_w: 40.0,
@@ -47,7 +47,7 @@ fn contended_fleet(n: usize, tors: usize, starvation_window: u32) -> FleetContro
             peak_rate_pps: 10_000_000.0,
         },
     };
-    let mut apps: Vec<FleetApp> = (0..n)
+    let apps: Vec<FleetApp> = (0..n)
         .map(|i| FleetApp {
             name: format!("tenant-{i}"),
             demand: ProgramResources {
@@ -56,53 +56,47 @@ fn contended_fleet(n: usize, tors: usize, starvation_window: u32) -> FleetContro
                 parse_depth_bytes: 64,
             },
             analysis: analysis(0.05 + 0.02 * i as f64),
-            home: DeviceId((i % tors) as u16),
+            home: DeviceId((2 * (i % pods)) as u16),
             weight: 1.0 + (i % 3) as f64,
         })
         .collect();
-    apps.push(FleetApp {
-        name: "unsatisfiable".into(),
-        demand: ProgramResources {
-            stages: 20,
-            sram_bytes: 64 << 20,
-            parse_depth_bytes: 64,
-        },
-        analysis: analysis(0.10),
-        home: DeviceId(0),
-        weight: 1.0,
-    });
     let config = FleetControllerConfig {
-        starvation_window,
+        starvation_window: 8,
+        claim_policy,
         ..FleetControllerConfig::standard(Nanos::from_millis(1))
+    };
+    let intra = TierCost {
+        link_energy_nj: 500.0,
+        ..TierCost::standard_intra_pod()
+    };
+    let inter = TierCost {
+        link_energy_nj: 1_500.0,
+        ..TierCost::standard_inter_pod()
     };
     FleetController::new(
         config,
         DeviceFabric::homogeneous(
-            tors,
+            2 * pods,
             PipelineBudget::tofino_like(),
-            Topology::fat_tree(
-                1,
-                tors,
-                TierCost::standard_intra_pod(),
-                TierCost::standard_inter_pod(),
-            ),
+            Topology::fat_tree(pods, 2, intra, inter),
         ),
         apps,
     )
 }
 
-fn bench_fairness(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fairness");
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
 
-    // The decision path with the fairness machinery active, at the
-    // rig's scale and at a rack-row scale. Everyone stays hot, so every
-    // starvation window triggers a claim/clip cycle — the worst case
-    // for the arbitration layer.
-    for (apps, tors) in [(4usize, 2usize), (12, 4)] {
-        let name = format!("drf_decisions_{apps}apps_{tors}tors_x10k");
+    // The decision path over the distance matrix, at the rig's scale
+    // (5 tenants, 2 pods) and at a row scale (12 tenants, 4 pods).
+    // Everyone stays hot, so every starvation window triggers a
+    // min-cost hand-over plan across all devices — the worst case for
+    // the planning pass.
+    for (apps, pods) in [(5usize, 2usize), (12, 4)] {
+        let name = format!("tiered_decisions_{apps}apps_{pods}pods_x10k");
         g.bench_function(&name, |bench| {
             bench.iter(|| {
-                let mut ctl = contended_fleet(apps, tors, 8);
+                let mut ctl = pod_fleet(apps, pods, ClaimPolicy::MinCost);
                 let n = ctl.apps().len();
                 let mut shifts = 0usize;
                 for step in 1..=10_000u64 {
@@ -114,11 +108,11 @@ fn bench_fairness(c: &mut Criterion) {
         });
     }
 
-    // The same fleet with fairness disabled: the cost of the layer is
-    // the delta against this baseline.
-    g.bench_function("pure_benefit_decisions_4apps_2tors_x10k", |bench| {
+    // The old best-score claim policy on the same fleet: the marginal
+    // cost of min-cost planning is the delta against this baseline.
+    g.bench_function("best_score_decisions_5apps_2pods_x10k", |bench| {
         bench.iter(|| {
-            let mut ctl = contended_fleet(4, 2, u32::MAX);
+            let mut ctl = pod_fleet(5, 2, ClaimPolicy::BestScore);
             let n = ctl.apps().len();
             let mut shifts = 0usize;
             for step in 1..=10_000u64 {
@@ -129,13 +123,15 @@ fn bench_fairness(c: &mut Criterion) {
         })
     });
 
-    // One short contended window of the model-driven four-tenant rig
-    // under the full fleet control loop (claims, clips, rejection).
-    g.bench_function("contended_fabric_run_2s_four_tenants", |bench| {
+    // One short contended window of the model-driven five-tenant rig
+    // under the full fleet control loop (near spills, migration-priced
+    // moves, min-cost claims).
+    g.bench_function("pod_fabric_run_2s_five_tenants", |bench| {
         bench.iter(|| {
             let horizon = Nanos::from_secs(2);
-            let rig = ContendedFabricRig::new(ContendedFabricRig::contended_profiles(horizon));
-            let mut ctl = ContendedFabricRig::fleet_controller(Nanos::from_millis(25));
+            let rig = PodFabricRig::new(PodFabricRig::contended_profiles(horizon));
+            let mut ctl =
+                PodFabricRig::fleet_controller(Nanos::from_millis(25), ClaimPolicy::MinCost);
             let timeline = rig.run(&mut ctl, horizon);
             black_box(timeline.energy_j)
         })
@@ -150,6 +146,6 @@ criterion_group! {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_fairness
+    targets = bench_topology
 }
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 
 use inc_dns::{DnsClient, DnsServer, DnsServerConfig, EmuDevice, Zone, DNS_PORT};
 use inc_hw::{
-    CrossTorPenalty, DeviceFabric, DeviceId, PipelineBudget, Placement, ProgramResources,
+    DeviceFabric, DeviceId, PipelineBudget, Placement, ProgramResources, TierCost, Topology,
     HOST_DMA_PORT,
 };
 use inc_kvs::{
@@ -12,8 +12,8 @@ use inc_kvs::{
 use inc_net::{Endpoint, Packet};
 use inc_net::{L2Switch, Match};
 use inc_ondemand::{
-    run_fleet_controlled, AppObservation, FleetApp, FleetController, FleetControllerConfig,
-    FleetSample, FleetTimeline, HostSample, PlacementAnalysis,
+    run_fleet_controlled, AppObservation, ClaimPolicy, FleetApp, FleetController,
+    FleetControllerConfig, FleetSample, FleetTimeline, HostSample, PlacementAnalysis,
 };
 use inc_paxos::{
     Acceptor, AcceptorStorage, AddressBook, HostConfig, Leader, Learner, PaxosClient, PaxosNode,
@@ -682,7 +682,7 @@ impl SharedDeviceRig {
 /// [`SharedDeviceRig`] modelled one card as two partitions. The KVS and
 /// DNS slices are serial bump-in-the-wire chains — client → home-ToR
 /// partition → (inter-ToR link) → remote-ToR partition → server — so a
-/// remote placement physically pays the [`CrossTorPenalty::extra_latency`]
+/// remote placement physically pays the [`TierCost::extra_latency`]
 /// detour on every request and response. (The chain also routes
 /// software-mode traffic through the parked remote partition; that adds
 /// the same constant to every configuration, so placements still *rank*
@@ -760,22 +760,27 @@ impl MultiTorRig {
     const PAX_TIMEOUT: Nanos = Nanos::from_millis(20);
 
     /// The cross-ToR penalty realised by the topology: the standard
-    /// model — the inter-ToR hop adds 2 µs each way, and a remote
-    /// placement's benefit is priced at 85 % (the detour keeps the
-    /// inter-ToR link and two extra switch ports busy; see
-    /// [`CrossTorPenalty::standard`] for why the haircut deliberately
+    /// intra-pod tier — the inter-ToR hop adds 2 µs each way, and a
+    /// remote placement's benefit is priced at 85 % (the detour keeps
+    /// the inter-ToR link and two extra switch ports busy; see
+    /// [`TierCost::standard_intra_pod`] for why the haircut deliberately
     /// does not cancel against the scheduler's stickiness premium).
-    pub fn penalty() -> CrossTorPenalty {
-        CrossTorPenalty::standard()
+    pub fn penalty() -> TierCost {
+        TierCost::standard_intra_pod()
     }
 
-    /// The fabric: one Tofino-class pipeline per ToR. Each admits the
-    /// KVS (7 stages) beside the Paxos program (6 stages) **not** — 13 of
-    /// 12 stages — while DNS (6) + Paxos (6) co-fit exactly; every pair
-    /// involving the KVS overflows a device, so overlapping peaks force
-    /// placement decisions.
+    /// The fabric: one Tofino-class pipeline per ToR, the two ToRs one
+    /// rack pair (a single pod — both racks behind one aggregation
+    /// switch). Each admits the KVS (7 stages) beside the Paxos program
+    /// (6 stages) **not** — 13 of 12 stages — while DNS (6) + Paxos (6)
+    /// co-fit exactly; every pair involving the KVS overflows a device,
+    /// so overlapping peaks force placement decisions.
     pub fn fabric() -> DeviceFabric {
-        DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), Self::penalty())
+        DeviceFabric::homogeneous(
+            2,
+            PipelineBudget::tofino_like(),
+            Topology::rack_pairs(1, Self::penalty(), TierCost::standard_inter_pod()),
+        )
     }
 
     /// The P4xos leader program's capacity claim: stage-hungry (sequence
@@ -1430,12 +1435,16 @@ impl ContendedFabricRig {
     pub const STARVATION_WINDOW: u32 = 8;
 
     /// The fabric: one Tofino-class pipeline per ToR with the standard
-    /// cross-ToR penalty.
+    /// intra-pod cross-ToR penalty (the two racks form one pod).
     pub fn fabric() -> DeviceFabric {
         DeviceFabric::homogeneous(
             2,
             PipelineBudget::tofino_like(),
-            CrossTorPenalty::standard(),
+            Topology::rack_pairs(
+                1,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
         )
     }
 
@@ -1578,52 +1587,350 @@ impl ContendedFabricRig {
     /// and latency per placement, `run_fleet_controlled` supplies the
     /// control loop, streak machinery and bookkeeping. Metered power for
     /// a remote placement gives back the share of the saving that the
-    /// detour burns, exactly as the scheduler prices it.
+    /// detour burns, exactly as the scheduler prices it (this rig's
+    /// topology carries no link energy, so only the haircut meters).
     pub fn run(&self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
-        let mut sim: Simulator<()> = Simulator::new(0);
-        let apps = controller.apps().to_vec();
-        let fabric = Self::fabric();
-        let interval = controller.config().interval;
-        let placements = std::cell::RefCell::new(controller.placements().to_vec());
-        let profiles = self.profiles.clone();
-        run_fleet_controlled(
-            &mut sim,
+        run_stylised_model(
             controller,
             until,
-            |sim| {
-                let now = sim.now();
-                let mid = now - interval.mul_f64(0.5);
-                (0..apps.len())
-                    .map(|i| {
-                        let rate = profiles[i].rate_at(mid);
-                        let placement = placements.borrow()[i];
-                        let (sw_w, hw_w) = apps[i].analysis.energy_per_second(rate);
-                        let (power_w, latency) = match placement {
-                            Placement::Software => (sw_w, Self::SW_LATENCY_NS),
-                            Placement::Device(d) => {
-                                let f = fabric.benefit_factor(apps[i].home, d);
-                                let detour = 2 * fabric.extra_latency(apps[i].home, d).as_nanos();
-                                (sw_w - f * (sw_w - hw_w), Self::HW_LATENCY_NS + detour)
-                            }
-                        };
-                        AppObservation {
-                            sample: FleetSample {
-                                host: HostSample {
-                                    rapl_w: sw_w,
-                                    app_cpu_util: rate / 1e6,
-                                    hw_app_rate: if placement.is_offloaded() { rate } else { 0.0 },
-                                },
-                                offered_pps: rate,
-                            },
-                            completed: (rate * interval.as_secs_f64()) as u64,
-                            latency_p50_ns: latency,
-                            latency_p99_ns: latency * 2,
-                            power_w,
+            &Self::fabric(),
+            &self.profiles,
+            Self::SW_LATENCY_NS,
+            Self::HW_LATENCY_NS,
+        )
+    }
+}
+
+/// Drives a **model-driven** rig (stylised §8 curves, no packet
+/// machinery) through [`run_fleet_controlled`]: the curves supply the
+/// rates (sampled mid-interval), power and latency per placement, and a
+/// remote placement's metered power gives back the topology tier's share
+/// of the saving *plus* the link energy its detour burns — exactly as
+/// the scheduler prices it. Shared by [`ContendedFabricRig`] and
+/// [`PodFabricRig`].
+fn run_stylised_model(
+    controller: &mut FleetController,
+    until: Nanos,
+    fabric: &DeviceFabric,
+    profiles: &[RateProfile],
+    sw_latency_ns: u64,
+    hw_latency_ns: u64,
+) -> FleetTimeline {
+    let mut sim: Simulator<()> = Simulator::new(0);
+    let apps = controller.apps().to_vec();
+    let interval = controller.config().interval;
+    let placements = std::cell::RefCell::new(controller.placements().to_vec());
+    run_fleet_controlled(
+        &mut sim,
+        controller,
+        until,
+        |sim| {
+            let now = sim.now();
+            let mid = now - interval.mul_f64(0.5);
+            (0..apps.len())
+                .map(|i| {
+                    let rate = profiles[i].rate_at(mid);
+                    let placement = placements.borrow()[i];
+                    let (sw_w, hw_w) = apps[i].analysis.energy_per_second(rate);
+                    let (power_w, latency) = match placement {
+                        Placement::Software => (sw_w, sw_latency_ns),
+                        Placement::Device(d) => {
+                            let f = fabric.benefit_factor(apps[i].home, d);
+                            let link_w = fabric.link_energy_w(apps[i].home, d, rate);
+                            let detour = 2 * fabric.extra_latency(apps[i].home, d).as_nanos();
+                            (sw_w - f * (sw_w - hw_w) + link_w, hw_latency_ns + detour)
                         }
-                    })
-                    .collect()
+                    };
+                    AppObservation {
+                        sample: FleetSample {
+                            host: HostSample {
+                                rapl_w: sw_w,
+                                app_cpu_util: rate / 1e6,
+                                hw_app_rate: if placement.is_offloaded() { rate } else { 0.0 },
+                            },
+                            offered_pps: rate,
+                        },
+                        completed: (rate * interval.as_secs_f64()) as u64,
+                        latency_p50_ns: latency,
+                        latency_p99_ns: latency * 2,
+                        power_w,
+                    }
+                })
+                .collect()
+        },
+        |_sim, _t, app, p| placements.borrow_mut()[app] = p,
+    )
+}
+
+/// The three-tier topology rig: **2 pods × 2 ToRs** behind a core, five
+/// tenants, heterogeneous budgets — the scenario the [`Topology`]
+/// distance matrix, the migration debit and the min-cost fairness
+/// hand-over exist for.
+///
+/// Layout (device index = ToR):
+///
+/// ```text
+///                 core
+///               /      \
+///          pod 0        pod 1
+///         /     \      /     \
+///      ToR 0   ToR 1  ToR 2  ToR 3
+///      12 st   10 st  12 st  10 st
+///      48 MB   32 MB  48 MB  32 MB
+/// ```
+///
+/// * **KVS** (7 st / 40 MB, home ToR 0): the anchor tenant — only the big
+///   ToRs can host it, and it out-scores everyone.
+/// * **Analytics** (6 st / 20 MB, home ToR 0): contends with the KVS at
+///   home and must spill. ToR 1 (near, one pod hop) and ToR 3 (far,
+///   across the core) have the *same* budget, so only the distance
+///   matrix separates them: the spill must land near.
+/// * **DNS** (7 st / 24 MB, home ToR 2): holds its own ToR in pod 1.
+/// * **Edge** (6 st / 16 MB, home ToR 3): a small tenant with the
+///   weakest economics of the residents — the cheapest program to clip.
+/// * **Paxos** (6 st / 4 MB, home ToR 0): profitable everywhere (even
+///   across the core), out-scored everywhere — with all four devices
+///   full it fits *nowhere* and must go through the fairness claim. Its
+///   best-*score* device is its home ToR 0, where the expensive KVS
+///   sits; the min-*cost* hand-over instead clips the edge tenant on
+///   far-away ToR 3, forfeiting 2.5 W instead of 10 W.
+///
+/// Like [`ContendedFabricRig`] this rig is **model-driven**: stylised §8
+/// curves with precisely shaped sustained plateaus, driven through
+/// [`run_fleet_controlled`]; the packet plumbing such schedules ride on
+/// is end-to-end tested by [`MultiTorRig`]. Metered power for a remote
+/// placement gives back the tier's share of the saving *plus* the link
+/// energy its detour burns, exactly as the scheduler prices it.
+pub struct PodFabricRig {
+    /// Offered-rate schedules, indexed like the fleet app vector.
+    pub profiles: [RateProfile; 5],
+}
+
+impl PodFabricRig {
+    /// Index of the KVS tenant in the fleet's app vector.
+    pub const KVS_APP: usize = 0;
+    /// Index of the analytics tenant (the near-spiller).
+    pub const ANA_APP: usize = 1;
+    /// Index of the DNS tenant.
+    pub const DNS_APP: usize = 2;
+    /// Index of the edge tenant (the cheapest clip).
+    pub const EDGE_APP: usize = 3;
+    /// Index of the Paxos tenant (the fairness claimant).
+    pub const PAX_APP: usize = 4;
+
+    /// Big ToR of pod 0 (home of KVS, analytics and Paxos).
+    pub const TOR_A0: DeviceId = DeviceId(0);
+    /// Small ToR of pod 0 (the near spill target).
+    pub const TOR_A1: DeviceId = DeviceId(1);
+    /// Big ToR of pod 1 (home of DNS).
+    pub const TOR_B0: DeviceId = DeviceId(2);
+    /// Small ToR of pod 1 (home of the edge tenant).
+    pub const TOR_B1: DeviceId = DeviceId(3);
+
+    /// Plateau rates, packets/second, indexed like the app vector.
+    const PEAK_PPS: [f64; 5] = [120_000.0, 90_000.0, 90_000.0, 60_000.0, 12_000.0];
+    /// Software-mode latency of every tenant (model-level constant).
+    const SW_LATENCY_NS: u64 = 12_000;
+    /// Hardware-mode latency at the home ToR.
+    const HW_LATENCY_NS: u64 = 1_500;
+
+    /// The starvation window of the rig's fairness configuration.
+    pub const STARVATION_WINDOW: u32 = 8;
+
+    /// The intra-pod tier: the standard 2 µs / 0.85 detour plus a
+    /// metered 500 nJ per packet per direction of aggregation-switch
+    /// port energy.
+    pub fn intra_pod() -> TierCost {
+        TierCost {
+            link_energy_nj: 500.0,
+            ..TierCost::standard_intra_pod()
+        }
+    }
+
+    /// The inter-pod tier: the standard 6 µs / 0.70 core detour plus
+    /// 1500 nJ per packet per direction (three switch traversals).
+    pub fn inter_pod() -> TierCost {
+        TierCost {
+            link_energy_nj: 1_500.0,
+            ..TierCost::standard_inter_pod()
+        }
+    }
+
+    /// The small-ToR budget: 10 stages / 32 MB (an older-generation
+    /// pipeline kept in service — heterogeneity is the norm at fleet
+    /// scale).
+    pub fn small_budget() -> PipelineBudget {
+        PipelineBudget {
+            stages: 10,
+            sram_bytes: 32 << 20,
+            parse_depth_bytes: 192,
+        }
+    }
+
+    /// The fabric: big/small ToR pairs in each pod, under the
+    /// three-tier distance matrix.
+    pub fn fabric() -> DeviceFabric {
+        let big = PipelineBudget::tofino_like();
+        DeviceFabric::new(
+            vec![big, Self::small_budget(), big, Self::small_budget()],
+            Topology::fat_tree(2, 2, Self::intra_pod(), Self::inter_pod()),
+        )
+    }
+
+    /// A stylised §8 analysis (see [`ContendedFabricRig`]):
+    /// `benefit(r) ≈ slope · r − unpark`.
+    fn analysis(slope_w_per_kpps: f64, unpark_w: f64) -> PlacementAnalysis {
+        PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_w_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
             },
-            |_sim, _t, app, p| placements.borrow_mut()[app] = p,
+            network: EnergyParams {
+                idle_w: 50.0 + unpark_w,
+                sleep_w: 0.0,
+                active_w: 50.0 + unpark_w + 0.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        }
+    }
+
+    /// The five tenants. Plateau benefits: KVS 10 W (score 12.0 at
+    /// home), analytics 5.2 W, DNS 6.1 W, edge 2.5 W (the cheapest
+    /// resident), Paxos 2.2 W (clears the 1 W floor even across the
+    /// core, never wins a score fight).
+    pub fn fleet_apps() -> Vec<FleetApp> {
+        vec![
+            FleetApp {
+                name: "kvs".into(),
+                demand: SharedDeviceRig::kvs_demand(),
+                analysis: Self::analysis(0.10, 2.0),
+                home: Self::TOR_A0,
+                weight: 1.0,
+            },
+            FleetApp {
+                name: "analytics".into(),
+                demand: ProgramResources {
+                    stages: 6,
+                    sram_bytes: 20 << 20,
+                    parse_depth_bytes: 96,
+                },
+                analysis: Self::analysis(0.08, 2.0),
+                home: Self::TOR_A0,
+                weight: 1.0,
+            },
+            FleetApp {
+                name: "dns".into(),
+                demand: ContendedFabricRig::dns_demand(),
+                analysis: Self::analysis(0.09, 2.0),
+                home: Self::TOR_B0,
+                weight: 1.0,
+            },
+            FleetApp {
+                name: "edge".into(),
+                demand: ProgramResources {
+                    stages: 6,
+                    sram_bytes: 16 << 20,
+                    parse_depth_bytes: 96,
+                },
+                analysis: Self::analysis(0.075, 2.0),
+                home: Self::TOR_B1,
+                weight: 1.0,
+            },
+            FleetApp {
+                name: "paxos".into(),
+                demand: MultiTorRig::pax_demand(),
+                analysis: Self::analysis(0.35, 2.0),
+                home: Self::TOR_A0,
+                weight: 1.0,
+            },
+        ]
+    }
+
+    /// The canonical contended day over `horizon`: a short idle valley,
+    /// then every tenant holds its plateau simultaneously until 3 s
+    /// before the horizon, then idles again. The valleys are where the
+    /// on-demand fleet beats every static placement (four parked devices
+    /// save ~8 W of unpark power that statics keep paying); the
+    /// sustained overlap is where the distance matrix and the fairness
+    /// layer earn their keep.
+    pub fn contended_profiles(horizon: Nanos) -> [RateProfile; 5] {
+        let start = Nanos::from_millis(300);
+        // Short bench horizons keep the valley proportional instead of
+        // underflowing the subtraction.
+        let tail = Nanos::from_millis(3_000).min(horizon.mul_f64(0.3));
+        let stop = horizon - tail;
+        Self::PEAK_PPS.map(|peak| {
+            RateProfile::steps(vec![(Nanos::ZERO, 1_000.0), (start, peak), (stop, 1_000.0)])
+        })
+    }
+
+    /// Builds the rig over the given schedules.
+    pub fn new(profiles: [RateProfile; 5]) -> Self {
+        PodFabricRig { profiles }
+    }
+
+    /// The rig's standard configuration: ordinary hysteresis, the
+    /// 8-sample starvation window, the standard 5 J switchover debit,
+    /// min-cost hand-overs.
+    pub fn config(interval: Nanos) -> FleetControllerConfig {
+        FleetControllerConfig {
+            starvation_window: Self::STARVATION_WINDOW,
+            ..FleetControllerConfig::standard(interval)
+        }
+    }
+
+    /// A fleet controller over the rig's fabric with the given claim
+    /// policy (min-cost is the standard; best-score is the baseline the
+    /// acceptance comparison runs against).
+    pub fn fleet_controller(interval: Nanos, claim_policy: ClaimPolicy) -> FleetController {
+        let config = FleetControllerConfig {
+            claim_policy,
+            ..Self::config(interval)
+        };
+        FleetController::new(config, Self::fabric(), Self::fleet_apps())
+    }
+
+    /// A controller pinned to a fixed placement vector (static
+    /// baselines): an infinite sustain window means no condition ever
+    /// completes.
+    pub fn pinned_controller(interval: Nanos, placements: [Placement; 5]) -> FleetController {
+        let config = FleetControllerConfig {
+            sustain_samples: u32::MAX,
+            ..Self::config(interval)
+        };
+        FleetController::new(config, Self::fabric(), Self::fleet_apps())
+            .with_initial_placements(&placements)
+    }
+
+    /// The natural static deployment a fleet operator would pick by
+    /// looking at the plateau: every resident on its home ToR (analytics
+    /// on the near small ToR), Paxos left in software. The strongest
+    /// static baseline the on-demand schedule must beat.
+    pub fn natural_static() -> [Placement; 5] {
+        [
+            Placement::Device(Self::TOR_A0),
+            Placement::Device(Self::TOR_A1),
+            Placement::Device(Self::TOR_B0),
+            Placement::Device(Self::TOR_B1),
+            Placement::Software,
+        ]
+    }
+
+    /// Runs the model until `until` (the shared stylised-model loop):
+    /// the §8 curves supply rates, power and latency per placement;
+    /// metered power for a remote placement gives back the tier's share
+    /// of the saving plus the detour's link energy, exactly as the
+    /// scheduler prices it.
+    pub fn run(&self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
+        run_stylised_model(
+            controller,
+            until,
+            &Self::fabric(),
+            &self.profiles,
+            Self::SW_LATENCY_NS,
+            Self::HW_LATENCY_NS,
         )
     }
 }
@@ -1723,5 +2030,89 @@ mod tests {
         let mut b = device.clone();
         b.admit(0, ContendedFabricRig::dns_demand()).unwrap();
         assert!(!b.fits(&MultiTorRig::pax_demand()));
+    }
+
+    /// The pod-fabric rig's stylised economics have the shape its
+    /// scenario depends on: every tenant profitable at its plateau and
+    /// cold at the valley; the analytics spiller scores strictly higher
+    /// on the near small ToR than on the far identical one; the Paxos
+    /// claimant clears the floor even across the core but never wins a
+    /// score fight; the edge tenant is the cheapest resident to clip;
+    /// and the capacity shape forces the contention (KVS only fits big
+    /// ToRs, nothing co-resides with a full plateau assignment).
+    #[test]
+    fn pod_fabric_calibration() {
+        let interval = Nanos::from_millis(100);
+        let ctl = PodFabricRig::fleet_controller(interval, ClaimPolicy::MinCost);
+        let (kvs, ana, dns, edge, pax) = (
+            PodFabricRig::KVS_APP,
+            PodFabricRig::ANA_APP,
+            PodFabricRig::DNS_APP,
+            PodFabricRig::EDGE_APP,
+            PodFabricRig::PAX_APP,
+        );
+        for app in [kvs, ana, dns, edge, pax] {
+            let peak = PodFabricRig::contended_profiles(Nanos::from_secs(10))[app]
+                .rate_at(Nanos::from_secs(4));
+            assert!(ctl.benefit_w(app, 1_000.0) < 0.0, "app {app} hot at idle");
+            assert!(ctl.benefit_w(app, peak) > 1.5, "app {app} cold at peak");
+        }
+        // KVS fits only the big ToRs.
+        let fabric = PodFabricRig::fabric();
+        assert!(fabric
+            .device(PodFabricRig::TOR_A1)
+            .budget()
+            .admit(&SharedDeviceRig::kvs_demand())
+            .is_err());
+        // The near and far small ToRs are identical in budget, so only
+        // the topology separates the analytics spill — and near must
+        // strictly win.
+        assert_eq!(
+            fabric.device(PodFabricRig::TOR_A1).budget(),
+            fabric.device(PodFabricRig::TOR_B1).budget()
+        );
+        let ana_rate = 90_000.0;
+        assert!(
+            ctl.score(ana, PodFabricRig::TOR_A1, ana_rate)
+                > ctl.score(ana, PodFabricRig::TOR_B1, ana_rate)
+        );
+        assert_eq!(
+            fabric.distance(PodFabricRig::TOR_A0, PodFabricRig::TOR_A1),
+            1
+        );
+        assert_eq!(
+            fabric.distance(PodFabricRig::TOR_A0, PodFabricRig::TOR_B1),
+            2
+        );
+        // Paxos: floor-clearing everywhere, outscored everywhere.
+        for d in fabric.device_ids() {
+            assert!(ctl.effective_benefit_w(pax, d, 12_000.0) >= ctl.config().min_benefit_w);
+        }
+        // ...each resident out-scores the claimant on its own device, so
+        // the knapsack never seats Paxos anywhere.
+        let pax_at = |d| ctl.score(pax, d, 12_000.0);
+        assert!(ctl.score(kvs, PodFabricRig::TOR_A0, 120_000.0) > pax_at(PodFabricRig::TOR_A0));
+        assert!(ctl.score(ana, PodFabricRig::TOR_A1, ana_rate) > pax_at(PodFabricRig::TOR_A1));
+        assert!(ctl.score(dns, PodFabricRig::TOR_B0, 90_000.0) > pax_at(PodFabricRig::TOR_B0));
+        assert!(ctl.score(edge, PodFabricRig::TOR_B1, 60_000.0) > pax_at(PodFabricRig::TOR_B1));
+        // The edge tenant delivers the least benefit of the four
+        // residents: the min-cost clip target.
+        let edge_w = ctl.effective_benefit_w(edge, PodFabricRig::TOR_B1, 60_000.0);
+        assert!(edge_w < ctl.effective_benefit_w(kvs, PodFabricRig::TOR_A0, 120_000.0));
+        assert!(edge_w < ctl.effective_benefit_w(ana, PodFabricRig::TOR_A1, ana_rate));
+        assert!(edge_w < ctl.effective_benefit_w(dns, PodFabricRig::TOR_B0, 90_000.0));
+        // With the natural assignment resident, Paxos fits nowhere.
+        let mut full = PodFabricRig::fabric();
+        full.admit(PodFabricRig::TOR_A0, 0, SharedDeviceRig::kvs_demand())
+            .unwrap();
+        full.admit(PodFabricRig::TOR_A1, 1, ctl.apps()[ana].demand)
+            .unwrap();
+        full.admit(PodFabricRig::TOR_B0, 2, ContendedFabricRig::dns_demand())
+            .unwrap();
+        full.admit(PodFabricRig::TOR_B1, 3, ctl.apps()[edge].demand)
+            .unwrap();
+        for d in full.device_ids() {
+            assert!(!full.device(d).fits(&MultiTorRig::pax_demand()), "{d}");
+        }
     }
 }

@@ -30,7 +30,18 @@
 //!   cannot ping-pong between ToRs: a move to another device is priced
 //!   like a fresh offload and must beat the app's own sticky incumbent
 //!   score. A clearly better alternative still wins: arbitration, not
-//!   tenure.
+//!   tenure;
+//! * an explicit *migration cost* — reprogramming a device is not free
+//!   (§9.2: reconfiguration halts the dataplane, and a moved program
+//!   re-warms its state), so any move **between devices** is charged
+//!   [`FleetControllerConfig::migration_cost_j`] amortised over the
+//!   expected tenure of the new placement
+//!   ([`FleetControllerConfig::expected_tenure_samples`] sampling
+//!   intervals): the candidate's benefit is debited by
+//!   `migration_cost_j / (tenure × interval)` watts. A hop that is worth
+//!   less per interval than the switchover it triggers never happens,
+//!   which suppresses the rack-to-rack ping-pong that stickiness alone
+//!   cannot price (stickiness is a ratio; the debit is absolute joules).
 //!
 //! Rate feedback follows §9.1: while an app runs in software its offered
 //! rate is measured at the host ([`FleetSample::offered_pps`]); once it is
@@ -56,10 +67,16 @@
 //!   no capacity is **queued** ([`AdmissionDecision::Queue`]); once it has
 //!   been queued for its weighted starvation window
 //!   (`starvation_window / weight` samples, floored by the sustain
-//!   window) it files a *claim*: the scheduler places it on its
-//!   best-scoring feasible device, **clipping** over-entitled incumbents
-//!   (dominant share above entitlement) — most over-weighted-share
-//!   first — until the claimant fits;
+//!   window) it files a *claim*: the scheduler plans a hand-over on every
+//!   feasible device, **clipping** over-entitled incumbents (dominant
+//!   share above entitlement) — most over-weighted-share first — until
+//!   the claimant fits, then executes the plan the configured
+//!   [`ClaimPolicy`] prefers. The standard policy is **min-cost**: the
+//!   device minimising the total clipped-incumbent benefit plus the
+//!   migration debits of everyone who must move — fairness buys the
+//!   claimant its entitlement at the smallest energy price, instead of
+//!   evicting whoever happens to hold the claimant's own favourite
+//!   device ([`ClaimPolicy::BestScore`], kept for comparison);
 //! * a fairness-placed tenant holds *tenure* until it leaves its device:
 //!   it cannot be displaced by a raw-score preemption, only by a rival's
 //!   own sustained claim or by its own low-benefit eviction (tenure
@@ -122,6 +139,60 @@ pub enum AdmissionDecision {
     Reject,
 }
 
+/// How a fairness claim chooses among feasible hand-over devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClaimPolicy {
+    /// The claimant takes its own best-scoring feasible device,
+    /// regardless of what must be clipped there (the original policy;
+    /// kept as the baseline the min-cost policy is measured against).
+    BestScore,
+    /// The claimant takes the feasible device whose hand-over forfeits
+    /// the least: total clipped-incumbent benefit plus the migration
+    /// debit of every program that must move (clips + the claimant).
+    /// Ties break on the claimant's higher score, then the lower device
+    /// index.
+    ///
+    /// The objective deliberately prices only what the hand-over *takes
+    /// away* — it does not net out the claimant's own per-device benefit
+    /// differences (that enters only as the tie-break), so when the
+    /// claimant's delivered benefit varies across devices by more than
+    /// the clip totals do, a fleet-net-optimal device can lose to a
+    /// cheaper-clip one. Keeping the objective one-sided is what makes
+    /// the policy's guarantee simple and testable: a min-cost claim
+    /// never clips more incumbent benefit than a best-score claim would
+    /// on the same state.
+    MinCost,
+}
+
+/// One feasible fairness hand-over: where a claimant could be placed,
+/// whom that would clip, and what the move forfeits.
+#[derive(Clone, Debug)]
+pub struct ClaimPlan {
+    /// The device the claimant would land on.
+    pub device: DeviceId,
+    /// Incumbents that must be clipped to software to make room, in clip
+    /// order (most over-weighted dominant share first). Empty when the
+    /// device already has room.
+    pub clips: Vec<usize>,
+    /// Summed benefit the clipped incumbents currently deliver on this
+    /// device, watts: what the fleet forfeits until they re-place.
+    pub clipped_benefit_w: f64,
+    /// Amortised switchover debit of the hand-over, watts: one migration
+    /// charge per clipped incumbent plus one for the claimant.
+    pub migration_w: f64,
+    /// The claimant's own knapsack score on this device (the
+    /// [`ClaimPolicy::BestScore`] ranking key).
+    pub score: f64,
+}
+
+impl ClaimPlan {
+    /// The hand-over's total price, watts: what [`ClaimPolicy::MinCost`]
+    /// minimises.
+    pub fn total_cost_w(&self) -> f64 {
+        self.clipped_benefit_w + self.migration_w
+    }
+}
+
 /// Why a recorded placement decision fired.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShiftReason {
@@ -178,14 +249,31 @@ pub struct FleetControllerConfig {
     /// change by deliberate hand-over, not flapping. `u32::MAX` disables
     /// fairness entirely (pure benefit-maximising scheduling).
     pub starvation_window: u32,
+    /// The switchover price of reprogramming a device, joules: the §9.2
+    /// reconfiguration halt plus the moved program's state re-warm.
+    /// Charged — amortised over [`Self::expected_tenure_samples`] — as a
+    /// benefit debit on every candidate that would move a *resident* app
+    /// to a different device, and as a per-move term in the fairness
+    /// claim cost. `0.0` disables migration pricing (moves fight only
+    /// the stickiness ratio, the pre-migration-cost behaviour).
+    pub migration_cost_j: f64,
+    /// Sampling intervals a new placement is expected to hold: the
+    /// amortisation horizon of [`Self::migration_cost_j`]. The per-sample
+    /// debit is `migration_cost_j / (expected_tenure_samples ×
+    /// interval)` watts — a move must be worth at least its switchover
+    /// spread over the tenure it buys.
+    pub expected_tenure_samples: u32,
+    /// How fairness claims choose among feasible hand-over devices.
+    pub claim_policy: ClaimPolicy,
 }
 
 impl FleetControllerConfig {
     /// A reasonable default: 3-sample sustain (the Figure 6 choice), a
-    /// 1 W offload floor, a 2× dead band, 25 % incumbency advantage, and
-    /// a 20-sample starvation window (fairness as a backstop: transient
+    /// 1 W offload floor, a 2× dead band, 25 % incumbency advantage, a
+    /// 20-sample starvation window (fairness as a backstop: transient
     /// contention resolves by benefit, only sustained starvation forces
-    /// a fair-share hand-over).
+    /// a fair-share hand-over), a 5 J switchover debit amortised over a
+    /// 20-sample tenure, and min-cost hand-overs.
     pub fn standard(interval: Nanos) -> Self {
         FleetControllerConfig {
             interval,
@@ -194,6 +282,9 @@ impl FleetControllerConfig {
             evict_fraction: 0.5,
             stickiness: 1.25,
             starvation_window: 20,
+            migration_cost_j: 5.0,
+            expected_tenure_samples: 20,
+            claim_policy: ClaimPolicy::MinCost,
         }
     }
 }
@@ -301,6 +392,11 @@ impl FleetController {
                 app.weight
             );
         }
+        assert!(
+            config.migration_cost_j.is_finite() && config.migration_cost_j >= 0.0,
+            "migration_cost_j {} must be finite and non-negative",
+            config.migration_cost_j
+        );
         let rejected = apps
             .iter()
             .map(|app| {
@@ -446,6 +542,30 @@ impl FleetController {
         self.fabric.dominant_share(app as u64)
     }
 
+    /// The fairness hand-over plans available to `app` against the
+    /// **current** placements, given one trusted rate per app: every
+    /// device where its penalty-adjusted benefit clears the floor and a
+    /// clip sequence of over-entitled incumbents frees enough room, with
+    /// the forfeited benefit and migration debits of each. Unordered;
+    /// rank with the configured policy's rule ([`ClaimPlan::total_cost_w`]
+    /// ascending for min-cost, [`ClaimPlan::score`] descending for
+    /// best-score). What a claim would see if it fired this instant —
+    /// exposed for analysis and property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len()` differs from the number of apps.
+    pub fn claim_plans(&self, app: usize, rates: &[f64]) -> Vec<ClaimPlan> {
+        assert_eq!(rates.len(), self.apps.len(), "one rate per app");
+        self.plan_handovers(
+            &self.fabric,
+            |j| self.placements[j].device(),
+            |_| false,
+            app,
+            rates,
+        )
+    }
+
     /// Estimated power saved by offloading `app` at `rate_pps` (§8 dynamic
     /// terms): software watts minus network watts, before any locality
     /// penalty. Negative when software is cheaper.
@@ -455,10 +575,32 @@ impl FleetController {
     }
 
     /// The benefit of placing `app` on `device` at `rate_pps`: the raw §8
-    /// benefit scaled by the fabric's locality factor (1.0 at home, the
-    /// cross-ToR haircut elsewhere).
+    /// benefit scaled by the topology's locality factor (1.0 at home, the
+    /// hop tier's haircut elsewhere), minus the power the detour's extra
+    /// link traversals burn at that rate.
     pub fn effective_benefit_w(&self, app: usize, device: DeviceId, rate_pps: f64) -> f64 {
-        self.benefit_w(app, rate_pps) * self.fabric.benefit_factor(self.apps[app].home, device)
+        let home = self.apps[app].home;
+        self.benefit_w(app, rate_pps) * self.fabric.benefit_factor(home, device)
+            - self.fabric.link_energy_w(home, device, rate_pps)
+    }
+
+    /// The amortised switchover debit, watts: the configured migration
+    /// cost spread over the expected tenure of the new placement.
+    pub fn migration_w(&self) -> f64 {
+        if self.config.migration_cost_j <= 0.0 {
+            return 0.0;
+        }
+        self.config.migration_cost_j
+            / (f64::from(self.config.expected_tenure_samples.max(1))
+                * self.config.interval.as_secs_f64())
+    }
+
+    /// The benefit of *moving* `app` from its current device to `device`:
+    /// the effective benefit there, debited by the amortised switchover
+    /// cost. This is what a device-to-device candidate must clear the
+    /// floor with and is scored by.
+    pub fn move_benefit_w(&self, app: usize, device: DeviceId, rate_pps: f64) -> f64 {
+        self.effective_benefit_w(app, device, rate_pps) - self.migration_w()
     }
 
     /// Benefit per capacity unit of placing `app` on `device`: the
@@ -466,12 +608,17 @@ impl FleetController {
     /// is floored so a degenerate zero-demand app yields an (enormous)
     /// finite score rather than a NaN from 0/0.
     pub fn score(&self, app: usize, device: DeviceId, rate_pps: f64) -> f64 {
+        self.per_capacity(self.effective_benefit_w(app, device, rate_pps), app, device)
+    }
+
+    /// `benefit_w` per capacity unit of `app`'s demand on `device`.
+    fn per_capacity(&self, benefit_w: f64, app: usize, device: DeviceId) -> f64 {
         let cost = self
             .fabric
             .device(device)
             .cost_units(&self.apps[app].demand)
             .max(f64::MIN_POSITIVE);
-        self.effective_benefit_w(app, device, rate_pps) / cost
+        benefit_w / cost
     }
 
     /// The rate estimate the controller trusts for `app` given its current
@@ -481,6 +628,91 @@ impl FleetController {
             s.host.hw_app_rate
         } else {
             s.offered_pps
+        }
+    }
+
+    /// Plans a fairness hand-over for `app` on every feasible device of
+    /// the assignment described by `fabric`/`resident_on`: devices where
+    /// the claimant's penalty-adjusted benefit clears the floor and
+    /// enough over-entitled, unprotected capacity exists. `protected`
+    /// marks incumbents a claim may not clip (tenants placed by a claim
+    /// in the same decision pass).
+    fn plan_handovers(
+        &self,
+        fabric: &DeviceFabric,
+        resident_on: impl Fn(usize) -> Option<DeviceId>,
+        protected: impl Fn(usize) -> bool,
+        app: usize,
+        rates: &[f64],
+    ) -> Vec<ClaimPlan> {
+        let n = self.apps.len();
+        let total_w = self.contending_weight(app, |j| resident_on(j).is_some());
+        let migration_w = self.migration_w();
+        let mut plans = Vec::new();
+        for d in fabric.device_ids() {
+            if self.effective_benefit_w(app, d, rates[app]) < self.config.min_benefit_w {
+                continue;
+            }
+            // Simulate the clip sequence on a scratch ledger: release the
+            // most over-weighted over-entitled incumbents until the
+            // claimant fits (or the clippable set runs out).
+            let mut ledger = fabric.device(d).clone();
+            let mut clips: Vec<usize> = Vec::new();
+            if ledger.admit(app as u64, self.apps[app].demand).is_err() {
+                let mut over: Vec<usize> = (0..n)
+                    .filter(|&j| {
+                        resident_on(j) == Some(d)
+                            && !protected(j)
+                            && fabric.device(d).dominant_share(j as u64)
+                                > self.apps[j].weight / total_w
+                    })
+                    .collect();
+                over.sort_by(|&a, &b| {
+                    let sa = fabric.device(d).dominant_share(a as u64) / self.apps[a].weight;
+                    let sb = fabric.device(d).dominant_share(b as u64) / self.apps[b].weight;
+                    sb.total_cmp(&sa).then(a.cmp(&b))
+                });
+                let mut fits = false;
+                for j in over {
+                    ledger.release(j as u64);
+                    clips.push(j);
+                    if ledger.admit(app as u64, self.apps[app].demand).is_ok() {
+                        fits = true;
+                        break;
+                    }
+                }
+                if !fits {
+                    continue;
+                }
+            }
+            let clipped_benefit_w = clips
+                .iter()
+                .map(|&j| self.effective_benefit_w(j, d, rates[j]))
+                .sum();
+            plans.push(ClaimPlan {
+                device: d,
+                migration_w: migration_w * (clips.len() + 1) as f64,
+                clips,
+                clipped_benefit_w,
+                score: self.score(app, d, rates[app]),
+            });
+        }
+        plans
+    }
+
+    /// Orders hand-over plans by the given policy; the first entry is the
+    /// one a claim executes.
+    fn order_plans(plans: &mut [ClaimPlan], policy: ClaimPolicy) {
+        match policy {
+            ClaimPolicy::BestScore => {
+                plans.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.device.cmp(&b.device)))
+            }
+            ClaimPolicy::MinCost => plans.sort_by(|a, b| {
+                a.total_cost_w()
+                    .total_cmp(&b.total_cost_w())
+                    .then(b.score.total_cmp(&a.score))
+                    .then(a.device.cmp(&b.device))
+            }),
         }
     }
 
@@ -547,13 +779,22 @@ impl FleetController {
                                     d,
                                 ));
                             } else if self.up_streaks[i] >= self.config.sustain_samples
-                                && self.effective_benefit_w(i, d, rate) >= self.config.min_benefit_w
+                                && self.move_benefit_w(i, d, rate) >= self.config.min_benefit_w
                             {
-                                // A cross-ToR move is a fresh offload: it
-                                // needs its own sustained profitability
-                                // (so a pinned controller, or a briefly
-                                // hot app, never hops racks).
-                                candidates.push((self.score(i, d, rate), i, d));
+                                // A cross-ToR move is a fresh offload
+                                // (it needs its own sustained
+                                // profitability, so a pinned controller
+                                // or a briefly hot app never hops racks)
+                                // *and* it pays the switchover: the
+                                // candidate is priced net of the
+                                // amortised migration debit, so a hop
+                                // worth less than the reprogramming it
+                                // triggers loses to staying put.
+                                candidates.push((
+                                    self.per_capacity(self.move_benefit_w(i, d, rate), i, d),
+                                    i,
+                                    d,
+                                ));
                             }
                         }
                     }
@@ -570,16 +811,27 @@ impl FleetController {
             }
         }
         // Greedy knapsack: best benefit-per-capacity-unit first. Ties
-        // break on the lower app index, then the lower device index
-        // (home candidates sort before remote ones of equal score only
-        // via their higher, un-haircut scores). Fairness-placed
+        // break on the lower app index, then the *nearer* device (an
+        // exact score tie between two remote racks — identical budgets
+        // behind identical tier factors — must not hand the spill to the
+        // far one just because it has a lower index), then the lower
+        // device index. Fairness-placed
         // incumbents hold *tenure*: they are pre-seeded onto their
         // device ahead of the score order, so a raw-score rival cannot
         // undo a fair-share hand-over three samples after it happened —
         // it must go through the starvation protocol like everyone else.
         // Tenure lasts until the incumbent leaves its device: its own
         // sustained eviction condition, or a rival's successful claim.
-        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        candidates.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then(a.1.cmp(&b.1))
+                .then_with(|| {
+                    let da = self.fabric.distance(self.apps[a.1].home, a.2);
+                    let db = self.fabric.distance(self.apps[b.1].home, b.2);
+                    da.cmp(&db)
+                })
+                .then(a.2.cmp(&b.2))
+        });
         let mut chosen = self.fabric.fresh();
         let mut selected: Vec<Option<DeviceId>> = vec![None; n];
         for (i, slot) in selected.iter_mut().enumerate() {
@@ -601,10 +853,13 @@ impl FleetController {
         // Weighted-DRF fairness pass: tenants starved past their
         // weighted window claim capacity by clipping over-entitled
         // incumbents (dominant share above weight/Σweights over the
-        // contending tenants), most over-weighted-share first, on the
-        // claimant's best-scoring feasible device. Clipped incumbents
-        // fall back to software this interval and re-enter through the
-        // ordinary sustain machinery.
+        // contending tenants), most over-weighted-share first. The
+        // hand-over is planned on every feasible device and executed
+        // where the configured claim policy prefers — min-cost by
+        // default: least clipped benefit plus migration debits, so the
+        // claimant's entitlement is bought at the smallest energy price.
+        // Clipped incumbents fall back to software this interval and
+        // re-enter through the ordinary sustain machinery.
         let mut fair_placed = vec![false; n];
         let mut fair_clipped = vec![false; n];
         let mut claimants: Vec<usize> = (0..n)
@@ -625,62 +880,23 @@ impl FleetController {
                 if selected[i].is_some() {
                     continue;
                 }
-                let total_w = self.contending_weight(i, |j| selected[j].is_some());
-                // Devices in the claimant's own preference order, only
-                // where its penalty-adjusted benefit clears the floor.
-                let mut devs: Vec<DeviceId> = self
-                    .fabric
-                    .device_ids()
-                    .filter(|&d| {
-                        self.effective_benefit_w(i, d, rates[i]) >= self.config.min_benefit_w
-                    })
-                    .collect();
-                devs.sort_by(|&a, &b| {
-                    self.score(i, b, rates[i])
-                        .total_cmp(&self.score(i, a, rates[i]))
-                });
-                'devices: for d in devs {
-                    // An earlier claim may already have freed room.
-                    if chosen.admit(d, i as u64, self.apps[i].demand).is_ok() {
-                        selected[i] = Some(d);
-                        fair_placed[i] = true;
-                        break 'devices;
+                let mut plans =
+                    self.plan_handovers(&chosen, |j| selected[j], |j| fair_placed[j], i, &rates);
+                Self::order_plans(&mut plans, self.config.claim_policy);
+                // No plan: no feasible device has enough over-entitled
+                // capacity — the claim stays pending and the starvation
+                // streak keeps accruing.
+                if let Some(plan) = plans.first() {
+                    for &e in &plan.clips {
+                        chosen.release(e as u64);
+                        selected[e] = None;
+                        fair_clipped[e] = true;
                     }
-                    let mut over: Vec<usize> = (0..n)
-                        .filter(|&j| {
-                            selected[j] == Some(d)
-                                && !fair_placed[j]
-                                && chosen.device(d).dominant_share(j as u64)
-                                    > self.apps[j].weight / total_w
-                        })
-                        .collect();
-                    over.sort_by(|&a, &b| {
-                        let sa = chosen.device(d).dominant_share(a as u64) / self.apps[a].weight;
-                        let sb = chosen.device(d).dominant_share(b as u64) / self.apps[b].weight;
-                        sb.total_cmp(&sa).then(a.cmp(&b))
-                    });
-                    let mut evicted: Vec<usize> = Vec::new();
-                    for j in over {
-                        chosen.release(j as u64);
-                        evicted.push(j);
-                        if chosen.admit(d, i as u64, self.apps[i].demand).is_ok() {
-                            for &e in &evicted {
-                                selected[e] = None;
-                                fair_clipped[e] = true;
-                            }
-                            selected[i] = Some(d);
-                            fair_placed[i] = true;
-                            break 'devices;
-                        }
-                    }
-                    // Not enough over-entitled capacity here: restore and
-                    // try the next device (the claim stays pending and the
-                    // starvation streak keeps accruing).
-                    for &e in &evicted {
-                        chosen
-                            .admit(d, e as u64, self.apps[e].demand)
-                            .expect("restoring a clipped incumbent");
-                    }
+                    chosen
+                        .admit(plan.device, i as u64, self.apps[i].demand)
+                        .expect("a planned hand-over fits by construction");
+                    selected[i] = Some(plan.device);
+                    fair_placed[i] = true;
                 }
             }
         }
@@ -774,7 +990,7 @@ impl FleetController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use inc_hw::{CrossTorPenalty, PipelineBudget};
+    use inc_hw::{PipelineBudget, TierCost, Topology};
     use inc_power::EnergyParams;
 
     /// A synthetic analysis with software dynamic slope `slope_w_per_pps`
@@ -820,12 +1036,29 @@ mod tests {
         DeviceFabric::single(PipelineBudget::tofino_like())
     }
 
-    /// Two 12-stage ToRs with the standard cross-ToR penalty.
+    /// Two 12-stage ToRs in one pod with the standard intra-pod cost.
     fn two_tors() -> DeviceFabric {
         DeviceFabric::homogeneous(
             2,
             PipelineBudget::tofino_like(),
-            CrossTorPenalty::standard(),
+            Topology::rack_pairs(
+                1,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
+        )
+    }
+
+    /// A one-pod pair of ToRs with a custom haircut and no link energy.
+    fn haircut_pair(benefit_factor: f64) -> Topology {
+        Topology::rack_pairs(
+            1,
+            TierCost {
+                extra_latency: Nanos::from_micros(2),
+                benefit_factor,
+                link_energy_nj: 0.0,
+            },
+            TierCost::standard_inter_pod(),
         )
     }
 
@@ -1088,7 +1321,7 @@ mod tests {
         // The spilled app's recorded benefit carries the haircut.
         let spill = ctl.shifts().iter().find(|s| s.app == 1).unwrap();
         let raw = ctl.benefit_w(1, 100_000.0);
-        let haircut = CrossTorPenalty::standard().benefit_factor;
+        let haircut = TierCost::standard_intra_pod().benefit_factor;
         assert!((spill.benefit_w - raw * haircut).abs() < 1e-9);
         // Stable thereafter: no ping-pong between the ToRs.
         for step in 4..=30 {
@@ -1120,11 +1353,7 @@ mod tests {
         // leaves, the app comes home only if its un-haircut home score
         // beats its sticky remote score — use a deep 0.5 haircut so
         // home is decisively (2× > 1.25×) better.
-        let penalty = CrossTorPenalty {
-            extra_latency: Nanos::from_micros(2),
-            benefit_factor: 0.5,
-        };
-        let fabric = DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), penalty);
+        let fabric = DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), haircut_pair(0.5));
         let apps = vec![
             app_homed("hog", 7, 0.30, 2.0, DeviceId(0)),
             app_homed("mover", 6, 0.10, 2.0, DeviceId(0)),
@@ -1359,11 +1588,7 @@ mod tests {
         // Symmetric fabric, app homed on ToR 0 but resident on ToR 1
         // (seeded). Its home score is 1/0.9 ≈ 1.11× the remote score —
         // inside the 1.25× stickiness band — so it must NOT hop home.
-        let penalty = CrossTorPenalty {
-            extra_latency: Nanos::from_micros(2),
-            benefit_factor: 0.9,
-        };
-        let fabric = DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), penalty);
+        let fabric = DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), haircut_pair(0.9));
         let apps = vec![app_homed("settled", 6, 0.10, 2.0, DeviceId(0))];
         let mut ctl = FleetController::new(cfg(), fabric, apps)
             .with_initial_placements(&[Placement::Device(DeviceId(1))]);
@@ -1372,5 +1597,204 @@ mod tests {
             assert!(ctl.sample(t(step), &s).is_empty(), "hopped at {step}");
         }
         assert_eq!(ctl.placements(), &[Placement::Device(DeviceId(1))]);
+    }
+
+    // --- Migration cost. ---
+
+    /// The hop-home scenario of
+    /// `app_returns_home_when_capacity_frees_only_if_decisively_better`,
+    /// replayed: the mover sits on the remote ToR of a deep-haircut
+    /// (0.7) pair, so its home score is 1/0.7 ≈ 1.43× its sticky remote
+    /// score — beyond the 1.25× stickiness band, so a migration-blind
+    /// scorer hops home the moment the hog leaves. With the switchover
+    /// debit priced in, the ~1.2 W/interval the hop would gain is less
+    /// than the amortised reprogramming cost, and the app stays put.
+    #[test]
+    fn migration_cost_suppresses_marginal_hop_that_stickiness_allows() {
+        let setup = |migration_cost_j: f64| {
+            let fabric =
+                DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), haircut_pair(0.7));
+            let apps = vec![
+                app_homed("hog", 7, 0.30, 2.0, DeviceId(0)),
+                app_homed("mover", 6, 0.06, 2.0, DeviceId(0)),
+            ];
+            let config = FleetControllerConfig {
+                migration_cost_j,
+                ..cfg()
+            };
+            FleetController::new(config, fabric, apps)
+        };
+        // Mover at 100 kpps: raw benefit 4 W, remote 2.8 W. Home score
+        // 4/0.5 = 8 vs sticky remote 2.8/0.5 × 1.25 = 7. The hop gains
+        // 1.2 W; the standard 5 J debit over a 20 × 1 s tenure is only
+        // 0.25 W — too small — so use a 2 s interval... instead pin the
+        // economics explicitly: a 30 J switchover amortises to 1.5 W,
+        // which outweighs the 1.2 W the hop would deliver.
+        let drive = |ctl: &mut FleetController| {
+            let both = [sample(100_000.0, 100_000.0), sample(100_000.0, 100_000.0)];
+            for step in 1..=3 {
+                ctl.sample(t(step), &both);
+            }
+            assert_eq!(
+                ctl.placements(),
+                &[
+                    Placement::Device(DeviceId(0)),
+                    Placement::Device(DeviceId(1))
+                ]
+            );
+            // The hog dies; run past its eviction window and beyond.
+            let hog_idle = [sample(100_000.0, 500.0), sample(100_000.0, 100_000.0)];
+            for step in 4..=30 {
+                ctl.sample(t(step), &hog_idle);
+            }
+        };
+
+        // Migration-blind scorer: the mover hops home.
+        let mut blind = setup(0.0);
+        drive(&mut blind);
+        assert_eq!(blind.placements()[1], Placement::Device(DeviceId(0)));
+
+        // With the debit: the same marginal hop is suppressed.
+        let mut priced = setup(30.0);
+        assert!((priced.migration_w() - 1.5).abs() < 1e-9);
+        drive(&mut priced);
+        assert_eq!(
+            priced.placements()[1],
+            Placement::Device(DeviceId(1)),
+            "a 1.2 W hop should not outbid a 1.5 W amortised switchover"
+        );
+        // ...and the suppression is a score effect, not a freeze: a
+        // decisively better home still wins. At 400 kpps the raw benefit
+        // is 22 W, so the debited home score (22 − 1.5)/0.5 = 41 clears
+        // the sticky remote score 1.25 × 0.7 × 22 / 0.5 = 38.5.
+        let surge = [sample(100_000.0, 500.0), sample(400_000.0, 400_000.0)];
+        for step in 31..=40 {
+            priced.sample(t(step), &surge);
+        }
+        assert_eq!(priced.placements()[1], Placement::Device(DeviceId(0)));
+    }
+
+    /// A fresh offload from software pays no migration debit (nothing is
+    /// torn down), and pinned controllers are unaffected by the pricing.
+    #[test]
+    fn fresh_offloads_are_not_debited() {
+        let config = FleetControllerConfig {
+            migration_cost_j: 1_000.0, // absurd: 50 W amortised
+            ..cfg()
+        };
+        let apps = vec![app("a", 7, 0.08, 2.0)];
+        let mut ctl = FleetController::new(config, contended(), apps);
+        let s = [sample(100_000.0, 100_000.0)];
+        for step in 1..=3 {
+            ctl.sample(t(step), &s);
+        }
+        assert_eq!(ctl.placements(), &[Placement::HARDWARE]);
+    }
+
+    // --- Claim policies. ---
+
+    /// Three tenants on a rack pair: the claimant's own score prefers its
+    /// home ToR 0 (no haircut), where the expensive incumbent sits; the
+    /// cheap incumbent sits on ToR 1. Best-score claims clip the
+    /// expensive program; min-cost claims clip the cheap one.
+    fn claim_scenario(policy: ClaimPolicy) -> (FleetController, [FleetSample; 3]) {
+        let fabric = DeviceFabric::homogeneous(
+            2,
+            PipelineBudget::tofino_like(),
+            Topology::rack_pairs(
+                1,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
+        );
+        // Scores at 100 kpps: rich 20.6 on its home ToR 0, poor 5.1 on
+        // its home ToR 1; the claimant scores 4.3 at home and 3.6 remote
+        // — profitable everywhere, outscored everywhere, so the knapsack
+        // never places it and it must go through the claim protocol.
+        let apps = vec![
+            app_homed("rich", 7, 0.14, 2.0, DeviceId(0)), // 12 W at 100 kpps
+            app_homed("poor", 7, 0.05, 2.0, DeviceId(1)), // 3 W at 100 kpps
+            app_homed("claimant", 7, 0.045, 2.0, DeviceId(0)), // 2.5 W at 100 kpps
+        ];
+        let config = FleetControllerConfig {
+            starvation_window: 6,
+            claim_policy: policy,
+            ..cfg()
+        };
+        let ctl = FleetController::new(config, fabric, apps);
+        let s = [
+            sample(100_000.0, 100_000.0),
+            sample(100_000.0, 100_000.0),
+            sample(100_000.0, 100_000.0),
+        ];
+        (ctl, s)
+    }
+
+    #[test]
+    fn min_cost_claim_clips_the_cheap_incumbent_not_the_best_scoring_device() {
+        for (policy, expect_clip, expect_device) in [
+            // Old policy: claim lands on the claimant's highest-scoring
+            // device — home, un-haircut — clipping the 12 W incumbent.
+            (ClaimPolicy::BestScore, 0usize, DeviceId(0)),
+            // Min-cost: hand-over happens where the forfeited benefit is
+            // smallest — the remote ToR's 3 W incumbent.
+            (ClaimPolicy::MinCost, 1usize, DeviceId(1)),
+        ] {
+            let (mut ctl, s) = claim_scenario(policy);
+            let mut first_claim = None;
+            for step in 1..=30 {
+                let decisions = ctl.sample(t(step), &s);
+                if first_claim.is_none() {
+                    first_claim = decisions
+                        .iter()
+                        .find(|&&(app, to)| app == 2 && to.is_offloaded())
+                        .map(|&(_, to)| to);
+                }
+            }
+            assert_eq!(
+                first_claim,
+                Some(Placement::Device(expect_device)),
+                "{policy:?} claimed the wrong device"
+            );
+            let clip = ctl
+                .shifts()
+                .iter()
+                .find(|sh| sh.to == Placement::Software && sh.reason == ShiftReason::FairShare)
+                .expect("a clip was recorded");
+            assert_eq!(clip.app, expect_clip, "{policy:?} clipped the wrong app");
+        }
+    }
+
+    #[test]
+    fn claim_plans_report_clip_economics() {
+        let (mut ctl, s) = claim_scenario(ClaimPolicy::MinCost);
+        // Settle the two incumbents (claimant queues behind them).
+        for step in 1..=5 {
+            ctl.sample(t(step), &s);
+        }
+        assert_eq!(ctl.placements()[2], Placement::Software);
+        let rates = [100_000.0; 3];
+        let plans = ctl.claim_plans(2, &rates);
+        assert_eq!(plans.len(), 2, "{plans:?}");
+        let by_dev = |d: DeviceId| plans.iter().find(|p| p.device == d).unwrap();
+        let home = by_dev(DeviceId(0));
+        let remote = by_dev(DeviceId(1));
+        // Home clips the rich incumbent (12 W); the remote hand-over
+        // clips the poor one, forfeiting its full un-haircut 3 W (it is
+        // at home on ToR 1).
+        assert_eq!(home.clips, vec![0]);
+        let rich_delivered = ctl.effective_benefit_w(0, DeviceId(0), rates[0]);
+        assert!((home.clipped_benefit_w - rich_delivered).abs() < 1e-9);
+        assert!((rich_delivered - 12.0).abs() < 0.01);
+        assert_eq!(remote.clips, vec![1]);
+        let poor_delivered = ctl.effective_benefit_w(1, DeviceId(1), rates[1]);
+        assert!((remote.clipped_benefit_w - poor_delivered).abs() < 1e-9);
+        assert!((poor_delivered - 3.0).abs() < 0.01);
+        // Both hand-overs move two programs (clip + claimant).
+        assert!((home.migration_w - 2.0 * ctl.migration_w()).abs() < 1e-12);
+        // The claimant's own score prefers home; the total cost prefers
+        // the remote hand-over.
+        assert!(home.score > remote.score);
+        assert!(remote.total_cost_w() < home.total_cost_w());
     }
 }

@@ -50,8 +50,8 @@ pub use apps::Deployment;
 pub use decision::{dns_analysis, kvs_analysis, PlacementAnalysis};
 pub use envelope::{EnvelopePoint, OnDemandEnvelope};
 pub use fleet::{
-    AdmissionDecision, FleetApp, FleetController, FleetControllerConfig, FleetSample, FleetShift,
-    ShiftReason,
+    AdmissionDecision, ClaimPlan, ClaimPolicy, FleetApp, FleetController, FleetControllerConfig,
+    FleetSample, FleetShift, ShiftReason,
 };
 pub use host::{HostController, HostControllerConfig, HostSample, Shift};
 pub use system::{
@@ -63,6 +63,6 @@ pub use tor::TorRack;
 // Re-export the pieces of the on-demand interface that live lower in the
 // stack, so downstream users have one import surface.
 pub use inc_hw::{
-    CrossTorPenalty, DeviceFabric, DeviceId, NetControllerConfig, NetRateController, Placement,
-    RateTrigger,
+    DeviceFabric, DeviceId, HopTier, NetControllerConfig, NetRateController, Placement,
+    RateTrigger, TierCost, Topology,
 };

@@ -6,17 +6,22 @@
 //! device per ToR switch, so the controller's decision is no longer
 //! *whether* to offload but *where*. [`DeviceFabric`] is that set: an
 //! indexed collection of [`DeviceCapacity`] ledgers — possibly
-//! heterogeneous budgets — plus the locality model that prices placing an
+//! heterogeneous budgets — plus the [`Topology`] that prices placing an
 //! application's program away from its home ToR.
 //!
-//! The locality model is deliberately coarse, in the spirit of Gray's
-//! *Distributed Computing Economics*: computation should sit where its
-//! benefit per unit of scarce resource is highest, and moving it away
-//! from its data costs a fixed detour. An app placed on a remote ToR pays
-//! [`CrossTorPenalty::extra_latency`] per packet each way (the traffic
-//! detours through the inter-ToR link) and its power benefit is scaled by
-//! [`CrossTorPenalty::benefit_factor`] (the detour burns switch and link
-//! energy that the offload no longer saves).
+//! The locality model follows Gray's *Distributed Computing Economics*:
+//! computation should sit where its benefit per unit of scarce resource
+//! is highest, and moving it away from its data costs a detour — but the
+//! detour is **not** one number. A datacenter fabric is tiered: two ToRs
+//! in the same pod exchange traffic through one aggregation switch, while
+//! ToRs in different pods cross the core, so a far rack is strictly more
+//! expensive than a near one in latency, in forfeited benefit, and in
+//! the energy the extra links burn. [`Topology`] is that distance
+//! matrix: each (home, device) pair resolves to a hop tier whose
+//! [`TierCost`] carries the per-packet detour latency, the multiplicative
+//! benefit haircut, and the per-packet link energy of the extra
+//! traversals — so a scheduler pricing a spill prefers the nearest rack
+//! with room.
 
 use inc_sim::Nanos;
 
@@ -45,27 +50,38 @@ impl std::fmt::Display for DeviceId {
     }
 }
 
-/// The price of placing a program on a device other than its home ToR.
+/// The price of one hop tier of a placement detour: what a program pays
+/// per packet for each tier of the fabric its traffic must cross to reach
+/// the device hosting it.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct CrossTorPenalty {
-    /// Extra one-way per-packet latency of the detour through the
-    /// inter-ToR fabric (paid once per direction).
+pub struct TierCost {
+    /// Extra one-way per-packet latency of the detour through this tier
+    /// (paid once per direction).
     pub extra_latency: Nanos,
-    /// Multiplier applied to the estimated offload benefit of a remote
-    /// placement, in `[0, 1]`: the detour keeps links and switch ports
-    /// busy, clawing back part of the power the offload saves.
+    /// Multiplier applied to the estimated offload benefit of a placement
+    /// behind this tier, in `[0, 1]`: the detour keeps links and switch
+    /// ports busy, clawing back part of the power the offload saves.
     pub benefit_factor: f64,
+    /// Energy burned by the detour's extra link traversals, nanojoules
+    /// per packet per direction (switch port + SerDes work the offload
+    /// no longer avoids). A scheduler subtracts `2 × this × rate` from a
+    /// remote placement's benefit, so the same haircut ranks lower at
+    /// higher rates.
+    pub link_energy_nj: f64,
 }
 
-impl CrossTorPenalty {
-    /// No penalty: every device is as good as home (single-ToR fabrics).
-    pub const NONE: CrossTorPenalty = CrossTorPenalty {
+impl TierCost {
+    /// A free tier: no latency, no haircut, no link energy (the cost of
+    /// "staying home", and of every hop in a penalty-free fabric).
+    pub const NONE: TierCost = TierCost {
         extra_latency: Nanos::ZERO,
         benefit_factor: 1.0,
+        link_energy_nj: 0.0,
     };
 
-    /// A typical intra-rack-row detour: a couple of microseconds of extra
-    /// propagation/serialisation and a 15 % benefit haircut.
+    /// A typical intra-pod detour (ToR → aggregation → ToR): a couple of
+    /// microseconds of extra propagation/serialisation and a 15 % benefit
+    /// haircut.
     ///
     /// The haircut is deliberately *not* the reciprocal of the fleet
     /// scheduler's standard 1.25× stickiness premium: a factor of
@@ -73,12 +89,218 @@ impl CrossTorPenalty {
     /// score and its home score an exact mathematical tie, so "stay
     /// remote" vs "hop home" would be decided by float rounding noise
     /// instead of a decisive benefit. 0.85 keeps the settled incumbent
-    /// clearly ahead.
-    pub fn standard() -> Self {
-        CrossTorPenalty {
+    /// clearly ahead. The link-energy term is left at zero here — it is
+    /// workload- and switch-specific, so rigs that meter it supply their
+    /// own figure.
+    pub fn standard_intra_pod() -> Self {
+        TierCost {
             extra_latency: Nanos::from_micros(2),
             benefit_factor: 0.85,
+            link_energy_nj: 0.0,
         }
+    }
+
+    /// A typical inter-pod detour (ToR → aggregation → core → aggregation
+    /// → ToR): three times the intra-pod latency and a deeper 30 %
+    /// haircut — far racks must be decisively worse than near ones, or a
+    /// distance matrix degenerates back into one scalar.
+    pub fn standard_inter_pod() -> Self {
+        TierCost {
+            extra_latency: Nanos::from_micros(6),
+            benefit_factor: 0.70,
+            link_energy_nj: 0.0,
+        }
+    }
+
+    /// Validates the tier for use in a [`Topology`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `benefit_factor` is in `[0, 1]` and `link_energy_nj`
+    /// is finite and non-negative. A factor above 1.0 would make a
+    /// *remote* placement score higher than home and silently invert
+    /// locality — the bug class this assertion exists to catch.
+    fn validated(self, tier: &str) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&self.benefit_factor),
+            "{tier} benefit_factor {} outside [0, 1]: a factor above 1 \
+             would rank remote placements above home",
+            self.benefit_factor
+        );
+        assert!(
+            self.link_energy_nj.is_finite() && self.link_energy_nj >= 0.0,
+            "{tier} link_energy_nj {} must be finite and non-negative",
+            self.link_energy_nj
+        );
+        self
+    }
+}
+
+/// The hop tier separating an app's home ToR from a candidate device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HopTier {
+    /// The device on the home ToR itself: no detour.
+    Local,
+    /// A different ToR in the same pod: the detour crosses the pod's
+    /// aggregation layer.
+    IntraPod,
+    /// A ToR in another pod: the detour crosses the core.
+    InterPod,
+}
+
+impl HopTier {
+    /// The tier as a distance (0 = home, 1 = same pod, 2 = across the
+    /// core): what a spill-distance histogram buckets by.
+    pub const fn distance(self) -> u32 {
+        match self {
+            HopTier::Local => 0,
+            HopTier::IntraPod => 1,
+            HopTier::InterPod => 2,
+        }
+    }
+}
+
+/// The distance matrix of a device fabric: which pod each ToR's device
+/// sits in, and what each hop tier costs.
+///
+/// The matrix is stored in factored form — a pod index per device plus
+/// one [`TierCost`] per tier — because datacenter fabrics are trees: the
+/// cost of reaching a device depends only on the deepest shared switch
+/// layer, not on the identity of the pair.
+///
+/// # Examples
+///
+/// ```
+/// use inc_hw::{HopTier, TierCost, Topology};
+///
+/// // 2 pods × 2 ToRs: devices 0,1 share pod 0; devices 2,3 share pod 1.
+/// let topo = Topology::fat_tree(
+///     2,
+///     2,
+///     TierCost::standard_intra_pod(),
+///     TierCost::standard_inter_pod(),
+/// );
+/// use inc_hw::DeviceId;
+/// assert_eq!(topo.tier(DeviceId(0), DeviceId(1)), HopTier::IntraPod);
+/// assert_eq!(topo.tier(DeviceId(0), DeviceId(2)), HopTier::InterPod);
+/// assert!(topo.benefit_factor(DeviceId(0), DeviceId(1))
+///     > topo.benefit_factor(DeviceId(0), DeviceId(2)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// Pod index of each device, indexed by [`DeviceId::index`].
+    pod_of: Vec<u16>,
+    intra_pod: TierCost,
+    inter_pod: TierCost,
+}
+
+impl Topology {
+    /// A penalty-free topology of `devices` ToRs: every device is as good
+    /// as home (the single-card and uniform-fabric cases that predate the
+    /// distance matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero.
+    pub fn single(devices: usize) -> Self {
+        Topology::fat_tree(1, devices, TierCost::NONE, TierCost::NONE)
+    }
+
+    /// `pairs` two-ToR pods joined by a core tier: the §9.4 rack-pair
+    /// fabrics, generalised so that the partner rack is cheap and every
+    /// other rack is dear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is zero or a tier cost is invalid (benefit
+    /// factor outside `[0, 1]`, negative or non-finite link energy).
+    pub fn rack_pairs(pairs: usize, intra_pod: TierCost, inter_pod: TierCost) -> Self {
+        Topology::fat_tree(pairs, 2, intra_pod, inter_pod)
+    }
+
+    /// A fat-tree-style pod/core fabric: `pods × tors_per_pod` devices in
+    /// index order (device `i` sits in pod `i / tors_per_pod`). Remote
+    /// placements in the same pod pay `intra_pod` per packet; placements
+    /// across the core pay `inter_pod`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero, the device count overflows the
+    /// [`DeviceId`] index space, or a tier cost is invalid (benefit
+    /// factor outside `[0, 1]`, negative or non-finite link energy).
+    pub fn fat_tree(
+        pods: usize,
+        tors_per_pod: usize,
+        intra_pod: TierCost,
+        inter_pod: TierCost,
+    ) -> Self {
+        assert!(pods > 0, "a topology needs at least one pod");
+        assert!(tors_per_pod > 0, "a pod needs at least one ToR");
+        assert!(
+            pods * tors_per_pod <= u16::MAX as usize,
+            "device count exceeds the DeviceId index space"
+        );
+        Topology {
+            pod_of: (0..pods * tors_per_pod)
+                .map(|i| (i / tors_per_pod) as u16)
+                .collect(),
+            intra_pod: intra_pod.validated("intra-pod"),
+            inter_pod: inter_pod.validated("inter-pod"),
+        }
+    }
+
+    /// Number of devices the matrix covers.
+    pub fn device_count(&self) -> usize {
+        self.pod_of.len()
+    }
+
+    /// The hop tier separating `home` from `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device is out of range.
+    pub fn tier(&self, home: DeviceId, at: DeviceId) -> HopTier {
+        if home == at {
+            HopTier::Local
+        } else if self.pod_of[home.index()] == self.pod_of[at.index()] {
+            HopTier::IntraPod
+        } else {
+            HopTier::InterPod
+        }
+    }
+
+    /// The cost of placing an app homed at `home` on `at`:
+    /// [`TierCost::NONE`] at home, the matching tier's cost elsewhere.
+    pub fn cost(&self, home: DeviceId, at: DeviceId) -> TierCost {
+        match self.tier(home, at) {
+            HopTier::Local => TierCost::NONE,
+            HopTier::IntraPod => self.intra_pod,
+            HopTier::InterPod => self.inter_pod,
+        }
+    }
+
+    /// The placement's distance in hop tiers (0 = home, 1 = same pod,
+    /// 2 = across the core).
+    pub fn distance(&self, home: DeviceId, at: DeviceId) -> u32 {
+        self.tier(home, at).distance()
+    }
+
+    /// Benefit multiplier for an app homed at `home` placed on `at`:
+    /// 1.0 at home, the tier's haircut elsewhere.
+    pub fn benefit_factor(&self, home: DeviceId, at: DeviceId) -> f64 {
+        self.cost(home, at).benefit_factor
+    }
+
+    /// One-way extra latency for an app homed at `home` placed on `at`.
+    pub fn extra_latency(&self, home: DeviceId, at: DeviceId) -> Nanos {
+        self.cost(home, at).extra_latency
+    }
+
+    /// Power burned by the detour's links at `rate_pps`, watts: each
+    /// packet crosses the tier once per direction, so the draw is
+    /// `2 × link_energy_nj × rate`. Zero at home.
+    pub fn link_energy_w(&self, home: DeviceId, at: DeviceId, rate_pps: f64) -> f64 {
+        2.0 * self.cost(home, at).link_energy_nj * 1e-9 * rate_pps
     }
 }
 
@@ -91,12 +313,12 @@ impl CrossTorPenalty {
 /// # Examples
 ///
 /// ```
-/// use inc_hw::{CrossTorPenalty, DeviceFabric, DeviceId, PipelineBudget, ProgramResources};
+/// use inc_hw::{DeviceFabric, DeviceId, PipelineBudget, ProgramResources, TierCost, Topology};
 ///
 /// let mut fabric = DeviceFabric::homogeneous(
 ///     2,
 ///     PipelineBudget::tofino_like(),
-///     CrossTorPenalty::standard(),
+///     Topology::rack_pairs(1, TierCost::standard_intra_pod(), TierCost::standard_inter_pod()),
 /// );
 /// let kvs = ProgramResources { stages: 7, sram_bytes: 40 << 20, parse_depth_bytes: 96 };
 /// let dns = ProgramResources { stages: 6, sram_bytes: 20 << 20, parse_depth_bytes: 128 };
@@ -110,44 +332,46 @@ impl CrossTorPenalty {
 #[derive(Clone, Debug)]
 pub struct DeviceFabric {
     devices: Vec<DeviceCapacity>,
-    penalty: CrossTorPenalty,
+    topology: Topology,
 }
 
 impl DeviceFabric {
-    /// Creates a fabric with one (empty) ledger per budget.
+    /// Creates a fabric with one (empty) ledger per budget, priced by the
+    /// given distance matrix.
     ///
     /// # Panics
     ///
-    /// Panics if `budgets` is empty or holds more devices than
-    /// [`DeviceId`] can index.
-    pub fn new(budgets: Vec<PipelineBudget>, penalty: CrossTorPenalty) -> Self {
+    /// Panics if `budgets` is empty or its length differs from the
+    /// topology's device count.
+    pub fn new(budgets: Vec<PipelineBudget>, topology: Topology) -> Self {
         assert!(!budgets.is_empty(), "a fabric needs at least one device");
-        assert!(
-            budgets.len() <= u16::MAX as usize,
-            "device count exceeds the DeviceId index space"
+        assert_eq!(
+            budgets.len(),
+            topology.device_count(),
+            "budget list and topology must cover the same devices"
         );
         DeviceFabric {
             devices: budgets.into_iter().map(DeviceCapacity::new).collect(),
-            penalty,
+            topology,
         }
     }
 
     /// A single-device fabric with no locality penalty: the pre-§9.4
     /// shared-card topology.
     pub fn single(budget: PipelineBudget) -> Self {
-        DeviceFabric::new(vec![budget], CrossTorPenalty::NONE)
+        DeviceFabric::new(vec![budget], Topology::single(1))
     }
 
     /// `n` identical devices.
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
-    pub fn homogeneous(n: usize, budget: PipelineBudget, penalty: CrossTorPenalty) -> Self {
-        DeviceFabric::new(vec![budget; n], penalty)
+    /// Panics if `n` is zero or differs from the topology's device count.
+    pub fn homogeneous(n: usize, budget: PipelineBudget, topology: Topology) -> Self {
+        DeviceFabric::new(vec![budget; n], topology)
     }
 
-    /// An empty copy: same budgets and penalty, no allocations. Used by
+    /// An empty copy: same budgets and topology, no allocations. Used by
     /// schedulers to build a candidate assignment before committing.
     pub fn fresh(&self) -> Self {
         DeviceFabric {
@@ -156,7 +380,7 @@ impl DeviceFabric {
                 .iter()
                 .map(|d| DeviceCapacity::new(d.budget()))
                 .collect(),
-            penalty: self.penalty,
+            topology: self.topology.clone(),
         }
     }
 
@@ -186,28 +410,32 @@ impl DeviceFabric {
         &mut self.devices[id.index()]
     }
 
-    /// The locality penalty model.
-    pub fn penalty(&self) -> CrossTorPenalty {
-        self.penalty
+    /// The distance matrix pricing remote placements.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Benefit multiplier for an app homed at `home` placed on `at`:
-    /// 1.0 at home, [`CrossTorPenalty::benefit_factor`] anywhere else.
+    /// 1.0 at home, the hop tier's [`TierCost::benefit_factor`] elsewhere.
     pub fn benefit_factor(&self, home: DeviceId, at: DeviceId) -> f64 {
-        if home == at {
-            1.0
-        } else {
-            self.penalty.benefit_factor
-        }
+        self.topology.benefit_factor(home, at)
     }
 
     /// One-way extra latency for an app homed at `home` placed on `at`.
     pub fn extra_latency(&self, home: DeviceId, at: DeviceId) -> Nanos {
-        if home == at {
-            Nanos::ZERO
-        } else {
-            self.penalty.extra_latency
-        }
+        self.topology.extra_latency(home, at)
+    }
+
+    /// Power the placement's detour burns in links at `rate_pps`, watts
+    /// (see [`Topology::link_energy_w`]).
+    pub fn link_energy_w(&self, home: DeviceId, at: DeviceId, rate_pps: f64) -> f64 {
+        self.topology.link_energy_w(home, at, rate_pps)
+    }
+
+    /// The placement's distance in hop tiers (0 = home, 1 = same pod,
+    /// 2 = across the core).
+    pub fn distance(&self, home: DeviceId, at: DeviceId) -> u32 {
+        self.topology.distance(home, at)
     }
 
     /// The device currently hosting `app`, if any.
@@ -299,12 +527,16 @@ mod tests {
         }
     }
 
-    fn two_tors() -> DeviceFabric {
-        DeviceFabric::homogeneous(
-            2,
-            PipelineBudget::tofino_like(),
-            CrossTorPenalty::standard(),
+    fn standard_pair() -> Topology {
+        Topology::rack_pairs(
+            1,
+            TierCost::standard_intra_pod(),
+            TierCost::standard_inter_pod(),
         )
+    }
+
+    fn two_tors() -> DeviceFabric {
+        DeviceFabric::homogeneous(2, PipelineBudget::tofino_like(), standard_pair())
     }
 
     #[test]
@@ -340,7 +572,7 @@ mod tests {
         };
         let mut f = DeviceFabric::new(
             vec![PipelineBudget::tofino_like(), small],
-            CrossTorPenalty::NONE,
+            Topology::single(2),
         );
         // The big program only fits the big device.
         assert!(f.admit(DeviceId(1), 0, kvs()).is_err());
@@ -352,15 +584,93 @@ mod tests {
     #[test]
     fn locality_model() {
         let f = two_tors();
-        let p = f.penalty();
+        let p = TierCost::standard_intra_pod();
         assert_eq!(f.benefit_factor(DeviceId(0), DeviceId(0)), 1.0);
         assert_eq!(f.benefit_factor(DeviceId(0), DeviceId(1)), p.benefit_factor);
         assert_eq!(f.extra_latency(DeviceId(1), DeviceId(1)), Nanos::ZERO);
         assert_eq!(f.extra_latency(DeviceId(1), DeviceId(0)), p.extra_latency);
+        assert_eq!(f.distance(DeviceId(0), DeviceId(1)), 1);
         // The single-device constructor has no penalty to pay.
         let s = DeviceFabric::single(PipelineBudget::tofino_like());
-        assert_eq!(s.penalty(), CrossTorPenalty::NONE);
+        assert_eq!(s.topology().cost(DeviceId(0), DeviceId(0)), TierCost::NONE);
         assert_eq!(s.device_count(), 1);
+    }
+
+    #[test]
+    fn distance_matrix_tiers() {
+        // 2 pods × 2 ToRs: 0,1 | 2,3.
+        let intra = TierCost {
+            extra_latency: Nanos::from_micros(2),
+            benefit_factor: 0.85,
+            link_energy_nj: 40.0,
+        };
+        let inter = TierCost {
+            extra_latency: Nanos::from_micros(6),
+            benefit_factor: 0.70,
+            link_energy_nj: 120.0,
+        };
+        let t = Topology::fat_tree(2, 2, intra, inter);
+        assert_eq!(t.device_count(), 4);
+        assert_eq!(t.tier(DeviceId(2), DeviceId(2)), HopTier::Local);
+        assert_eq!(t.tier(DeviceId(2), DeviceId(3)), HopTier::IntraPod);
+        assert_eq!(t.tier(DeviceId(1), DeviceId(2)), HopTier::InterPod);
+        assert_eq!(t.distance(DeviceId(1), DeviceId(2)), 2);
+        // Near racks are strictly cheaper than far ones on every axis.
+        assert!(
+            t.benefit_factor(DeviceId(0), DeviceId(1)) > t.benefit_factor(DeviceId(0), DeviceId(3))
+        );
+        assert!(
+            t.extra_latency(DeviceId(0), DeviceId(1)) < t.extra_latency(DeviceId(0), DeviceId(3))
+        );
+        // Link power: 2 crossings × nJ/packet × rate.
+        let w = t.link_energy_w(DeviceId(0), DeviceId(3), 100_000.0);
+        assert!((w - 2.0 * 120.0e-9 * 100_000.0).abs() < 1e-12);
+        assert_eq!(t.link_energy_w(DeviceId(0), DeviceId(0), 100_000.0), 0.0);
+        // rack_pairs is the two-ToR-pod special case.
+        assert_eq!(Topology::rack_pairs(3, intra, inter).device_count(), 6);
+        assert_eq!(
+            Topology::rack_pairs(3, intra, inter).tier(DeviceId(4), DeviceId(5)),
+            HopTier::IntraPod
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "benefit_factor")]
+    fn benefit_factor_above_one_is_rejected() {
+        // Regression: a factor > 1 made a remote placement score higher
+        // than home, silently inverting locality.
+        let bad = TierCost {
+            extra_latency: Nanos::ZERO,
+            benefit_factor: 1.2,
+            link_energy_nj: 0.0,
+        };
+        let _ = Topology::fat_tree(2, 2, bad, TierCost::standard_inter_pod());
+    }
+
+    #[test]
+    #[should_panic(expected = "benefit_factor")]
+    fn negative_benefit_factor_is_rejected() {
+        let bad = TierCost {
+            benefit_factor: -0.1,
+            ..TierCost::standard_inter_pod()
+        };
+        let _ = Topology::rack_pairs(1, TierCost::standard_intra_pod(), bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "link_energy_nj")]
+    fn negative_link_energy_is_rejected() {
+        let bad = TierCost {
+            link_energy_nj: -1.0,
+            ..TierCost::standard_intra_pod()
+        };
+        let _ = Topology::fat_tree(1, 2, bad, TierCost::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "same devices")]
+    fn budget_topology_mismatch_is_rejected() {
+        let _ = DeviceFabric::new(vec![PipelineBudget::tofino_like(); 3], Topology::single(2));
     }
 
     #[test]
@@ -385,7 +695,7 @@ mod tests {
         };
         let mut f = DeviceFabric::new(
             vec![PipelineBudget::tofino_like(), small],
-            CrossTorPenalty::NONE,
+            Topology::single(2),
         );
         // Software-placed: no share anywhere.
         assert_eq!(f.dominant_share(0), 0.0);

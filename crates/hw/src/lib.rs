@@ -13,8 +13,8 @@
 //!   state and resource admission (§6, §10).
 //! * [`DeviceCapacity`] — multi-application capacity ledger over one
 //!   budget, for shared-device scheduling.
-//! * [`DeviceFabric`] — a set of such ledgers, one per ToR (§9.4), with
-//!   the cross-ToR locality penalty model.
+//! * [`DeviceFabric`] — a set of such ledgers, one per ToR (§9.4), priced
+//!   by a [`Topology`] distance matrix (ToR → pod → core hop tiers).
 //! * [`TofinoModel`] — the normalized-power ASIC model (§6).
 //! * [`SmartNicModel`] — the §10 architecture survey.
 
@@ -29,7 +29,7 @@ pub mod smartnic;
 
 pub use asic::{TofinoModel, TofinoProgram};
 pub use capacity::{AppSlot, DeviceCapacity, ResourceShares};
-pub use fabric::{CrossTorPenalty, DeviceFabric, DeviceId};
+pub use fabric::{DeviceFabric, DeviceId, HopTier, TierCost, Topology};
 pub use memory::{MemoryKind, MemorySpec};
 pub use netfpga::{
     modules, SumeCard, HOST_DMA_PORT, NET_PORT_COUNT, PCIE_DMA_ONE_WAY, SHELL_PIPELINE_LATENCY,

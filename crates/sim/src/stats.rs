@@ -135,8 +135,10 @@ impl Histogram {
 
     /// Returns an upper bound on the `q`-quantile (e.g. `0.99` for p99).
     ///
-    /// The bound is exact to within the bucket resolution (~3 % relative).
-    /// Returns 0 for an empty histogram.
+    /// The bound is exact to within the bucket resolution (~3 % relative),
+    /// and exact at the endpoints: `q == 0` returns the tracked minimum
+    /// sample and `q == 1` never exceeds the tracked maximum. Returns 0
+    /// for an empty histogram.
     ///
     /// # Panics
     ///
@@ -145,6 +147,13 @@ impl Histogram {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if self.count == 0 {
             return 0;
+        }
+        if q == 0.0 {
+            // The 0-quantile is the minimum, which is tracked exactly.
+            // The bucket walk below would clamp the target rank to 1 and
+            // return the first occupied bucket's *upper* bound — above
+            // the true minimum by up to the bucket resolution.
+            return self.min;
         }
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
@@ -364,15 +373,24 @@ impl WindowRate {
         }
     }
 
-    /// Returns the average rate (events/second) over the completed window
-    /// as of `now`. Epochs not yet elapsed count as empty.
+    /// Returns the average rate (events/second) over the window as of
+    /// `now`: every completed epoch in the ring **plus the in-progress
+    /// epoch pro-rata** (its events over its elapsed fraction). Epochs
+    /// not yet elapsed count as empty.
+    ///
+    /// Including the partial epoch matters for freshly-primed and bursty
+    /// sources: a window that only counted completed epochs would ignore
+    /// up to one full epoch of the most recent events — exactly the
+    /// evidence an on-demand controller shifts on — under-reporting the
+    /// rate right when it changes.
     pub fn rate(&mut self, now: Nanos) -> f64 {
         self.roll(now);
-        if self.filled == 0 {
+        let elapsed = now.saturating_sub(self.current_epoch_start);
+        let total = self.ring.iter().take(self.filled).sum::<u64>() + self.current_count;
+        let span = (self.epoch.mul(self.filled as u64) + elapsed).as_secs_f64();
+        if span == 0.0 {
             return 0.0;
         }
-        let total: u64 = self.ring.iter().take(self.filled).sum();
-        let span = self.epoch.mul(self.filled as u64).as_secs_f64();
         total as f64 / span
     }
 
@@ -495,6 +513,24 @@ mod tests {
     }
 
     #[test]
+    fn histogram_zero_quantile_is_the_exact_minimum() {
+        // Regression: q = 0 used to clamp the target rank to 1 and
+        // return the first occupied bucket's *upper* bound (104 for a
+        // minimum of 100), exceeding the true smallest sample.
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(1_000);
+        assert_eq!(h.quantile(0.0), 100);
+        assert!(h.quantile(1.0) >= 1_000);
+        // Exactness survives a merge with a smaller-minimum histogram.
+        let mut other = Histogram::new();
+        other.record(37);
+        h.merge(&other);
+        assert_eq!(h.quantile(0.0), 37);
+        assert_eq!(h.min(), 37);
+    }
+
+    #[test]
     fn histogram_merge() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();
@@ -566,6 +602,38 @@ mod tests {
         // After a full idle window the rate must be zero.
         let r = w.rate(Nanos::from_secs(3));
         assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn window_rate_includes_the_partial_epoch_pro_rata() {
+        // Regression: a fresh (unprimed) estimator used to report 0.0
+        // until its first epoch completed, and a primed one ignored the
+        // in-progress epoch entirely — under-reporting a burst by up to
+        // one epoch of events.
+        let mut w = WindowRate::new(Nanos::from_millis(100), 10);
+        for i in 0..50u64 {
+            w.record(Nanos::from_millis(i), 1);
+        }
+        // 50 events over the first half of the first epoch: 1000/s.
+        let r = w.rate(Nanos::from_millis(50));
+        assert!((r - 1_000.0).abs() < 1e-9, "rate {r}");
+
+        // Primed steady stream, then a burst mid-epoch: the estimate
+        // moves within the same epoch instead of one epoch later.
+        let mut w = WindowRate::new(Nanos::from_millis(100), 10);
+        for i in 0..1_000u64 {
+            w.record(Nanos::from_millis(i), 1);
+        }
+        let before = w.rate(Nanos::from_millis(1_000));
+        w.record(Nanos::from_millis(1_050), 500);
+        let after = w.rate(Nanos::from_millis(1_050));
+        assert!(
+            after > before + 400.0,
+            "burst invisible: {before} -> {after}"
+        );
+        // The pro-rata denominator is the completed epochs plus the
+        // elapsed fraction: (1000 + 500) / 1.05 s.
+        assert!((after - 1_500.0 / 1.05).abs() < 1e-6, "after {after}");
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Five tenants on a 2-pod × 2-ToR fabric: topology-aware placement,
+//! migration-priced moves and min-cost fairness hand-overs, versus the
+//! old best-score claim policy and the static baselines.
+//!
+//! The `PodFabricRig` holds all five plateaus simultaneously over a
+//! three-tier distance matrix (ToR → pod → core). The analytics tenant
+//! spills off its contended home ToR and must land on the *near* small
+//! ToR rather than the far identical one; the Paxos tenant fits nowhere
+//! and goes through the fairness claim, where the min-cost hand-over
+//! clips the cheap edge tenant instead of the 10 W KVS anchor the old
+//! best-score policy evicted.
+//!
+//! Run with: `cargo run --release --example topology`
+
+use inc::hw::Placement;
+use inc::ondemand::{ClaimPolicy, FleetController, ShiftReason};
+use inc::sim::Nanos;
+use inc_bench::rigs::PodFabricRig;
+
+const HORIZON: Nanos = Nanos::from_secs(10);
+const INTERVAL: Nanos = Nanos::from_millis(100);
+const BUSY_FROM: Nanos = Nanos::from_millis(800);
+const BUSY_TO: Nanos = Nanos::from_millis(7_000);
+
+fn plc(p: Placement) -> String {
+    match p {
+        Placement::Software => "software".to_string(),
+        Placement::Device(d) => format!("{d}"),
+    }
+}
+
+struct RunStats {
+    energy_j: f64,
+    clipped_w: f64,
+    pax_share: f64,
+    /// Device entries bucketed by hop distance from the app's home.
+    spill_histogram: [u64; 3],
+}
+
+fn run(label: &str, mut controller: FleetController) -> RunStats {
+    let rig = PodFabricRig::new(PodFabricRig::contended_profiles(HORIZON));
+    let timeline = rig.run(&mut controller, HORIZON);
+    let fabric = PodFabricRig::fabric();
+    println!("\n=== {label} ===");
+    let mut spill_histogram = [0u64; 3];
+    for s in controller.shifts() {
+        println!(
+            "  t={:>5.2}s  {:>9} -> {:<8}  ({:>6.1} kpps, {:+5.1} W, {:?})",
+            s.at.as_secs_f64(),
+            controller.apps()[s.app].name,
+            plc(s.to),
+            s.rate_pps / 1e3,
+            s.benefit_w,
+            s.reason,
+        );
+        if let Placement::Device(d) = s.to {
+            let dist = fabric.distance(controller.apps()[s.app].home, d) as usize;
+            spill_histogram[dist] += 1;
+        }
+    }
+    let mut pax_share = 0.0;
+    for app in 0..controller.apps().len() {
+        let rows: Vec<_> = timeline.per_app[app]
+            .rows
+            .iter()
+            .filter(|r| r.t >= BUSY_FROM && r.t < BUSY_TO)
+            .collect();
+        let resident = rows.iter().filter(|r| r.placement.is_offloaded()).count();
+        let share = resident as f64 / rows.len() as f64;
+        if app == PodFabricRig::PAX_APP {
+            pax_share = share;
+        }
+        println!(
+            "  {:>9}: {:>5.1} % of the busy window on a device, {:>3} intervals queued, {:?}",
+            controller.apps()[app].name,
+            share * 100.0,
+            timeline.queued_intervals[app],
+            timeline.admission[app],
+        );
+    }
+    let clipped_w: f64 = controller
+        .shifts()
+        .iter()
+        .filter(|s| s.reason == ShiftReason::FairShare && s.to == Placement::Software)
+        .map(|s| s.benefit_w)
+        .sum();
+    println!(
+        "  energy {:.1} J, {} shifts, entries by distance [home/pod/core] = {:?}, \
+         clipped benefit {:.1} W",
+        timeline.energy_j,
+        controller.shifts().len(),
+        spill_histogram,
+        clipped_w,
+    );
+    RunStats {
+        energy_j: timeline.energy_j,
+        clipped_w,
+        pax_share,
+        spill_histogram,
+    }
+}
+
+fn main() {
+    let min_cost = run(
+        "min-cost hand-overs (standard)",
+        PodFabricRig::fleet_controller(INTERVAL, ClaimPolicy::MinCost),
+    );
+    let best_score = run(
+        "best-score claims (old policy)",
+        PodFabricRig::fleet_controller(INTERVAL, ClaimPolicy::BestScore),
+    );
+    let rig = PodFabricRig::new(PodFabricRig::contended_profiles(HORIZON));
+    let mut sw = PodFabricRig::pinned_controller(INTERVAL, [Placement::Software; 5]);
+    let sw_energy = rig.run(&mut sw, HORIZON).energy_j;
+    let mut st = PodFabricRig::pinned_controller(INTERVAL, PodFabricRig::natural_static());
+    let static_energy = rig.run(&mut st, HORIZON).energy_j;
+
+    println!("\n=== summary ===");
+    println!("  min-cost fleet       {:>7.1} J", min_cost.energy_j);
+    println!("  best-score fleet     {:>7.1} J", best_score.energy_j);
+    println!("  best static          {static_energy:>7.1} J");
+    println!("  all-software         {sw_energy:>7.1} J");
+    println!(
+        "  min-cost hand-overs save {:.1} J over best-score claims \
+         (clipping {:.1} W instead of {:.1} W of incumbent benefit)",
+        best_score.energy_j - min_cost.energy_j,
+        min_cost.clipped_w,
+        best_score.clipped_w,
+    );
+    println!(
+        "  spill distances under min-cost: {} home, {} intra-pod, {} cross-core entries",
+        min_cost.spill_histogram[0], min_cost.spill_histogram[1], min_cost.spill_histogram[2],
+    );
+
+    inc_bench::emit_metrics(
+        "topology",
+        &[
+            ("fleet_energy_j", min_cost.energy_j),
+            ("best_score_energy_j", best_score.energy_j),
+            ("best_static_energy_j", static_energy),
+            ("all_software_energy_j", sw_energy),
+            ("clipped_benefit_w_min_cost", min_cost.clipped_w),
+            ("clipped_benefit_w_best_score", best_score.clipped_w),
+            ("pax_share_min_cost", min_cost.pax_share),
+            ("pax_share_best_score", best_score.pax_share),
+            ("entries_home", min_cost.spill_histogram[0] as f64),
+            ("entries_intra_pod", min_cost.spill_histogram[1] as f64),
+            ("entries_cross_core", min_cost.spill_histogram[2] as f64),
+        ],
+    );
+}

@@ -27,17 +27,20 @@ echo "== scheduling examples =="
 cargo run --release --example shared_device
 cargo run --release --example multi_tor
 cargo run --release --example fairness
+cargo run --release --example topology
 
 echo "== release-mode scheduling e2e tests =="
 cargo test --release -q --test shared_device
 cargo test --release -q --test multi_tor
 cargo test --release -q --test fairness
+cargo test --release -q --test topology
 
 echo "== criterion smoke targets =="
 cargo bench -p inc-bench --bench codecs
 cargo bench -p inc-bench --bench shared_device
 cargo bench -p inc-bench --bench multi_tor
 cargo bench -p inc-bench --bench fairness
+cargo bench -p inc-bench --bench topology
 
 echo "== collected artifacts =="
 ls -l "$INC_METRICS_DIR"

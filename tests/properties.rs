@@ -183,6 +183,13 @@ proptest! {
         // HDR resolution: within ~3.2 % above the exact order statistic.
         prop_assert!(got >= exact, "got {} < exact {}", got, exact);
         prop_assert!((got as f64) <= exact as f64 * 1.04 + 1.0, "got {} vs exact {}", got, exact);
+        // The endpoints are exact, not bucket bounds: q = 0 is the
+        // tracked minimum (regression: it used to return the first
+        // occupied bucket's upper bound), q = 1 never exceeds the
+        // tracked maximum.
+        prop_assert_eq!(h.quantile(0.0), sorted[0]);
+        prop_assert!(h.quantile(1.0) >= *sorted.last().unwrap());
+        prop_assert!(h.quantile(1.0) <= h.max());
     }
 
     #[test]
@@ -218,6 +225,10 @@ proptest! {
             (got as f64) <= exact as f64 * (1.0 + 1.0 / 32.0) + 1.0,
             "got {} vs exact {}", got, exact
         );
+        // Exact endpoints survive the merge: the minimum of the union is
+        // the smaller of the two tracked minima.
+        prop_assert_eq!(a.quantile(0.0), all[0]);
+        prop_assert!(a.quantile(1.0) >= *all.last().unwrap());
     }
 
     #[test]
@@ -474,7 +485,7 @@ proptest! {
         d_sram_mb in 0u64..80,
         d_parse in 32u32..300,
     ) {
-        use inc::hw::{CrossTorPenalty, DeviceFabric, PipelineBudget, ProgramResources};
+        use inc::hw::{DeviceFabric, PipelineBudget, ProgramResources, TierCost, Topology};
         use inc::ondemand::{AdmissionDecision, FleetApp, FleetController,
                             FleetControllerConfig, PlacementAnalysis};
         use inc::power::EnergyParams;
@@ -502,7 +513,16 @@ proptest! {
                 idle_w: 52.0, sleep_w: 0.0, active_w: 52.1, peak_rate_pps: 1e7,
             },
         };
-        let fabric = DeviceFabric::new(budgets, CrossTorPenalty::standard());
+        let n_devices = budgets.len();
+        let fabric = DeviceFabric::new(
+            budgets,
+            Topology::fat_tree(
+                1,
+                n_devices,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
+        );
         let ctl = FleetController::new(
             FleetControllerConfig::standard(Nanos::from_millis(100)),
             fabric,
@@ -531,8 +551,8 @@ proptest! {
         rates in proptest::collection::vec(
             (0u32..300_000, 0u32..300_000, 0u32..40_000), 8..60),
     ) {
-        use inc::hw::{CrossTorPenalty, DeviceCapacity, DeviceFabric, DeviceId,
-                      PipelineBudget, ProgramResources};
+        use inc::hw::{DeviceCapacity, DeviceFabric, DeviceId, PipelineBudget,
+                      ProgramResources, TierCost, Topology};
         use inc::ondemand::{FleetApp, FleetController, FleetControllerConfig,
                             FleetSample, HostSample, Placement, PlacementAnalysis};
         use inc::power::EnergyParams;
@@ -572,7 +592,11 @@ proptest! {
         let fabric = DeviceFabric::homogeneous(
             2,
             PipelineBudget::tofino_like(),
-            CrossTorPenalty::standard(),
+            Topology::rack_pairs(
+                1,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
         );
         let mut ctl = FleetController::new(config, fabric, apps.clone());
 
@@ -655,8 +679,8 @@ proptest! {
         w_kvs in 1u32..4,
         w_pax in 1u32..4,
     ) {
-        use inc::hw::{CrossTorPenalty, DeviceCapacity, DeviceFabric, DeviceId,
-                      PipelineBudget, ProgramResources};
+        use inc::hw::{DeviceCapacity, DeviceFabric, DeviceId, PipelineBudget,
+                      ProgramResources, TierCost, Topology};
         use inc::ondemand::{AdmissionDecision, FleetApp, FleetController,
                             FleetControllerConfig, FleetSample, HostSample, Placement,
                             PlacementAnalysis, ShiftReason};
@@ -702,7 +726,11 @@ proptest! {
         let fabric = DeviceFabric::homogeneous(
             2,
             PipelineBudget::tofino_like(),
-            CrossTorPenalty::standard(),
+            Topology::rack_pairs(
+                1,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
         );
         let mut ctl = FleetController::new(config, fabric, apps.clone());
         prop_assert_eq!(ctl.admission_decision(BULK), AdmissionDecision::Reject);
@@ -812,6 +840,259 @@ proptest! {
                          while {:?} had clippable room",
                         step, i, ctl.starved_streak(i), dev
                     );
+                }
+            }
+        }
+    }
+}
+
+// --- Topology-aware placement invariants. ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Locality monotonicity: over a uniform-budget pod fabric whose
+    /// near tier is strictly cheaper than its far tier, a program that
+    /// enters a device never lands strictly farther from its home than
+    /// an equally-feasible nearer device — after every decision pass,
+    /// no nearer device could still admit the program that went far.
+    /// (Benefit-only scheduling; fairness clips free room mid-pass and
+    /// are covered by their own invariants.)
+    #[test]
+    fn spills_never_land_strictly_farther_than_a_feasible_nearer_device(
+        rates in proptest::collection::vec(
+            (0u32..300_000, 0u32..300_000, 0u32..300_000, 0u32..40_000), 8..60),
+        inter_factor in 0.55f64..0.80,
+        factor_gap in 0.05f64..0.15,
+    ) {
+        use inc::hw::{DeviceFabric, DeviceId, PipelineBudget, ProgramResources,
+                      TierCost, Topology};
+        use inc::ondemand::{FleetApp, FleetController, FleetControllerConfig,
+                            FleetSample, HostSample, Placement, PlacementAnalysis};
+        use inc::power::EnergyParams;
+        use inc::sim::Nanos;
+
+        let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 52.0,
+                sleep_w: 0.0,
+                active_w: 52.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        };
+        let app = |name: &str, stages: u32, slope: f64, home: u16| FleetApp {
+            name: name.into(),
+            demand: ProgramResources {
+                stages,
+                sram_bytes: 4 << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(slope),
+            home: DeviceId(home),
+            weight: 1.0,
+        };
+        // 2 pods × 2 ToRs, identical budgets everywhere: only the
+        // distance matrix separates remote candidates. Intra strictly
+        // cheaper than inter on the benefit axis.
+        let intra = TierCost {
+            extra_latency: Nanos::from_micros(2),
+            benefit_factor: (inter_factor + factor_gap).min(0.95),
+            link_energy_nj: 0.0,
+        };
+        let inter = TierCost {
+            extra_latency: Nanos::from_micros(6),
+            benefit_factor: inter_factor,
+            link_energy_nj: 0.0,
+        };
+        let topology = Topology::fat_tree(2, 2, intra, inter);
+        let fabric = DeviceFabric::homogeneous(4, PipelineBudget::tofino_like(), topology);
+        // Two big programs contending for the pod-0 anchor, one tenant
+        // homed in pod 1, one small floater: spills happen constantly.
+        let apps = vec![
+            app("anchor", 7, 0.12, 0),
+            app("spiller", 7, 0.08, 0),
+            app("remote", 7, 0.10, 2),
+            app("floater", 6, 0.30, 1),
+        ];
+        let config = FleetControllerConfig {
+            starvation_window: u32::MAX, // benefit-only
+            ..FleetControllerConfig::standard(Nanos::from_millis(100))
+        };
+        let mut ctl = FleetController::new(config, fabric, apps.clone());
+
+        for (step, &(r0, r1, r2, r3)) in rates.iter().enumerate() {
+            let rs = [r0 as f64, r1 as f64, r2 as f64, r3 as f64];
+            let samples: Vec<FleetSample> = rs
+                .iter()
+                .map(|&r| FleetSample {
+                    host: HostSample {
+                        rapl_w: 50.0,
+                        app_cpu_util: 0.2,
+                        hw_app_rate: r,
+                    },
+                    offered_pps: r,
+                })
+                .collect();
+            let now = Nanos::from_millis(100 * (step as u64 + 1));
+            let decisions = ctl.sample(now, &samples);
+            for &(i, to) in &decisions {
+                let Placement::Device(d) = to else { continue };
+                let home = apps[i].home;
+                let dist = ctl.fabric().distance(home, d);
+                for nearer in ctl.fabric().device_ids() {
+                    if ctl.fabric().distance(home, nearer) < dist {
+                        prop_assert!(
+                            !ctl.fabric().device(nearer).fits(&apps[i].demand),
+                            "step {}: app {} landed on {} (distance {}) while nearer {} \
+                             (distance {}) still had room",
+                            step, i, d, dist, nearer, ctl.fabric().distance(home, nearer)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Min-cost hand-over optimality: against any reachable assignment,
+    /// the plan a min-cost claim executes never costs more than the plan
+    /// the old best-score policy would have picked — and with migration
+    /// pricing disabled the cost *is* the clipped incumbent benefit, so
+    /// min-cost claims never clip more total benefit than best-score
+    /// claims would have on the same state.
+    #[test]
+    fn min_cost_claims_never_clip_more_benefit_than_best_score(
+        occupancy in proptest::collection::vec((0u16..4, 4u32..9, 2u64..24), 1..6),
+        rates in proptest::collection::vec(1_000u32..300_000, 7),
+        claimant_stages in 4u32..9,
+        claimant_sram_mb in 2u64..24,
+    ) {
+        use inc::hw::{DeviceFabric, DeviceId, PipelineBudget, ProgramResources,
+                      TierCost, Topology};
+        use inc::ondemand::{FleetApp, FleetController, FleetControllerConfig,
+                            Placement, PlacementAnalysis};
+        use inc::power::EnergyParams;
+        use inc::sim::Nanos;
+
+        let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 52.0,
+                sleep_w: 0.0,
+                active_w: 52.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        };
+        // Claimant first, then up to five incumbents with arbitrary
+        // demands, homed where they (try to) sit.
+        let mut apps = vec![FleetApp {
+            name: "claimant".into(),
+            demand: ProgramResources {
+                stages: claimant_stages,
+                sram_bytes: claimant_sram_mb << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(0.30),
+            home: DeviceId(0),
+            weight: 1.0,
+        }];
+        let mut placements = vec![Placement::Software];
+        let mut scratch = DeviceFabric::homogeneous(
+            4,
+            PipelineBudget::tofino_like(),
+            Topology::fat_tree(
+                2,
+                2,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
+        );
+        for (i, &(dev, stages, sram_mb)) in occupancy.iter().enumerate() {
+            let demand = ProgramResources {
+                stages,
+                sram_bytes: sram_mb << 20,
+                parse_depth_bytes: 64,
+            };
+            let slot = apps.len() as u64;
+            let placed = scratch.admit(DeviceId(dev), slot, demand).is_ok();
+            apps.push(FleetApp {
+                name: format!("incumbent-{i}"),
+                demand,
+                analysis: analysis(0.05 + 0.03 * i as f64),
+                home: DeviceId(dev),
+                weight: 1.0,
+            });
+            placements.push(if placed {
+                Placement::Device(DeviceId(dev))
+            } else {
+                Placement::Software
+            });
+        }
+        // Migration pricing off: a plan's total cost IS its clipped
+        // incumbent benefit (the exact property under test).
+        let config = FleetControllerConfig {
+            migration_cost_j: 0.0,
+            ..FleetControllerConfig::standard(Nanos::from_millis(100))
+        };
+        let ctl = FleetController::new(
+            config,
+            DeviceFabric::homogeneous(
+                4,
+                PipelineBudget::tofino_like(),
+                Topology::fat_tree(
+                    2,
+                    2,
+                    TierCost::standard_intra_pod(),
+                    TierCost::standard_inter_pod(),
+                ),
+            ),
+            apps.clone(),
+        )
+        .with_initial_placements(&placements);
+
+        let rates: Vec<f64> = rates.iter().take(apps.len()).map(|&r| r as f64)
+            .chain(std::iter::repeat(10_000.0))
+            .take(apps.len())
+            .collect();
+        let plans = ctl.claim_plans(0, &rates);
+        if let (Some(min_cost), Some(best_score)) = (
+            plans
+                .iter()
+                .min_by(|a, b| a.total_cost_w().total_cmp(&b.total_cost_w())),
+            plans.iter().max_by(|a, b| a.score.total_cmp(&b.score)),
+        ) {
+            prop_assert!(
+                min_cost.total_cost_w() <= best_score.total_cost_w() + 1e-12,
+                "min-cost plan {:?} costs more than best-score plan {:?}",
+                min_cost, best_score
+            );
+            prop_assert!(
+                min_cost.clipped_benefit_w <= best_score.clipped_benefit_w + 1e-12,
+                "min-cost clips {} W, best-score would clip {} W",
+                min_cost.clipped_benefit_w, best_score.clipped_benefit_w
+            );
+            // Every plan's clip set is real: only device-resident
+            // incumbents whose dominant share exceeds their entitlement
+            // among the contenders (the residents plus the claimant the
+            // plan is for) are clipped.
+            let total_w: f64 = (0..apps.len())
+                .filter(|&k| k == 0 || ctl.placements()[k].is_offloaded())
+                .map(|k| apps[k].weight)
+                .sum();
+            for plan in &plans {
+                for &j in &plan.clips {
+                    prop_assert_eq!(ctl.placements()[j], Placement::Device(plan.device));
+                    prop_assert!(ctl.dominant_share(j) > apps[j].weight / total_w - 1e-12);
                 }
             }
         }
