@@ -12,16 +12,17 @@ use inc_kvs::{
 use inc_net::{Endpoint, Packet};
 use inc_net::{L2Switch, Match};
 use inc_ondemand::{
-    run_fleet_controlled, AppObservation, ClaimPolicy, FleetApp, FleetController,
-    FleetControllerConfig, FleetSample, FleetTimeline, HostSample, PlacementAnalysis,
+    run_fleet_controlled, AppObservation, ArbiterConfig, ArbitrationMode, ClaimPolicy, FleetApp,
+    FleetController, FleetControllerConfig, FleetSample, FleetTimeline, HierarchicalController,
+    HostSample, PlacementAnalysis,
 };
 use inc_paxos::{
     Acceptor, AcceptorStorage, AddressBook, HostConfig, Leader, Learner, PaxosClient, PaxosNode,
     Platform, RoleEngine, PAXOS_ACCEPTOR_PORT, PAXOS_LEADER_PORT, PAXOS_LEARNER_PORT,
 };
 use inc_power::{calib, EnergyParams};
-use inc_sim::{LinkSpec, Nanos, Node, NodeId, PortId, Simulator};
-use inc_workloads::RateProfile;
+use inc_sim::{LinkSpec, Nanos, Node, NodeId, PortId, Rng, Simulator};
+use inc_workloads::{RateProfile, Zipf};
 use std::cell::Cell;
 
 /// The Figure 1 KVS topology: client ↔ LaKe ↔ memcached.
@@ -1932,6 +1933,181 @@ impl PodFabricRig {
             Self::SW_LATENCY_NS,
             Self::HW_LATENCY_NS,
         )
+    }
+}
+
+/// The fleet-scale arbitration rig: `Topology::fat_tree(8, 16)` — 128
+/// ToR devices in 8 pods — carrying 1000+ tenants whose offered rates
+/// follow a zipf popularity curve, driven straight into the
+/// [`HierarchicalController`] (no packet simulation: the §8 curves
+/// price everything, exactly as the scheduler sees it).
+///
+/// The trace is built so that most sampling intervals are *economically
+/// quiet* — every tenant's rate wobbles within the controller's dead
+/// band — while a small rotating churn set (one tenant every
+/// [`MegaFabricRig::CHURN_PERIOD`] ticks) collapses and recovers,
+/// dirtying only its own pod. That is the regime the incremental
+/// pipeline is built for, and the regime a real fleet lives in:
+/// datacenter-wide load does not change every 150 ms, one rack's does.
+pub struct MegaFabricRig {
+    apps: Vec<FleetApp>,
+    /// Steady offered rate per tenant, packets/second (rank-mapped from
+    /// the zipf popularity curve).
+    base: Vec<f64>,
+    /// Scratch sample vector reused every tick.
+    samples: Vec<FleetSample>,
+}
+
+impl MegaFabricRig {
+    /// Pods in the fat-tree.
+    pub const PODS: usize = 8;
+    /// ToR devices per pod.
+    pub const TORS_PER_POD: usize = 16;
+    /// Total devices.
+    pub const DEVICES: usize = Self::PODS * Self::TORS_PER_POD;
+    /// Zipf exponent of the tenant popularity curve: shallow enough
+    /// that roughly the hottest hundred of a thousand tenants clear the
+    /// 1 W offload floor (the fleet regime: most tenants are cold).
+    pub const ALPHA: f64 = 0.6;
+    /// Offered rate of the rank-1 tenant, packets/second.
+    pub const PEAK_PPS: f64 = 500_000.0;
+    /// Ticks between churn events (one tenant collapsing or
+    /// recovering).
+    pub const CHURN_PERIOD: u64 = 4;
+
+    /// The 128-device fat-tree fabric under the standard tier costs.
+    pub fn fabric() -> DeviceFabric {
+        DeviceFabric::homogeneous(
+            Self::DEVICES,
+            PipelineBudget::tofino_like(),
+            Topology::fat_tree(
+                Self::PODS,
+                Self::TORS_PER_POD,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
+        )
+    }
+
+    /// Builds `tenants` zipf-ranked tenants, deterministically from
+    /// `seed`: homes round-robin across the 128 ToRs, demand classes and
+    /// benefit slopes drawn from the seeded generator, offered rates
+    /// mapped from a shuffled popularity ranking
+    /// (`PEAK_PPS × rank^(-α)`).
+    pub fn new(tenants: usize, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let zipf = Zipf::new(tenants as u64, Self::ALPHA).expect("valid zipf parameters");
+        // Rank assignment: which tenant is the fleet's hottest is
+        // arbitrary, so shuffle ranks over tenant indices.
+        let mut ranks: Vec<u64> = (1..=tenants as u64).collect();
+        rng.shuffle(&mut ranks);
+        let mut apps = Vec::with_capacity(tenants);
+        let mut base = Vec::with_capacity(tenants);
+        for (i, &rank) in ranks.iter().enumerate() {
+            let stages = 2 + rng.index(3) as u32; // 2..=4: 3-6 tenants per ToR
+            let sram_mb = 1 + rng.index(4) as u64; // 1..=4 MB
+            let slope = 0.08 + 0.04 * rng.f64(); // W per kpps
+            apps.push(FleetApp {
+                name: format!("tenant{i}"),
+                demand: ProgramResources {
+                    stages,
+                    sram_bytes: sram_mb << 20,
+                    parse_depth_bytes: 64,
+                },
+                analysis: PlacementAnalysis {
+                    software: EnergyParams {
+                        idle_w: 50.0,
+                        sleep_w: 0.0,
+                        active_w: 50.0 + slope * 1_000.0,
+                        peak_rate_pps: 1_000_000.0,
+                    },
+                    network: EnergyParams {
+                        idle_w: 52.0,
+                        sleep_w: 0.0,
+                        active_w: 52.1,
+                        peak_rate_pps: 10_000_000.0,
+                    },
+                },
+                home: DeviceId((i % Self::DEVICES) as u16),
+                weight: 1.0,
+            });
+            base.push(200.0 + Self::PEAK_PPS * zipf.popularity(rank));
+        }
+        let samples = vec![
+            FleetSample {
+                host: HostSample {
+                    rapl_w: 50.0,
+                    app_cpu_util: 0.5,
+                    hw_app_rate: 0.0,
+                },
+                offered_pps: 0.0,
+            };
+            tenants
+        ];
+        MegaFabricRig {
+            apps,
+            base,
+            samples,
+        }
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// A hierarchical controller over the rig's fabric and tenants in
+    /// the given mode (5 % dead band, standard economics, 1 s interval).
+    pub fn controller(&self, mode: ArbitrationMode) -> HierarchicalController {
+        HierarchicalController::new(
+            ArbiterConfig {
+                fleet: FleetControllerConfig::standard(Nanos::from_secs(1)),
+                mode,
+                rate_deadband: 0.05,
+            },
+            Self::fabric(),
+            self.apps.clone(),
+        )
+    }
+
+    /// The tenant whose load is churning during `tick`'s epoch (it
+    /// collapses to a tenth of its steady rate on odd epochs and
+    /// recovers on even ones).
+    pub fn churner(&self, tick: u64) -> (usize, bool) {
+        let epoch = tick / Self::CHURN_PERIOD;
+        let tenant = (epoch.wrapping_mul(7919) % self.apps.len() as u64) as usize;
+        (tenant, epoch % 2 == 1)
+    }
+
+    /// The per-tenant samples of `tick`: steady rates with a ±2 %
+    /// wobble (inside the 5 % dead band, so it never re-scores), plus
+    /// the epoch's churn event.
+    pub fn tick_samples(&mut self, tick: u64) -> &[FleetSample] {
+        let (churner, collapsed) = self.churner(tick);
+        for (i, s) in self.samples.iter_mut().enumerate() {
+            let wobble = 1.0 + 0.01 * ((tick + i as u64) % 3) as f64;
+            let mut rate = self.base[i] * wobble;
+            if i == churner && collapsed {
+                rate *= 0.1;
+            }
+            s.host.hw_app_rate = rate;
+            s.offered_pps = rate;
+        }
+        &self.samples
+    }
+
+    /// Drives `controller` for `ticks` sampling intervals; returns the
+    /// number of placement decisions executed. Decision throughput is
+    /// `tenants × ticks / elapsed` — every (tenant, interval) pair is an
+    /// arbitration decision, however cheaply the pipeline resolved it.
+    pub fn run(&mut self, controller: &mut HierarchicalController, ticks: u64) -> u64 {
+        let mut decisions = 0u64;
+        for tick in 1..=ticks {
+            let now = Nanos::from_secs(tick);
+            let samples = self.tick_samples(tick);
+            decisions += controller.sample(now, samples).len() as u64;
+        }
+        decisions
     }
 }
 

@@ -1,0 +1,1283 @@
+//! Incremental, hierarchical fleet arbitration: dirty-app queues,
+//! per-pod arbiters and a global coordinator.
+//!
+//! The flat [`FleetController`](crate::fleet::FleetController) re-scores
+//! every (app × device) pair from
+//! scratch each sampling interval — fine for a rack, ruinous for a
+//! datacenter. Gray's *Distributed Computing Economics* points the way
+//! out: only re-decide when the economics actually change. The
+//! [`HierarchicalController`] keeps the flat controller's decision
+//! *semantics* (same pricing formulas, same hysteresis, same weighted-DRF
+//! fairness — see [`pricing`](crate::fleet)) but restructures each tick
+//! as an event-driven pipeline:
+//!
+//! 1. **Measure & hold** — each app's measured rate updates its *held*
+//!    scoring rate only when it moves by more than
+//!    [`ArbiterConfig::rate_deadband`] (relative). All scoring, streaks
+//!    and gates are computed from held rates, so an app whose load
+//!    wobbles inside the band is *economically unchanged*.
+//! 2. **Dirty queue** — an app is enqueued (at most once per interval)
+//!    when its held rate moved, a hysteresis or starvation gate flipped,
+//!    its placement changed last tick, or the occupancy of a device in
+//!    its pod changed. Everything else is provably unchanged and is not
+//!    re-scored.
+//! 3. **Per-pod arbiters** — each pod whose state is dirty re-solves the
+//!    greedy benefit-per-capacity knapsack for the apps homed in it,
+//!    using one priority heap per device keyed by the flat controller's
+//!    score (ties broken identically: app index, hop distance, device
+//!    index). Clean pods keep last tick's selection verbatim. Candidate
+//!    pruning follows the [`Topology`](inc_hw::Topology) tiers: a pod
+//!    arbiter only considers its own pod's devices.
+//! 4. **Global coordinator** — handles only what crosses pods: spilling
+//!    apps their home pod cannot place, moving (or repatriating)
+//!    cross-pod residents, and weighted-DRF fairness claims over the
+//!    whole fabric.
+//!
+//! [`ArbitrationMode::FullRescore`] runs the same pipeline with every
+//! pod forced dirty every tick; because both modes share held-rate
+//! semantics, an incremental run must produce the *identical* shift
+//! sequence — the equivalence property CI pins across proptest seeds.
+//! With a single pod and a zero dead band the pipeline degenerates to
+//! exactly the flat [`FleetController`](crate::fleet::FleetController)
+//! algorithm, which a second
+//! property pins.
+//!
+//! Two deliberate semantic differences from the flat controller at
+//! multi-pod scale (documented invariants, see `ARCHITECTURE.md`):
+//!
+//! * a **cross-pod spill holds tenure against raw scores**: it can be
+//!   displaced only by its own sustained low-benefit eviction or by a
+//!   fairness claim, never preempted by a host-pod local's raw score;
+//! * a **settled home resident migrates only within its pod** — leaving
+//!   the pod happens by spilling (no room at home) or by a fairness
+//!   hand-over, so the coordinator's cross-pod work stays proportional
+//!   to the spill set, not the fleet.
+
+use std::collections::BinaryHeap;
+
+use inc_hw::{DeviceFabric, DeviceId, Placement};
+use inc_sim::Nanos;
+
+use crate::fleet::pricing;
+use crate::fleet::{
+    AdmissionDecision, FleetApp, FleetControllerConfig, FleetSample, FleetShift, ShiftReason,
+};
+
+/// How the hierarchical pipeline schedules re-scoring work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArbitrationMode {
+    /// Every pod is solved every tick (the flat controller's work
+    /// profile, kept as the equivalence baseline and for measuring the
+    /// incremental speed-up).
+    FullRescore,
+    /// Only pods with a dirty app or a capacity change are solved; clean
+    /// pods reuse their previous selection unchanged.
+    Incremental,
+}
+
+/// Configuration of the [`HierarchicalController`]: the flat scheduler's
+/// economics plus the incremental machinery's knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ArbiterConfig {
+    /// The shared scheduling economics (floors, hysteresis, stickiness,
+    /// fairness, migration cost).
+    pub fleet: FleetControllerConfig,
+    /// Full re-score or incremental dirty-queue scheduling.
+    pub mode: ArbitrationMode,
+    /// Relative dead band on measured rates: the held scoring rate
+    /// updates only when `|measured − held| > rate_deadband × max(|held|,
+    /// 1 pps)` (strictly greater — a wobble landing *exactly* on the band
+    /// does not re-score). `0.0` holds nothing: any change dirties.
+    pub rate_deadband: f64,
+}
+
+impl ArbiterConfig {
+    /// Incremental arbitration over the standard fleet economics with a
+    /// 5 % rate dead band.
+    pub fn standard(interval: Nanos) -> Self {
+        ArbiterConfig {
+            fleet: FleetControllerConfig::standard(interval),
+            mode: ArbitrationMode::Incremental,
+            rate_deadband: 0.05,
+        }
+    }
+}
+
+/// Work counters of the hierarchical pipeline: the deterministic
+/// evidence that incremental scheduling does less scoring than a full
+/// re-score (wall-clock speed-ups are measured by the `mega_fabric`
+/// bench; these counters are what CI asserts on).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Sampling intervals processed.
+    pub ticks: u64,
+    /// Apps enqueued on the dirty queue (each at most once per tick).
+    pub dirty_enqueued: u64,
+    /// Pod-arbiter solves (a full re-score solves `pods × ticks`).
+    pub pods_solved: u64,
+    /// Ticks on which the global coordinator ran.
+    pub coordinator_runs: u64,
+    /// Candidate score evaluations across pod arbiters and coordinator.
+    pub candidates_scored: u64,
+}
+
+/// One per-device candidate in a pod arbiter's priority heap, ordered
+/// exactly like the flat controller's global candidate sort: score
+/// descending, then app index, hop distance and device index ascending.
+#[derive(Debug)]
+struct Cand {
+    score: f64,
+    app: usize,
+    dist: u32,
+    dev: DeviceId,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // A max-heap pops the highest score first; lower app/dist/device
+        // indices win ties, so those comparisons are reversed.
+        self.score
+            .total_cmp(&other.score)
+            .then(other.app.cmp(&self.app))
+            .then(other.dist.cmp(&self.dist))
+            .then(other.dev.cmp(&self.dev))
+    }
+}
+
+/// The incremental, hierarchical fleet scheduler (see the module docs
+/// for the pipeline). Shares [`FleetApp`], [`FleetSample`],
+/// [`FleetShift`] and the pricing semantics with [`FleetController`].
+///
+/// [`FleetController`]: crate::fleet::FleetController
+#[derive(Clone, Debug)]
+pub struct HierarchicalController {
+    config: ArbiterConfig,
+    fabric: DeviceFabric,
+    apps: Vec<FleetApp>,
+    /// Home pod of each app (cached partition key).
+    home_pod: Vec<u16>,
+    /// Apps homed in each pod, ascending — the pod arbiter's work list.
+    apps_by_pod: Vec<Vec<usize>>,
+    pods: usize,
+    placements: Vec<Placement>,
+    up_streaks: Vec<u32>,
+    down_streaks: Vec<u32>,
+    starved_streaks: Vec<u32>,
+    queued_intervals: Vec<u64>,
+    fair_hold: Vec<bool>,
+    rejected: Vec<bool>,
+    shifts: Vec<FleetShift>,
+    /// Held scoring rate per app; NaN until the first sample arrives.
+    held_rates: Vec<f64>,
+    /// The §8 raw benefit at the held rate, cached so a clean tick never
+    /// re-runs the energy model (it only changes when the held rate
+    /// does).
+    held_raw_w: Vec<f64>,
+    /// Per-app starvation threshold (a pure function of config and the
+    /// app's weight, so computed once).
+    thresholds: Vec<u32>,
+    /// Apps flagged for re-scoring next tick by end-of-tick events
+    /// (placement changes, queue membership changes, claims coming due).
+    pending_dirty: Vec<bool>,
+    /// Devices whose occupancy changed last tick (or were marked via
+    /// [`HierarchicalController::mark_device_dirty`]).
+    pending_device_dirty: Vec<bool>,
+    /// This tick's dirty marks (rebuilt each tick; kept for dedup).
+    dirty: Vec<bool>,
+    /// The dirty queue drained by the last tick, sorted by app index
+    /// (test/analysis introspection).
+    last_dirty: Vec<usize>,
+    stats: ArbiterStats,
+}
+
+impl HierarchicalController {
+    /// Creates a scheduler with every app starting in software placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same admission preconditions as
+    /// [`FleetController::new`](crate::fleet::FleetController::new), or
+    /// if `rate_deadband` is negative or not finite.
+    pub fn new(config: ArbiterConfig, fabric: DeviceFabric, apps: Vec<FleetApp>) -> Self {
+        for app in &apps {
+            assert!(
+                app.home.index() < fabric.device_count(),
+                "app {:?} is homed at {} but the fabric has {} devices",
+                app.name,
+                app.home,
+                fabric.device_count()
+            );
+            assert!(
+                app.weight.is_finite() && app.weight > 0.0,
+                "app {:?} has a non-positive weight {}",
+                app.name,
+                app.weight
+            );
+        }
+        assert!(
+            config.fleet.migration_cost_j.is_finite() && config.fleet.migration_cost_j >= 0.0,
+            "migration_cost_j {} must be finite and non-negative",
+            config.fleet.migration_cost_j
+        );
+        assert!(
+            config.rate_deadband.is_finite() && config.rate_deadband >= 0.0,
+            "rate_deadband {} must be finite and non-negative",
+            config.rate_deadband
+        );
+        let rejected: Vec<bool> = apps
+            .iter()
+            .map(|app| {
+                fabric
+                    .device_ids()
+                    .all(|d| fabric.device(d).budget().admit(&app.demand).is_err())
+            })
+            .collect();
+        let thresholds: Vec<u32> = apps
+            .iter()
+            .map(|a| pricing::starvation_threshold(&config.fleet, a.weight))
+            .collect();
+        let home_pod: Vec<u16> = apps.iter().map(|a| fabric.pod(a.home)).collect();
+        let pods = fabric.pod_count();
+        let mut apps_by_pod: Vec<Vec<usize>> = vec![Vec::new(); pods];
+        for (i, &p) in home_pod.iter().enumerate() {
+            apps_by_pod[p as usize].push(i);
+        }
+        let devices = fabric.device_count();
+        let n = apps.len();
+        HierarchicalController {
+            config,
+            fabric,
+            apps,
+            home_pod,
+            apps_by_pod,
+            pods,
+            placements: vec![Placement::Software; n],
+            up_streaks: vec![0; n],
+            down_streaks: vec![0; n],
+            starved_streaks: vec![0; n],
+            queued_intervals: vec![0; n],
+            fair_hold: vec![false; n],
+            rejected,
+            shifts: Vec::new(),
+            held_rates: vec![f64::NAN; n],
+            held_raw_w: vec![f64::NAN; n],
+            thresholds,
+            pending_dirty: vec![false; n],
+            pending_device_dirty: vec![false; devices],
+            dirty: vec![false; n],
+            last_dirty: Vec::new(),
+            stats: ArbiterStats::default(),
+        }
+    }
+
+    /// Current per-app placements, indexed like the `apps` vector.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The scheduled applications.
+    pub fn apps(&self) -> &[FleetApp] {
+        &self.apps
+    }
+
+    /// The device fabric (its ledgers reflect the current placements).
+    pub fn fabric(&self) -> &DeviceFabric {
+        &self.fabric
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ArbiterConfig {
+        &self.config
+    }
+
+    /// The decision log.
+    pub fn shifts(&self) -> &[FleetShift] {
+        &self.shifts
+    }
+
+    /// The pipeline's cumulative work counters.
+    pub fn stats(&self) -> ArbiterStats {
+        self.stats
+    }
+
+    /// The dirty queue drained by the most recent tick, sorted by app
+    /// index. Each app appears at most once however many dirty events it
+    /// raised that interval.
+    pub fn last_dirty(&self) -> &[usize] {
+        &self.last_dirty
+    }
+
+    /// The held scoring rate of `app` (NaN before its first sample).
+    pub fn held_rate(&self, app: usize) -> f64 {
+        self.held_rates[app]
+    }
+
+    /// The current admission verdict for `app` (same contract as
+    /// [`FleetController::admission_decision`]).
+    ///
+    /// [`FleetController::admission_decision`]: crate::fleet::FleetController::admission_decision
+    pub fn admission_decision(&self, app: usize) -> AdmissionDecision {
+        if self.rejected[app] {
+            AdmissionDecision::Reject
+        } else if self.starved_streaks[app] > 0 {
+            AdmissionDecision::Queue
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+
+    /// Consecutive samples `app` has currently spent queued.
+    pub fn starved_streak(&self, app: usize) -> u32 {
+        self.starved_streaks[app]
+    }
+
+    /// Cumulative queued samples per app over the run.
+    pub fn queued_intervals(&self) -> &[u64] {
+        &self.queued_intervals
+    }
+
+    /// Flags a device whose capacity changed outside the scheduler's own
+    /// decisions (an operator resizing a budget, a device draining for
+    /// maintenance): next tick, every resident of that device's pod and
+    /// every queued candidate homed there is re-scored.
+    pub fn mark_device_dirty(&mut self, device: DeviceId) {
+        self.pending_device_dirty[device.index()] = true;
+    }
+
+    fn sticky_score(&self, app: usize, device: DeviceId) -> f64 {
+        let eff = pricing::effective_benefit_w(
+            &self.fabric,
+            &self.apps[app],
+            device,
+            self.held_rates[app],
+        );
+        pricing::per_capacity(&self.fabric, &self.apps[app], device, eff)
+            * self.config.fleet.stickiness
+    }
+
+    /// Marks `i` dirty, deduplicating: at most one enqueue per interval.
+    fn mark(dirty: &mut [bool], queue: &mut Vec<usize>, stats: &mut ArbiterStats, i: usize) {
+        if !dirty[i] {
+            dirty[i] = true;
+            queue.push(i);
+            stats.dirty_enqueued += 1;
+        }
+    }
+
+    /// Feeds one sample per app; returns the placement changes to
+    /// execute (empty most intervals — and, in incremental mode, most
+    /// intervals do almost no work deciding that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len()` differs from the number of apps.
+    pub fn sample(&mut self, now: Nanos, samples: &[FleetSample]) -> Vec<(usize, Placement)> {
+        assert_eq!(samples.len(), self.apps.len(), "one sample per app");
+        let n = self.apps.len();
+        let sustain = self.config.fleet.sustain_samples;
+        let floor = self.config.fleet.min_benefit_w;
+        self.stats.ticks += 1;
+
+        // --- Phase 0+1: measure, hold, account streaks, build the dirty
+        // queue. Every gate consulted by the solve is derived from held
+        // rates, so any input change to a pod's sub-problem raises a
+        // dirty event here (or was flagged at the end of last tick).
+        // `last_dirty` is exactly the set of flags raised last tick, so
+        // clearing is O(dirty), not O(n).
+        let mut dirty = std::mem::take(&mut self.dirty);
+        for &i in &self.last_dirty {
+            dirty[i] = false;
+        }
+        let mut queue: Vec<usize> = Vec::new();
+
+        // (a) Capacity events: a changed device dirties its whole pod —
+        // every resident on the pod's devices plus every queued candidate
+        // homed there (their admission odds just changed).
+        let mut cap_pods = vec![false; self.pods];
+        let mut any_cap = false;
+        for d in 0..self.pending_device_dirty.len() {
+            if self.pending_device_dirty[d] {
+                self.pending_device_dirty[d] = false;
+                cap_pods[self.fabric.pod(DeviceId(d as u16)) as usize] = true;
+                any_cap = true;
+            }
+        }
+        // (b) One pass per app: events carried over from the previous tick
+        // (placement changes, queue membership changes, claims coming
+        // due), capacity fallout, then the rate dead band and hysteresis
+        // gates. `mark` deduplicates and the queue is sorted afterwards,
+        // so folding the sources into one loop changes no outcome.
+        let deadband = self.config.rate_deadband;
+        let evict_w = floor * self.config.fleet.evict_fraction;
+        for i in 0..n {
+            if self.pending_dirty[i] {
+                self.pending_dirty[i] = false;
+                Self::mark(&mut dirty, &mut queue, &mut self.stats, i);
+            }
+            if any_cap {
+                let touched = match self.placements[i] {
+                    Placement::Device(d) => cap_pods[self.fabric.pod(d) as usize],
+                    Placement::Software => {
+                        self.starved_streaks[i] > 0 && cap_pods[self.home_pod[i] as usize]
+                    }
+                };
+                if touched {
+                    Self::mark(&mut dirty, &mut queue, &mut self.stats, i);
+                }
+            }
+            let measured = match self.placements[i] {
+                Placement::Device(_) => samples[i].host.hw_app_rate,
+                Placement::Software => samples[i].offered_pps,
+            };
+            let held = self.held_rates[i];
+            // A NaN `held` (first sample) fails the in-band comparison,
+            // so initialisation and a genuine crossing share one branch —
+            // the negated `<=` is load-bearing, not a misspelt `>`.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !((measured - held).abs() <= deadband * held.abs().max(1.0)) {
+                self.held_rates[i] = measured;
+                self.held_raw_w[i] = pricing::raw_benefit_w(&self.apps[i], measured);
+                Self::mark(&mut dirty, &mut queue, &mut self.stats, i);
+            }
+            // The cached raw benefit makes a clean tick free of energy-
+            // model evaluations; `delivered` applies the same haircut
+            // arithmetic as `pricing::effective_benefit_w`.
+            let raw = self.held_raw_w[i];
+            // Cold software tenants (no benefit, no streaks) are the bulk
+            // of a fleet; their gates provably cannot move, so skip the
+            // streak accounting entirely.
+            if raw < floor
+                && self.up_streaks[i] == 0
+                && matches!(self.placements[i], Placement::Software)
+            {
+                continue;
+            }
+            let rate = self.held_rates[i];
+            let up_was = self.up_streaks[i] >= sustain;
+            self.up_streaks[i] = if raw >= floor {
+                self.up_streaks[i].saturating_add(1)
+            } else {
+                0
+            };
+            if up_was != (self.up_streaks[i] >= sustain) {
+                Self::mark(&mut dirty, &mut queue, &mut self.stats, i);
+            }
+            let down_was = self.down_streaks[i] >= sustain;
+            match self.placements[i] {
+                Placement::Software => self.down_streaks[i] = 0,
+                Placement::Device(d) => {
+                    let delivered = raw * self.fabric.benefit_factor(self.apps[i].home, d)
+                        - self.fabric.link_energy_w(self.apps[i].home, d, rate);
+                    if delivered < evict_w {
+                        self.down_streaks[i] = self.down_streaks[i].saturating_add(1);
+                    } else {
+                        self.down_streaks[i] = 0;
+                    }
+                }
+            }
+            if down_was != (self.down_streaks[i] >= sustain) {
+                Self::mark(&mut dirty, &mut queue, &mut self.stats, i);
+            }
+        }
+
+        // Dirty apps dirty their home pod and (if different) the pod
+        // where they are resident; capacity events dirty their pod
+        // outright.
+        let mut pods_dirty = vec![false; self.pods];
+        for &i in &queue {
+            pods_dirty[self.home_pod[i] as usize] = true;
+            if let Placement::Device(d) = self.placements[i] {
+                pods_dirty[self.fabric.pod(d) as usize] = true;
+            }
+        }
+        for (p, &c) in cap_pods.iter().enumerate() {
+            pods_dirty[p] |= c;
+        }
+        if self.config.mode == ArbitrationMode::FullRescore {
+            pods_dirty.iter_mut().for_each(|p| *p = true);
+        }
+        queue.sort_unstable();
+        self.last_dirty = queue;
+        self.dirty = dirty;
+
+        let decisions = if pods_dirty.iter().any(|&p| p) {
+            self.solve(now, &pods_dirty)
+        } else {
+            Vec::new()
+        };
+
+        // --- Queue accounting (post-decision), identical to the flat
+        // controller — plus the dirty events the transitions imply:
+        // entering or leaving the queue changes DRF contention, and
+        // crossing the starvation threshold arms a claim.
+        for i in 0..n {
+            let queued = !self.rejected[i]
+                && self.placements[i] == Placement::Software
+                && self.up_streaks[i] >= sustain;
+            if queued {
+                let was = self.starved_streaks[i];
+                self.starved_streaks[i] = was.saturating_add(1);
+                self.queued_intervals[i] += 1;
+                let threshold = self.thresholds[i];
+                if was == 0 || (was < threshold && self.starved_streaks[i] >= threshold) {
+                    self.pending_dirty[i] = true;
+                }
+            } else if self.starved_streaks[i] > 0 {
+                self.starved_streaks[i] = 0;
+                self.pending_dirty[i] = true;
+            }
+        }
+        decisions
+    }
+
+    /// Re-solves the dirty pods and runs the global coordinator, then
+    /// executes the diff against the current placements.
+    fn solve(&mut self, now: Nanos, pods_dirty: &[bool]) -> Vec<(usize, Placement)> {
+        let n = self.apps.len();
+        let sustain = self.config.fleet.sustain_samples;
+
+        // Seats kept ahead of any score: fairness tenure, cross-pod
+        // spills (coordinator-owned; a host pod's locals cannot preempt
+        // them), and every incumbent of a *clean* pod (whose sub-problem
+        // is unchanged — the incremental reuse). Everyone else is up for
+        // re-decision, so their seats are released and the fabric is
+        // rebuilt *in place* — every score is allocation-independent
+        // (benefit is topology-priced, capacity cost is a budget
+        // fraction), so mutating mid-solve cannot skew a later score, and
+        // releasing only the contested seats is what keeps a solve's cost
+        // proportional to the dirty pods rather than to the fleet.
+        let mut selected: Vec<Option<DeviceId>> = vec![None; n];
+        for (i, seat) in selected.iter_mut().enumerate() {
+            if let Placement::Device(d) = self.placements[i] {
+                let host_pod = self.fabric.pod(d) as usize;
+                let cross_pod = self.fabric.pod(d) != self.home_pod[i];
+                let keep = self.down_streaks[i] < sustain
+                    && (self.fair_hold[i] || cross_pod || !pods_dirty[host_pod]);
+                if keep {
+                    *seat = Some(d);
+                } else {
+                    // Eviction due, or an incumbent of a dirty pod that
+                    // must re-compete on equal footing.
+                    self.fabric.release(i as u64);
+                }
+            }
+        }
+
+        for (p, &is_dirty) in pods_dirty.iter().enumerate() {
+            if is_dirty {
+                self.stats.pods_solved += 1;
+                self.solve_pod(p as u16, &mut selected);
+            }
+        }
+        self.stats.coordinator_runs += 1;
+        let (fair_placed, fair_clipped) = self.coordinate(&mut selected);
+
+        // --- Execute the diff (flat-controller reason tagging).
+        let rates = &self.held_rates;
+        let mut decisions = Vec::new();
+        let want_of = |s: Option<DeviceId>| match s {
+            Some(d) => Placement::Device(d),
+            None => Placement::Software,
+        };
+        let changed = (0..n).any(|i| want_of(selected[i]) != self.placements[i]);
+        let prev_placements = if changed {
+            self.placements.clone()
+        } else {
+            Vec::new()
+        };
+        let prev_down = if changed {
+            self.down_streaks.clone()
+        } else {
+            Vec::new()
+        };
+        for i in 0..n {
+            let want = want_of(selected[i]);
+            if want != self.placements[i] {
+                let reason = if fair_placed[i] || fair_clipped[i] {
+                    ShiftReason::FairShare
+                } else if let (Placement::Device(d), true) = (want, self.starved_streaks[i] > 0) {
+                    let preempted = (0..n).any(|j| {
+                        j != i
+                            && prev_placements[j] == Placement::Device(d)
+                            && selected[j] != Some(d)
+                            && prev_down[j] < sustain
+                    });
+                    if preempted {
+                        ShiftReason::Benefit
+                    } else {
+                        ShiftReason::Admission
+                    }
+                } else {
+                    ShiftReason::Benefit
+                };
+                // Occupancy changed on both ends of the move: their pods
+                // re-arbitrate next tick, and so does the moved app.
+                if let Placement::Device(d) = self.placements[i] {
+                    self.pending_device_dirty[d.index()] = true;
+                }
+                if let Placement::Device(d) = want {
+                    self.pending_device_dirty[d.index()] = true;
+                }
+                self.pending_dirty[i] = true;
+                self.placements[i] = want;
+                self.up_streaks[i] = 0;
+                self.down_streaks[i] = 0;
+                self.starved_streaks[i] = 0;
+                self.fair_hold[i] = fair_placed[i];
+                let benefit_w = match want {
+                    Placement::Device(d) => {
+                        pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rates[i])
+                    }
+                    Placement::Software => pricing::raw_benefit_w(&self.apps[i], rates[i]),
+                };
+                self.shifts.push(FleetShift {
+                    at: now,
+                    app: i,
+                    to: want,
+                    rate_pps: rates[i],
+                    benefit_w,
+                    reason,
+                });
+                decisions.push((i, want));
+            }
+        }
+        decisions
+    }
+
+    /// The pod arbiter: re-solves the greedy knapsack for apps homed in
+    /// `pod` over the pod's own devices, merging one priority heap per
+    /// device in exactly the flat controller's candidate order.
+    fn solve_pod(&mut self, pod: u16, selected: &mut [Option<DeviceId>]) {
+        let sustain = self.config.fleet.sustain_samples;
+        let floor = self.config.fleet.min_benefit_w;
+        let devices: Vec<DeviceId> = self.fabric.pod_devices(pod).collect();
+        let mut heaps: Vec<BinaryHeap<Cand>> = devices.iter().map(|_| BinaryHeap::new()).collect();
+        let push = |heaps: &mut Vec<BinaryHeap<Cand>>, k: usize, score: f64, app: usize| {
+            let dev = devices[k];
+            let dist = self.fabric.distance(self.apps[app].home, dev);
+            heaps[k].push(Cand {
+                score,
+                app,
+                dist,
+                dev,
+            });
+        };
+        for &i in &self.apps_by_pod[pod as usize] {
+            if self.rejected[i] || selected[i].is_some() {
+                continue;
+            }
+            let rate = self.held_rates[i];
+            match self.placements[i] {
+                Placement::Device(cur) if self.fabric.pod(cur) == pod => {
+                    if self.down_streaks[i] >= sustain {
+                        continue;
+                    }
+                    for (k, &d) in devices.iter().enumerate() {
+                        if d == cur {
+                            self.stats.candidates_scored += 1;
+                            let eff =
+                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate);
+                            let score = pricing::per_capacity(&self.fabric, &self.apps[i], d, eff)
+                                * self.config.fleet.stickiness;
+                            push(&mut heaps, k, score, i);
+                        } else if self.up_streaks[i] >= sustain {
+                            self.stats.candidates_scored += 1;
+                            let mb =
+                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate)
+                                    - pricing::migration_w(&self.config.fleet);
+                            if mb >= floor {
+                                let score =
+                                    pricing::per_capacity(&self.fabric, &self.apps[i], d, mb);
+                                push(&mut heaps, k, score, i);
+                            }
+                        }
+                    }
+                }
+                // Cross-pod residents are coordinator-owned (their seat
+                // was pre-kept or their eviction is due).
+                Placement::Device(_) => {}
+                Placement::Software => {
+                    if self.up_streaks[i] >= sustain {
+                        for (k, &d) in devices.iter().enumerate() {
+                            self.stats.candidates_scored += 1;
+                            let eff =
+                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate);
+                            if eff >= floor {
+                                let score =
+                                    pricing::per_capacity(&self.fabric, &self.apps[i], d, eff);
+                                push(&mut heaps, k, score, i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Merge the per-device heaps: repeatedly admit the globally best
+        // candidate (identical total order to the flat controller's
+        // sorted scan restricted to this pod).
+        loop {
+            let mut best: Option<usize> = None;
+            for (k, heap) in heaps.iter().enumerate() {
+                if let Some(top) = heap.peek() {
+                    let better = match best {
+                        None => true,
+                        Some(b) => top > heaps[b].peek().expect("best heap is non-empty"),
+                    };
+                    if better {
+                        best = Some(k);
+                    }
+                }
+            }
+            let Some(k) = best else { break };
+            let cand = heaps[k].pop().expect("peeked heap pops");
+            if selected[cand.app].is_some() {
+                continue; // already seated by a better candidate
+            }
+            if self
+                .fabric
+                .admit(cand.dev, cand.app as u64, self.apps[cand.app].demand)
+                .is_ok()
+            {
+                selected[cand.app] = Some(cand.dev);
+            }
+        }
+    }
+
+    /// The global coordinator: cross-pod spills and moves, then the
+    /// weighted-DRF fairness pass over the whole fabric. Returns the
+    /// (fair_placed, fair_clipped) marks for reason tagging.
+    fn coordinate(&mut self, selected: &mut [Option<DeviceId>]) -> (Vec<bool>, Vec<bool>) {
+        let n = self.apps.len();
+        let sustain = self.config.fleet.sustain_samples;
+        let floor = self.config.fleet.min_benefit_w;
+        let migration = pricing::migration_w(&self.config.fleet);
+
+        // (a) Cross-pod candidates: spills for apps their home pod could
+        // not place, and moves (including repatriation) for cross-pod
+        // residents — gated by the same sustain/floor rules as the flat
+        // controller's move candidates, and a mover must beat its own
+        // sticky score where it sits.
+        let mut cands: Vec<(f64, usize, DeviceId)> = Vec::new();
+        for (i, &seat) in selected.iter().enumerate() {
+            if self.rejected[i] {
+                continue;
+            }
+            let rate = self.held_rates[i];
+            match self.placements[i] {
+                Placement::Device(cur) => {
+                    if self.down_streaks[i] >= sustain || self.up_streaks[i] < sustain {
+                        continue;
+                    }
+                    let cross = self.fabric.pod(cur) != self.home_pod[i];
+                    if cross && seat == Some(cur) {
+                        let sticky = self.sticky_score(i, cur);
+                        for d in self.fabric.device_ids() {
+                            if d == cur {
+                                continue;
+                            }
+                            self.stats.candidates_scored += 1;
+                            let mb =
+                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate)
+                                    - migration;
+                            if mb >= floor {
+                                let sc = pricing::per_capacity(&self.fabric, &self.apps[i], d, mb);
+                                if sc > sticky {
+                                    cands.push((sc, i, d));
+                                }
+                            }
+                        }
+                    } else if !cross && seat.is_none() {
+                        // Preempted at home: spill out of the pod.
+                        for d in self.fabric.device_ids() {
+                            if self.fabric.pod(d) == self.home_pod[i] {
+                                continue;
+                            }
+                            self.stats.candidates_scored += 1;
+                            let mb =
+                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate)
+                                    - migration;
+                            if mb >= floor {
+                                cands.push((
+                                    pricing::per_capacity(&self.fabric, &self.apps[i], d, mb),
+                                    i,
+                                    d,
+                                ));
+                            }
+                        }
+                    }
+                }
+                Placement::Software => {
+                    if seat.is_none() && self.up_streaks[i] >= sustain {
+                        for d in self.fabric.device_ids() {
+                            if self.fabric.pod(d) == self.home_pod[i] {
+                                continue;
+                            }
+                            self.stats.candidates_scored += 1;
+                            let eff =
+                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate);
+                            if eff >= floor {
+                                cands.push((
+                                    pricing::per_capacity(&self.fabric, &self.apps[i], d, eff),
+                                    i,
+                                    d,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cands.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then(a.1.cmp(&b.1))
+                .then_with(|| {
+                    let da = self.fabric.distance(self.apps[a.1].home, a.2);
+                    let db = self.fabric.distance(self.apps[b.1].home, b.2);
+                    da.cmp(&db)
+                })
+                .then(a.2.cmp(&b.2))
+        });
+        let mut moved = vec![false; n];
+        for &(_, i, d) in &cands {
+            if moved[i] {
+                continue;
+            }
+            match selected[i] {
+                Some(cur) if cur == d => {}
+                // A cross-pod resident moving: `admit` releases the old
+                // seat atomically (a program moves, it is not copied).
+                Some(_) | None => {
+                    if self.fabric.admit(d, i as u64, self.apps[i].demand).is_ok() {
+                        selected[i] = Some(d);
+                        moved[i] = true;
+                    }
+                }
+            }
+        }
+
+        // (b) Fairness pass: identical to the flat controller's, planned
+        // over the whole fabric.
+        let mut fair_placed = vec![false; n];
+        let mut fair_clipped = vec![false; n];
+        let mut claimants: Vec<usize> = (0..n)
+            .filter(|&i| {
+                !self.rejected[i]
+                    && selected[i].is_none()
+                    && self.starved_streaks[i] >= self.thresholds[i]
+            })
+            .collect();
+        if !claimants.is_empty() {
+            claimants.sort_by(|&a, &b| {
+                let da = self.starved_streaks[a] as f64 * self.apps[a].weight;
+                let db = self.starved_streaks[b] as f64 * self.apps[b].weight;
+                db.total_cmp(&da).then(a.cmp(&b))
+            });
+            for &i in &claimants {
+                if selected[i].is_some() {
+                    continue;
+                }
+                let mut plans = pricing::plan_handovers(
+                    &self.config.fleet,
+                    &self.apps,
+                    &self.starved_streaks,
+                    &self.fabric,
+                    |j| selected[j],
+                    |j| fair_placed[j],
+                    i,
+                    &self.held_rates,
+                );
+                self.stats.candidates_scored += plans.len() as u64;
+                pricing::order_plans(&mut plans, self.config.fleet.claim_policy);
+                if let Some(plan) = plans.first() {
+                    for &e in &plan.clips {
+                        self.fabric.release(e as u64);
+                        selected[e] = None;
+                        fair_clipped[e] = true;
+                    }
+                    self.fabric
+                        .admit(plan.device, i as u64, self.apps[i].demand)
+                        .expect("a planned hand-over fits by construction");
+                    selected[i] = Some(plan.device);
+                    fair_placed[i] = true;
+                }
+            }
+        }
+        (fair_placed, fair_clipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetController;
+    use crate::host::HostSample;
+    use crate::PlacementAnalysis;
+    use inc_hw::{PipelineBudget, ProgramResources, TierCost, Topology};
+    use inc_power::EnergyParams;
+
+    fn analysis(slope_w_per_kpps: f64, unpark_w: f64) -> PlacementAnalysis {
+        PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_w_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 50.0 + unpark_w,
+                sleep_w: 0.0,
+                active_w: 50.0 + unpark_w + 0.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        }
+    }
+
+    fn app_homed(name: &str, stages: u32, slope: f64, unpark: f64, home: DeviceId) -> FleetApp {
+        FleetApp {
+            name: name.into(),
+            demand: ProgramResources {
+                stages,
+                sram_bytes: 1 << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(slope, unpark),
+            home,
+            weight: 1.0,
+        }
+    }
+
+    fn app(name: &str, stages: u32, slope: f64, unpark: f64) -> FleetApp {
+        app_homed(name, stages, slope, unpark, DeviceId::LOCAL)
+    }
+
+    fn sample(offered: f64, hw_rate: f64) -> FleetSample {
+        FleetSample {
+            host: HostSample {
+                rapl_w: 50.0,
+                app_cpu_util: 0.5,
+                hw_app_rate: hw_rate,
+            },
+            offered_pps: offered,
+        }
+    }
+
+    fn t(s: u64) -> Nanos {
+        Nanos::from_secs(s)
+    }
+
+    fn cfg() -> FleetControllerConfig {
+        FleetControllerConfig::standard(Nanos::from_secs(1))
+    }
+
+    /// Two 12-stage ToRs per pod, two pods: the smallest fabric where
+    /// the coordinator has real cross-pod work.
+    fn two_pods() -> DeviceFabric {
+        DeviceFabric::homogeneous(
+            4,
+            PipelineBudget::tofino_like(),
+            Topology::rack_pairs(
+                2,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
+        )
+    }
+
+    fn shift_key(s: &FleetShift) -> (Nanos, usize, Placement, ShiftReason, u64, u64) {
+        (
+            s.at,
+            s.app,
+            s.to,
+            s.reason,
+            s.rate_pps.to_bits(),
+            s.benefit_w.to_bits(),
+        )
+    }
+
+    /// With one pod and a zero dead band the hierarchical pipeline must
+    /// reproduce the flat controller exactly: same decisions, same shift
+    /// log (bit-identical rates and benefits), same admission verdicts.
+    #[test]
+    fn single_pod_zero_deadband_matches_flat_controller() {
+        let apps = || {
+            vec![
+                app("a", 7, 0.08, 2.0),
+                app("b", 6, 0.14, 2.0),
+                app("c", 4, 0.10, 2.0),
+            ]
+        };
+        let fabric = || DeviceFabric::single(PipelineBudget::tofino_like());
+        let mut flat = FleetController::new(cfg(), fabric(), apps());
+        let mut hier = HierarchicalController::new(
+            ArbiterConfig {
+                fleet: cfg(),
+                mode: ArbitrationMode::Incremental,
+                rate_deadband: 0.0,
+            },
+            fabric(),
+            apps(),
+        );
+        // A trace with offloads, an eviction, contention and recovery.
+        let rate_of = |step: u64, i: usize| -> f64 {
+            match (i, step) {
+                (1, 0..=8) => 100_000.0,
+                (1, _) => 1_000.0, // b collapses -> eviction
+                (0, _) => 100_000.0,
+                (2, 0..=4) => 500.0,
+                (2, _) => 90_000.0, // c heats up mid-run
+                _ => unreachable!(),
+            }
+        };
+        for step in 1..=24 {
+            let s: Vec<FleetSample> = (0..3)
+                .map(|i| {
+                    let r = rate_of(step, i);
+                    sample(r, r)
+                })
+                .collect();
+            let df = flat.sample(t(step), &s);
+            let dh = hier.sample(t(step), &s);
+            assert_eq!(df, dh, "decisions diverged at step {step}");
+            assert_eq!(flat.placements(), hier.placements(), "step {step}");
+            for i in 0..3 {
+                assert_eq!(
+                    flat.admission_decision(i),
+                    hier.admission_decision(i),
+                    "app {i} verdict at step {step}"
+                );
+            }
+        }
+        assert_eq!(flat.shifts().len(), hier.shifts().len());
+        for (f, h) in flat.shifts().iter().zip(hier.shifts()) {
+            assert_eq!(shift_key(f), shift_key(h));
+        }
+        assert!(!flat.shifts().is_empty(), "the trace must exercise shifts");
+    }
+
+    /// Incremental scheduling and a full re-score make the same decisions
+    /// on a multi-pod trace — while solving far fewer pod problems.
+    #[test]
+    fn incremental_matches_full_rescore_across_pods() {
+        let apps = || {
+            vec![
+                app_homed("a", 7, 0.08, 2.0, DeviceId(0)),
+                app_homed("b", 6, 0.14, 2.0, DeviceId(0)),
+                app_homed("c", 7, 0.10, 2.0, DeviceId(2)),
+                app_homed("d", 5, 0.09, 2.0, DeviceId(3)),
+            ]
+        };
+        let build = |mode| {
+            HierarchicalController::new(
+                ArbiterConfig {
+                    fleet: cfg(),
+                    mode,
+                    rate_deadband: 0.05,
+                },
+                two_pods(),
+                apps(),
+            )
+        };
+        let mut full = build(ArbitrationMode::FullRescore);
+        let mut inc = build(ArbitrationMode::Incremental);
+        let rate_of = |step: u64, i: usize| -> f64 {
+            match (i, step) {
+                (0, _) => 100_000.0 + (step % 3) as f64, // wobbles inside the band
+                (1, 0..=10) => 120_000.0,
+                (1, _) => 800.0, // collapses
+                (2, _) => 95_000.0,
+                (3, 0..=6) => 400.0,
+                (3, _) => 70_000.0, // heats up
+                _ => unreachable!(),
+            }
+        };
+        for step in 1..=30 {
+            let s: Vec<FleetSample> = (0..4)
+                .map(|i| {
+                    let r = rate_of(step, i);
+                    sample(r, r)
+                })
+                .collect();
+            let df = full.sample(t(step), &s);
+            let di = inc.sample(t(step), &s);
+            assert_eq!(df, di, "decisions diverged at step {step}");
+            assert_eq!(full.placements(), inc.placements(), "step {step}");
+        }
+        assert_eq!(full.shifts().len(), inc.shifts().len());
+        for (f, i) in full.shifts().iter().zip(inc.shifts()) {
+            assert_eq!(shift_key(f), shift_key(i));
+        }
+        assert!(!full.shifts().is_empty(), "the trace must exercise shifts");
+        let (sf, si) = (full.stats(), inc.stats());
+        assert_eq!(
+            sf.pods_solved,
+            2 * sf.ticks,
+            "full re-score solves all pods"
+        );
+        assert!(
+            si.pods_solved < sf.pods_solved / 2,
+            "incremental solved {} of {} pod problems",
+            si.pods_solved,
+            sf.pods_solved
+        );
+        assert!(si.candidates_scored < sf.candidates_scored);
+    }
+
+    /// An app flapping *exactly* on the dead band never re-enters the
+    /// dirty queue (the band is strict), and a genuine crossing enqueues
+    /// it exactly once per interval however many events it raises.
+    #[test]
+    fn deadband_flap_enqueues_at_most_once_per_interval() {
+        // 0.25 is exact in binary, so `deadband × held` is exactly
+        // 25 000 pps and the band-edge equality below is not at the
+        // mercy of rounding.
+        let mut ctl = HierarchicalController::new(
+            ArbiterConfig {
+                fleet: cfg(),
+                mode: ArbitrationMode::Incremental,
+                rate_deadband: 0.25,
+            },
+            DeviceFabric::single(PipelineBudget::tofino_like()),
+            // Unprofitable at every rate in the trace (raw benefit stays
+            // under the 1 W floor), so the hysteresis gates never flip and
+            // the only dirty events are rate-band crossings.
+            vec![app("a", 7, 0.005, 2.0)],
+        );
+        // First sample seeds the held rate: one enqueue.
+        let base = 100_000.0;
+        ctl.sample(t(1), &[sample(base, base)]);
+        assert_eq!(ctl.last_dirty(), &[0]);
+        assert_eq!(ctl.held_rate(0), base);
+        // Flap exactly on the band edge, alternating sides: |m - h| ==
+        // deadband * h is NOT a crossing (strictly greater required).
+        for step in 2..=7 {
+            let m = if step % 2 == 0 {
+                base * 1.25
+            } else {
+                base * 0.75
+            };
+            ctl.sample(t(step), &[sample(m, m)]);
+            assert!(
+                !ctl.last_dirty().contains(&0),
+                "on-band flap re-scored at step {step}: {:?}",
+                ctl.last_dirty()
+            );
+            assert_eq!(ctl.held_rate(0), base, "held rate moved at step {step}");
+        }
+        // A real crossing: held moves, the app is enqueued exactly once
+        // even though the rate event and (possibly) gate events coincide.
+        let burst = base * 2.0;
+        ctl.sample(t(8), &[sample(burst, burst)]);
+        assert_eq!(ctl.last_dirty(), &[0]);
+        assert_eq!(ctl.held_rate(0), burst);
+        let enqueued = ctl.stats().dirty_enqueued;
+        assert_eq!(enqueued, 2, "the seed and the one genuine crossing");
+        // Quiet tail: no further enqueues at all.
+        for step in 9..=13 {
+            ctl.sample(t(step), &[sample(burst, burst)]);
+            assert!(ctl.last_dirty().is_empty(), "step {step}");
+        }
+        assert_eq!(ctl.stats().dirty_enqueued, enqueued);
+    }
+
+    /// A capacity event on one device re-scores every resident of that
+    /// device's pod and every queued candidate homed there — and nobody
+    /// in other pods.
+    #[test]
+    fn capacity_change_dirties_pod_residents_and_queued_candidates() {
+        // Pod 0: a resident (a) and a starved candidate (b) that cannot
+        // co-reside with it. Pod 1: a settled resident (c).
+        let apps = vec![
+            app_homed("a", 7, 0.14, 2.0, DeviceId(0)),
+            app_homed("b", 6, 0.08, 2.0, DeviceId(0)),
+            app_homed("c", 7, 0.10, 2.0, DeviceId(1)),
+        ];
+        // One 12-stage device per pod so pod 0 genuinely starves b, and
+        // an inter-pod haircut harsh enough that b will not spill to pod
+        // 1 (0.08 slope × 0.05 at 100 kpps is far under the 1 W floor).
+        let fabric = DeviceFabric::homogeneous(
+            2,
+            PipelineBudget::tofino_like(),
+            Topology::fat_tree(
+                2,
+                1,
+                TierCost::standard_intra_pod(),
+                TierCost {
+                    extra_latency: Nanos::from_micros(6),
+                    benefit_factor: 0.05,
+                    link_energy_nj: 0.0,
+                },
+            ),
+        );
+        let mut ctl = HierarchicalController::new(
+            ArbiterConfig {
+                fleet: cfg(),
+                mode: ArbitrationMode::Incremental,
+                rate_deadband: 0.05,
+            },
+            fabric,
+            apps,
+        );
+        let s = [
+            sample(100_000.0, 100_000.0),
+            sample(100_000.0, 100_000.0),
+            sample(100_000.0, 100_000.0),
+        ];
+        for step in 1..=8 {
+            ctl.sample(t(step), &s);
+        }
+        assert_eq!(ctl.placements()[0], Placement::Device(DeviceId(0)));
+        assert_eq!(ctl.placements()[2], Placement::Device(DeviceId(1)));
+        assert_eq!(ctl.placements()[1], Placement::Software);
+        assert_eq!(ctl.admission_decision(1), AdmissionDecision::Queue);
+        // Settle: a quiet tick with an empty dirty queue.
+        ctl.sample(t(9), &s);
+        assert_eq!(ctl.last_dirty(), &[] as &[usize]);
+        // A capacity event on pod 0's device dirties its resident (a) and
+        // the starved candidate homed there (b) — but not pod 1's c.
+        ctl.mark_device_dirty(DeviceId(0));
+        ctl.sample(t(10), &s);
+        assert_eq!(ctl.last_dirty(), &[0, 1]);
+        // And the event is consumed: the next tick is clean again.
+        ctl.sample(t(11), &s);
+        assert_eq!(ctl.last_dirty(), &[] as &[usize]);
+    }
+
+    /// Quiet ticks in incremental mode skip the solve entirely: no pod
+    /// problems, no coordinator run, no candidate scoring.
+    #[test]
+    fn quiet_ticks_do_no_arbitration_work() {
+        let mut ctl = HierarchicalController::new(
+            ArbiterConfig::standard(Nanos::from_secs(1)),
+            two_pods(),
+            vec![
+                app_homed("a", 7, 0.08, 2.0, DeviceId(0)),
+                app_homed("c", 7, 0.10, 2.0, DeviceId(2)),
+            ],
+        );
+        let s = [sample(100_000.0, 100_000.0), sample(95_000.0, 95_000.0)];
+        for step in 1..=6 {
+            ctl.sample(t(step), &s);
+        }
+        let settled = ctl.stats();
+        for step in 7..=20 {
+            ctl.sample(t(step), &s);
+        }
+        let after = ctl.stats();
+        assert_eq!(after.pods_solved, settled.pods_solved);
+        assert_eq!(after.coordinator_runs, settled.coordinator_runs);
+        assert_eq!(after.candidates_scored, settled.candidates_scored);
+        assert_eq!(after.dirty_enqueued, settled.dirty_enqueued);
+        assert_eq!(after.ticks, 20);
+    }
+}

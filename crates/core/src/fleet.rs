@@ -102,6 +102,182 @@ use inc_sim::Nanos;
 use crate::decision::PlacementAnalysis;
 use crate::host::HostSample;
 
+/// The scheduler's pricing formulas, factored out of [`FleetController`]
+/// so the incremental [`HierarchicalController`] scores candidates with
+/// bit-identical arithmetic (the equivalence tests depend on the two
+/// engines never drifting apart on a single float).
+///
+/// [`HierarchicalController`]: crate::arbiter::HierarchicalController
+pub(crate) mod pricing {
+    use super::*;
+
+    /// Estimated power saved by offloading `app` at `rate_pps` (§8
+    /// dynamic terms), before any locality penalty.
+    pub(crate) fn raw_benefit_w(app: &FleetApp, rate_pps: f64) -> f64 {
+        let (sw, hw) = app.analysis.energy_per_second(rate_pps);
+        sw - hw
+    }
+
+    /// The benefit of placing `app` on `device`: the raw §8 benefit
+    /// behind the topology's locality haircut, minus detour link power.
+    pub(crate) fn effective_benefit_w(
+        fabric: &DeviceFabric,
+        app: &FleetApp,
+        device: DeviceId,
+        rate_pps: f64,
+    ) -> f64 {
+        raw_benefit_w(app, rate_pps) * fabric.benefit_factor(app.home, device)
+            - fabric.link_energy_w(app.home, device, rate_pps)
+    }
+
+    /// The amortised switchover debit, watts.
+    pub(crate) fn migration_w(config: &FleetControllerConfig) -> f64 {
+        if config.migration_cost_j <= 0.0 {
+            return 0.0;
+        }
+        config.migration_cost_j
+            / (f64::from(config.expected_tenure_samples.max(1)) * config.interval.as_secs_f64())
+    }
+
+    /// `benefit_w` per capacity unit of `app`'s demand on `device` (the
+    /// knapsack ranking key), with the cost floored so a zero-demand app
+    /// yields an enormous finite score rather than a 0/0 NaN.
+    pub(crate) fn per_capacity(
+        fabric: &DeviceFabric,
+        app: &FleetApp,
+        device: DeviceId,
+        benefit_w: f64,
+    ) -> f64 {
+        let cost = fabric
+            .device(device)
+            .cost_units(&app.demand)
+            .max(f64::MIN_POSITIVE);
+        benefit_w / cost
+    }
+
+    /// Summed weights of the tenants contending for the fabric under the
+    /// given residency view, with `include` always counted (see
+    /// [`FleetController::entitlement`]).
+    pub(crate) fn contending_weight(
+        apps: &[FleetApp],
+        starved: &[u32],
+        include: usize,
+        resident: impl Fn(usize) -> bool,
+    ) -> f64 {
+        (0..apps.len())
+            .filter(|&j| j == include || resident(j) || starved[j] > 0)
+            .map(|j| apps[j].weight)
+            .sum()
+    }
+
+    /// Plans a fairness hand-over for `app` on every feasible device of
+    /// the assignment described by `fabric`/`resident_on` (see
+    /// [`FleetController::claim_plans`]). `protected` marks incumbents a
+    /// claim may not clip.
+    #[allow(clippy::too_many_arguments)] // free function shared by both controllers
+    pub(crate) fn plan_handovers(
+        config: &FleetControllerConfig,
+        apps: &[FleetApp],
+        starved: &[u32],
+        fabric: &DeviceFabric,
+        resident_on: impl Fn(usize) -> Option<DeviceId>,
+        protected: impl Fn(usize) -> bool,
+        app: usize,
+        rates: &[f64],
+    ) -> Vec<ClaimPlan> {
+        let n = apps.len();
+        let total_w = contending_weight(apps, starved, app, |j| resident_on(j).is_some());
+        let migration_w = migration_w(config);
+        let mut plans = Vec::new();
+        for d in fabric.device_ids() {
+            if effective_benefit_w(fabric, &apps[app], d, rates[app]) < config.min_benefit_w {
+                continue;
+            }
+            // Simulate the clip sequence on a scratch ledger: release the
+            // most over-weighted over-entitled incumbents until the
+            // claimant fits (or the clippable set runs out).
+            let mut ledger = fabric.device(d).clone();
+            let mut clips: Vec<usize> = Vec::new();
+            if ledger.admit(app as u64, apps[app].demand).is_err() {
+                let mut over: Vec<usize> = (0..n)
+                    .filter(|&j| {
+                        resident_on(j) == Some(d)
+                            && !protected(j)
+                            && fabric.device(d).dominant_share(j as u64) > apps[j].weight / total_w
+                    })
+                    .collect();
+                over.sort_by(|&a, &b| {
+                    let sa = fabric.device(d).dominant_share(a as u64) / apps[a].weight;
+                    let sb = fabric.device(d).dominant_share(b as u64) / apps[b].weight;
+                    sb.total_cmp(&sa).then(a.cmp(&b))
+                });
+                let mut fits = false;
+                for j in over {
+                    ledger.release(j as u64);
+                    clips.push(j);
+                    if ledger.admit(app as u64, apps[app].demand).is_ok() {
+                        fits = true;
+                        break;
+                    }
+                }
+                if !fits {
+                    continue;
+                }
+            }
+            let clipped_benefit_w = clips
+                .iter()
+                .map(|&j| effective_benefit_w(fabric, &apps[j], d, rates[j]))
+                .sum();
+            plans.push(ClaimPlan {
+                device: d,
+                migration_w: migration_w * (clips.len() + 1) as f64,
+                clips,
+                clipped_benefit_w,
+                score: per_capacity(
+                    fabric,
+                    &apps[app],
+                    d,
+                    effective_benefit_w(fabric, &apps[app], d, rates[app]),
+                ),
+            });
+        }
+        plans
+    }
+
+    /// Orders hand-over plans by the given policy; the first entry is
+    /// the one a claim executes.
+    pub(crate) fn order_plans(plans: &mut [ClaimPlan], policy: ClaimPolicy) {
+        match policy {
+            ClaimPolicy::BestScore => {
+                plans.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.device.cmp(&b.device)))
+            }
+            ClaimPolicy::MinCost => plans.sort_by(|a, b| {
+                a.total_cost_w()
+                    .total_cmp(&b.total_cost_w())
+                    .then(b.score.total_cmp(&a.score))
+                    .then(a.device.cmp(&b.device))
+            }),
+        }
+    }
+
+    /// Queued samples after which a tenant of `weight` files a fairness
+    /// claim: the starvation window scaled down by the weight, floored
+    /// by the sustain window.
+    pub(crate) fn starvation_threshold(config: &FleetControllerConfig, weight: f64) -> u32 {
+        let window = config.starvation_window;
+        if window == u32::MAX {
+            return u32::MAX;
+        }
+        let scaled = (f64::from(window) / weight).ceil();
+        let scaled = if scaled >= f64::from(u32::MAX) {
+            u32::MAX
+        } else {
+            scaled as u32
+        };
+        scaled.max(config.sustain_samples).max(1)
+    }
+}
+
 /// One schedulable application sharing the device fabric.
 #[derive(Clone, Debug)]
 pub struct FleetApp {
@@ -274,6 +450,25 @@ impl FleetControllerConfig {
     /// contention resolves by benefit, only sustained starvation forces
     /// a fair-share hand-over), a 5 J switchover debit amortised over a
     /// 20-sample tenure, and min-cost hand-overs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use inc_ondemand::{ClaimPolicy, FleetControllerConfig};
+    /// use inc_sim::Nanos;
+    ///
+    /// let cfg = FleetControllerConfig::standard(Nanos::from_secs(1));
+    /// assert_eq!(cfg.sustain_samples, 3);
+    /// assert_eq!(cfg.claim_policy, ClaimPolicy::MinCost);
+    /// // The eviction threshold sits below the offload floor: the
+    /// // hysteresis dead band that keeps marginal tenants from flapping.
+    /// assert!(cfg.min_benefit_w * cfg.evict_fraction < cfg.min_benefit_w);
+    /// // One interval of tenure must be worth the amortised switchover:
+    /// // 5 J over 20 one-second samples is a 0.25 W debit per move.
+    /// let debit_w = cfg.migration_cost_j
+    ///     / (cfg.expected_tenure_samples as f64 * cfg.interval.as_secs_f64());
+    /// assert!((debit_w - 0.25).abs() < 1e-12);
+    /// ```
     pub fn standard(interval: Nanos) -> Self {
         FleetControllerConfig {
             interval,
@@ -500,17 +695,7 @@ impl FleetController {
     /// floored by the sustain window (shares must never change faster
     /// than ordinary hysteresis allows).
     pub fn starvation_threshold(&self, app: usize) -> u32 {
-        let window = self.config.starvation_window;
-        if window == u32::MAX {
-            return u32::MAX;
-        }
-        let scaled = (f64::from(window) / self.apps[app].weight).ceil();
-        let scaled = if scaled >= f64::from(u32::MAX) {
-            u32::MAX
-        } else {
-            scaled as u32
-        };
-        scaled.max(self.config.sustain_samples).max(1)
+        pricing::starvation_threshold(&self.config, self.apps[app].weight)
     }
 
     /// The weighted-DRF entitlement of `app`: its weight over the summed
@@ -529,10 +714,7 @@ impl FleetController {
     /// fairness pass, so the entitlement a claim clips against can never
     /// drift from the one the accessor reports.
     fn contending_weight(&self, include: usize, resident: impl Fn(usize) -> bool) -> f64 {
-        (0..self.apps.len())
-            .filter(|&j| j == include || resident(j) || self.starved_streaks[j] > 0)
-            .map(|j| self.apps[j].weight)
-            .sum()
+        pricing::contending_weight(&self.apps, &self.starved_streaks, include, resident)
     }
 
     /// The dominant share `app` currently holds on its device (0.0 in
@@ -570,8 +752,7 @@ impl FleetController {
     /// terms): software watts minus network watts, before any locality
     /// penalty. Negative when software is cheaper.
     pub fn benefit_w(&self, app: usize, rate_pps: f64) -> f64 {
-        let (sw, hw) = self.apps[app].analysis.energy_per_second(rate_pps);
-        sw - hw
+        pricing::raw_benefit_w(&self.apps[app], rate_pps)
     }
 
     /// The benefit of placing `app` on `device` at `rate_pps`: the raw §8
@@ -579,20 +760,13 @@ impl FleetController {
     /// hop tier's haircut elsewhere), minus the power the detour's extra
     /// link traversals burn at that rate.
     pub fn effective_benefit_w(&self, app: usize, device: DeviceId, rate_pps: f64) -> f64 {
-        let home = self.apps[app].home;
-        self.benefit_w(app, rate_pps) * self.fabric.benefit_factor(home, device)
-            - self.fabric.link_energy_w(home, device, rate_pps)
+        pricing::effective_benefit_w(&self.fabric, &self.apps[app], device, rate_pps)
     }
 
     /// The amortised switchover debit, watts: the configured migration
     /// cost spread over the expected tenure of the new placement.
     pub fn migration_w(&self) -> f64 {
-        if self.config.migration_cost_j <= 0.0 {
-            return 0.0;
-        }
-        self.config.migration_cost_j
-            / (f64::from(self.config.expected_tenure_samples.max(1))
-                * self.config.interval.as_secs_f64())
+        pricing::migration_w(&self.config)
     }
 
     /// The benefit of *moving* `app` from its current device to `device`:
@@ -613,12 +787,7 @@ impl FleetController {
 
     /// `benefit_w` per capacity unit of `app`'s demand on `device`.
     fn per_capacity(&self, benefit_w: f64, app: usize, device: DeviceId) -> f64 {
-        let cost = self
-            .fabric
-            .device(device)
-            .cost_units(&self.apps[app].demand)
-            .max(f64::MIN_POSITIVE);
-        benefit_w / cost
+        pricing::per_capacity(&self.fabric, &self.apps[app], device, benefit_w)
     }
 
     /// The rate estimate the controller trusts for `app` given its current
@@ -645,75 +814,22 @@ impl FleetController {
         app: usize,
         rates: &[f64],
     ) -> Vec<ClaimPlan> {
-        let n = self.apps.len();
-        let total_w = self.contending_weight(app, |j| resident_on(j).is_some());
-        let migration_w = self.migration_w();
-        let mut plans = Vec::new();
-        for d in fabric.device_ids() {
-            if self.effective_benefit_w(app, d, rates[app]) < self.config.min_benefit_w {
-                continue;
-            }
-            // Simulate the clip sequence on a scratch ledger: release the
-            // most over-weighted over-entitled incumbents until the
-            // claimant fits (or the clippable set runs out).
-            let mut ledger = fabric.device(d).clone();
-            let mut clips: Vec<usize> = Vec::new();
-            if ledger.admit(app as u64, self.apps[app].demand).is_err() {
-                let mut over: Vec<usize> = (0..n)
-                    .filter(|&j| {
-                        resident_on(j) == Some(d)
-                            && !protected(j)
-                            && fabric.device(d).dominant_share(j as u64)
-                                > self.apps[j].weight / total_w
-                    })
-                    .collect();
-                over.sort_by(|&a, &b| {
-                    let sa = fabric.device(d).dominant_share(a as u64) / self.apps[a].weight;
-                    let sb = fabric.device(d).dominant_share(b as u64) / self.apps[b].weight;
-                    sb.total_cmp(&sa).then(a.cmp(&b))
-                });
-                let mut fits = false;
-                for j in over {
-                    ledger.release(j as u64);
-                    clips.push(j);
-                    if ledger.admit(app as u64, self.apps[app].demand).is_ok() {
-                        fits = true;
-                        break;
-                    }
-                }
-                if !fits {
-                    continue;
-                }
-            }
-            let clipped_benefit_w = clips
-                .iter()
-                .map(|&j| self.effective_benefit_w(j, d, rates[j]))
-                .sum();
-            plans.push(ClaimPlan {
-                device: d,
-                migration_w: migration_w * (clips.len() + 1) as f64,
-                clips,
-                clipped_benefit_w,
-                score: self.score(app, d, rates[app]),
-            });
-        }
-        plans
+        pricing::plan_handovers(
+            &self.config,
+            &self.apps,
+            &self.starved_streaks,
+            fabric,
+            resident_on,
+            protected,
+            app,
+            rates,
+        )
     }
 
     /// Orders hand-over plans by the given policy; the first entry is the
     /// one a claim executes.
     fn order_plans(plans: &mut [ClaimPlan], policy: ClaimPolicy) {
-        match policy {
-            ClaimPolicy::BestScore => {
-                plans.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.device.cmp(&b.device)))
-            }
-            ClaimPolicy::MinCost => plans.sort_by(|a, b| {
-                a.total_cost_w()
-                    .total_cmp(&b.total_cost_w())
-                    .then(b.score.total_cmp(&a.score))
-                    .then(a.device.cmp(&b.device))
-            }),
-        }
+        pricing::order_plans(plans, policy)
     }
 
     /// Feeds one sample per app; returns the placement changes to execute

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod apps;
+pub mod arbiter;
 pub mod decision;
 pub mod envelope;
 pub mod fleet;
@@ -47,6 +48,7 @@ pub mod system;
 pub mod tor;
 
 pub use apps::Deployment;
+pub use arbiter::{ArbiterConfig, ArbiterStats, ArbitrationMode, HierarchicalController};
 pub use decision::{dns_analysis, kvs_analysis, PlacementAnalysis};
 pub use envelope::{EnvelopePoint, OnDemandEnvelope};
 pub use fleet::{

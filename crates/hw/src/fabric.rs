@@ -23,6 +23,8 @@
 //! traversals — so a scheduler pricing a spill prefers the nearest rack
 //! with room.
 
+use std::collections::HashMap;
+
 use inc_sim::Nanos;
 
 use crate::capacity::{AppSlot, DeviceCapacity};
@@ -199,6 +201,18 @@ impl Topology {
     /// as home (the single-card and uniform-fabric cases that predate the
     /// distance matrix).
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use inc_hw::{DeviceId, HopTier, Topology};
+    ///
+    /// let topo = Topology::single(4);
+    /// assert_eq!(topo.pod_count(), 1);
+    /// // Remote devices are tiered intra-pod, but the tier is free.
+    /// assert_eq!(topo.tier(DeviceId(0), DeviceId(3)), HopTier::IntraPod);
+    /// assert_eq!(topo.benefit_factor(DeviceId(0), DeviceId(3)), 1.0);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `devices` is zero.
@@ -209,6 +223,23 @@ impl Topology {
     /// `pairs` two-ToR pods joined by a core tier: the §9.4 rack-pair
     /// fabrics, generalised so that the partner rack is cheap and every
     /// other rack is dear.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use inc_hw::{DeviceId, HopTier, TierCost, Topology};
+    ///
+    /// let topo = Topology::rack_pairs(
+    ///     3,
+    ///     TierCost::standard_intra_pod(),
+    ///     TierCost::standard_inter_pod(),
+    /// );
+    /// assert_eq!(topo.device_count(), 6);
+    /// assert_eq!(topo.pod_count(), 3);
+    /// // Partner rack: one aggregation hop. Any other rack: the core.
+    /// assert_eq!(topo.tier(DeviceId(4), DeviceId(5)), HopTier::IntraPod);
+    /// assert_eq!(topo.tier(DeviceId(0), DeviceId(5)), HopTier::InterPod);
+    /// ```
     ///
     /// # Panics
     ///
@@ -252,6 +283,31 @@ impl Topology {
     /// Number of devices the matrix covers.
     pub fn device_count(&self) -> usize {
         self.pod_of.len()
+    }
+
+    /// The pod index of `device` (a per-pod arbiter's partition key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn pod(&self, device: DeviceId) -> u16 {
+        self.pod_of[device.index()]
+    }
+
+    /// Number of pods the matrix spans (pod indices are `0..pod_count`).
+    pub fn pod_count(&self) -> usize {
+        self.pod_of.iter().copied().max().map_or(0, |p| p as usize) + 1
+    }
+
+    /// Iterates the devices of `pod` in index order (empty for an unused
+    /// pod index). Constructors lay pods out contiguously, but the
+    /// iterator does not rely on that.
+    pub fn pod_devices(&self, pod: u16) -> impl Iterator<Item = DeviceId> + '_ {
+        self.pod_of
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &p)| p == pod)
+            .map(|(i, _)| DeviceId(i as u16))
     }
 
     /// The hop tier separating `home` from `at`.
@@ -333,6 +389,13 @@ impl Topology {
 pub struct DeviceFabric {
     devices: Vec<DeviceCapacity>,
     topology: Topology,
+    // Reverse residency index, maintained by `admit`/`release`/`clear`.
+    // The one-residency invariant makes it total: an app is a key iff it
+    // is resident on exactly the mapped device. Keeping it turns both
+    // `residency` and the admit-time release of a previous seat into O(1)
+    // operations instead of fabric-wide sweeps — the difference between
+    // an incremental scheduler tick and an O(apps × devices) one.
+    where_is: HashMap<AppSlot, DeviceId>,
 }
 
 impl DeviceFabric {
@@ -353,6 +416,7 @@ impl DeviceFabric {
         DeviceFabric {
             devices: budgets.into_iter().map(DeviceCapacity::new).collect(),
             topology,
+            where_is: HashMap::new(),
         }
     }
 
@@ -381,6 +445,7 @@ impl DeviceFabric {
                 .map(|d| DeviceCapacity::new(d.budget()))
                 .collect(),
             topology: self.topology.clone(),
+            where_is: HashMap::new(),
         }
     }
 
@@ -405,7 +470,9 @@ impl DeviceFabric {
 
     /// Mutable access to one device's ledger (for bootstrap/ad-hoc edits;
     /// note that going through the fabric's own [`DeviceFabric::admit`]
-    /// preserves the one-residency invariant, this does not).
+    /// preserves the one-residency invariant and the fabric's residency
+    /// index, this does neither — [`DeviceFabric::residency`] will not see
+    /// allocations made behind its back).
     pub fn device_mut(&mut self, id: DeviceId) -> &mut DeviceCapacity {
         &mut self.devices[id.index()]
     }
@@ -413,6 +480,22 @@ impl DeviceFabric {
     /// The distance matrix pricing remote placements.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The pod index of `device` (see [`Topology::pod`]).
+    pub fn pod(&self, device: DeviceId) -> u16 {
+        self.topology.pod(device)
+    }
+
+    /// Number of pods the fabric spans (see [`Topology::pod_count`]).
+    pub fn pod_count(&self) -> usize {
+        self.topology.pod_count()
+    }
+
+    /// Iterates the devices of `pod` in index order (see
+    /// [`Topology::pod_devices`]).
+    pub fn pod_devices(&self, pod: u16) -> impl Iterator<Item = DeviceId> + '_ {
+        self.topology.pod_devices(pod)
     }
 
     /// Benefit multiplier for an app homed at `home` placed on `at`:
@@ -440,8 +523,7 @@ impl DeviceFabric {
 
     /// The device currently hosting `app`, if any.
     pub fn residency(&self, app: AppSlot) -> Option<DeviceId> {
-        self.device_ids()
-            .find(|&id| self.devices[id.index()].is_resident(app))
+        self.where_is.get(&app).copied()
     }
 
     /// Grants `app` the resources `r` on device `id`, releasing any
@@ -458,9 +540,9 @@ impl DeviceFabric {
         r: ProgramResources,
     ) -> Result<(), PipelineError> {
         self.devices[id.index()].admit(app, r)?;
-        for (i, dev) in self.devices.iter_mut().enumerate() {
-            if i != id.index() {
-                dev.release(app);
+        if let Some(prev) = self.where_is.insert(app, id) {
+            if prev != id {
+                self.devices[prev.index()].release(app);
             }
         }
         Ok(())
@@ -469,16 +551,15 @@ impl DeviceFabric {
     /// Releases whatever `app` holds anywhere; returns `true` if it held
     /// anything.
     pub fn release(&mut self, app: AppSlot) -> bool {
-        let mut held = false;
-        for dev in &mut self.devices {
-            held |= dev.release(app);
+        match self.where_is.remove(&app) {
+            Some(d) => self.devices[d.index()].release(app),
+            None => false,
         }
-        held
     }
 
     /// Whether `app` is resident on any device.
     pub fn is_resident(&self, app: AppSlot) -> bool {
-        self.residency(app).is_some()
+        self.where_is.contains_key(&app)
     }
 
     /// The dominant share `app` holds on the device where it is resident
@@ -496,6 +577,7 @@ impl DeviceFabric {
         for dev in &mut self.devices {
             dev.clear();
         }
+        self.where_is.clear();
     }
 
     /// Total applications resident across the fabric.
@@ -611,6 +693,14 @@ mod tests {
         };
         let t = Topology::fat_tree(2, 2, intra, inter);
         assert_eq!(t.device_count(), 4);
+        assert_eq!(t.pod_count(), 2);
+        assert_eq!(t.pod(DeviceId(1)), 0);
+        assert_eq!(t.pod(DeviceId(2)), 1);
+        assert_eq!(
+            t.pod_devices(1).collect::<Vec<_>>(),
+            vec![DeviceId(2), DeviceId(3)]
+        );
+        assert_eq!(t.pod_devices(7).count(), 0);
         assert_eq!(t.tier(DeviceId(2), DeviceId(2)), HopTier::Local);
         assert_eq!(t.tier(DeviceId(2), DeviceId(3)), HopTier::IntraPod);
         assert_eq!(t.tier(DeviceId(1), DeviceId(2)), HopTier::InterPod);

@@ -74,6 +74,31 @@ impl Zipf {
     pub fn n(&self) -> u64 {
         self.n
     }
+
+    /// The unnormalised popularity weight `k^(-α)` of rank `k` (rank 1 is
+    /// the hottest). Useful for mapping a rank to a deterministic demand
+    /// level — e.g. pricing tenant `k`'s offered rate as `peak ×
+    /// popularity(k)` — without drawing samples. Returns 0.0 for rank 0
+    /// or ranks beyond the population.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use inc_workloads::Zipf;
+    ///
+    /// let z = Zipf::new(1000, 1.0).unwrap();
+    /// assert_eq!(z.popularity(1), 1.0);
+    /// // α is nudged off the k⁻¹ singularity, so compare loosely.
+    /// assert!((z.popularity(2) - 0.5).abs() < 1e-6);
+    /// assert_eq!(z.popularity(0), 0.0);
+    /// assert_eq!(z.popularity(1001), 0.0);
+    /// ```
+    pub fn popularity(&self, k: u64) -> f64 {
+        if k == 0 || k > self.n {
+            return 0.0;
+        }
+        (k as f64).powf(-self.alpha)
+    }
 }
 
 fn h_inv(x: f64, alpha: f64) -> f64 {

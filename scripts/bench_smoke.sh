@@ -28,12 +28,14 @@ cargo run --release --example shared_device
 cargo run --release --example multi_tor
 cargo run --release --example fairness
 cargo run --release --example topology
+cargo run --release --example mega_fabric
 
 echo "== release-mode scheduling e2e tests =="
 cargo test --release -q --test shared_device
 cargo test --release -q --test multi_tor
 cargo test --release -q --test fairness
 cargo test --release -q --test topology
+cargo test --release -q --test mega_fabric
 
 echo "== criterion smoke targets =="
 cargo bench -p inc-bench --bench codecs
@@ -41,6 +43,32 @@ cargo bench -p inc-bench --bench shared_device
 cargo bench -p inc-bench --bench multi_tor
 cargo bench -p inc-bench --bench fairness
 cargo bench -p inc-bench --bench topology
+cargo bench -p inc-bench --bench mega_fabric
 
 echo "== collected artifacts =="
 ls -l "$INC_METRICS_DIR"
+
+# `set -e` aborts on any failing *command*, but a binary that exits 0
+# without writing its summary would previously slip through and CI would
+# upload an incomplete perf-trajectory artifact. Verify every expected
+# artifact exists and is non-empty before declaring success.
+required_artifacts=(
+  fig6.csv
+  fig6.json
+  multi_tor.json
+  fairness.json
+  topology.json
+  mega_fabric.json
+)
+missing=0
+for f in "${required_artifacts[@]}"; do
+  if [[ ! -s "$INC_METRICS_DIR/$f" ]]; then
+    echo "MISSING OR EMPTY ARTIFACT: $INC_METRICS_DIR/$f" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "bench smoke failed: required artifacts were not produced" >&2
+  exit 1
+fi
+echo "all ${#required_artifacts[@]} required artifacts present"

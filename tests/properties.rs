@@ -1098,3 +1098,207 @@ proptest! {
         }
     }
 }
+
+// --- Incremental arbitration equivalence (hierarchical controller). ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental dirty-queue pipeline and a full re-score of every
+    /// pod make bit-identical decisions on the same trace: same shift
+    /// sequence (time, app, target, reason, priced rate and benefit) and
+    /// same final placements, whatever the dead band — both modes share
+    /// the held-rate semantics, so skipping clean pods must never change
+    /// an outcome, only the work done.
+    #[test]
+    fn incremental_arbitration_equals_full_rescore(
+        rates in proptest::collection::vec(
+            proptest::collection::vec(0u32..300_000, 5), 8..40),
+        slopes in proptest::collection::vec(0.02f64..0.2, 5),
+        stages in proptest::collection::vec(4u32..9, 5),
+        homes in proptest::collection::vec(0u16..4, 5),
+        deadband in 0.0f64..0.3,
+    ) {
+        use inc::hw::{DeviceFabric, DeviceId, PipelineBudget, ProgramResources,
+                      TierCost, Topology};
+        use inc::ondemand::{ArbiterConfig, ArbitrationMode, FleetApp,
+                            FleetControllerConfig, FleetSample,
+                            HierarchicalController, HostSample,
+                            PlacementAnalysis};
+        use inc::power::EnergyParams;
+        use inc::sim::Nanos;
+
+        let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 52.0,
+                sleep_w: 0.0,
+                active_w: 52.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        };
+        // 2 pods × 2 ToRs: small enough to converge quickly, large
+        // enough that pod arbiters and the coordinator both have work
+        // (spills, cross-pod moves, fairness claims).
+        let fabric = || DeviceFabric::homogeneous(
+            4,
+            PipelineBudget::tofino_like(),
+            Topology::fat_tree(
+                2, 2,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
+        );
+        let apps: Vec<FleetApp> = (0..5).map(|i| FleetApp {
+            name: format!("app{i}"),
+            demand: ProgramResources {
+                stages: stages[i],
+                sram_bytes: 4 << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(slopes[i]),
+            home: DeviceId(homes[i]),
+            weight: 1.0,
+        }).collect();
+        let build = |mode| HierarchicalController::new(
+            ArbiterConfig {
+                fleet: FleetControllerConfig::standard(Nanos::from_secs(1)),
+                mode,
+                rate_deadband: deadband,
+            },
+            fabric(),
+            apps.clone(),
+        );
+        let mut full = build(ArbitrationMode::FullRescore);
+        let mut inc = build(ArbitrationMode::Incremental);
+        for (step, r) in rates.iter().enumerate() {
+            let rs: Vec<f64> = r.iter().map(|&x| f64::from(x)).collect();
+            let now = Nanos::from_secs(step as u64 + 1);
+            let samples: Vec<FleetSample> = rs.iter().map(|&r| FleetSample {
+                host: HostSample { rapl_w: 50.0, app_cpu_util: 0.5, hw_app_rate: r },
+                offered_pps: r,
+            }).collect();
+            let df = full.sample(now, &samples);
+            let di = inc.sample(now, &samples);
+            prop_assert_eq!(df, di, "decisions diverged at step {}", step);
+            prop_assert_eq!(full.placements(), inc.placements(),
+                            "placements diverged at step {}", step);
+        }
+        prop_assert_eq!(full.shifts().len(), inc.shifts().len());
+        for (f, i) in full.shifts().iter().zip(inc.shifts()) {
+            prop_assert_eq!(f.at, i.at);
+            prop_assert_eq!(f.app, i.app);
+            prop_assert_eq!(f.to, i.to);
+            prop_assert_eq!(f.reason, i.reason);
+            prop_assert_eq!(f.rate_pps.to_bits(), i.rate_pps.to_bits());
+            prop_assert_eq!(f.benefit_w.to_bits(), i.benefit_w.to_bits());
+        }
+        // And the incremental run must actually have been incremental:
+        // never more pod solves than the full re-score.
+        prop_assert!(inc.stats().pods_solved <= full.stats().pods_solved);
+        prop_assert!(inc.stats().candidates_scored <= full.stats().candidates_scored);
+    }
+
+    /// With a single pod and a zero dead band the hierarchical pipeline
+    /// degenerates to exactly the flat `FleetController` algorithm: the
+    /// coordinator has no cross-pod candidates and the pod arbiter's
+    /// heap merge replays the flat greedy scan, so the two engines must
+    /// agree bit-for-bit on arbitrary traces.
+    #[test]
+    fn single_pod_hierarchy_degenerates_to_flat_controller(
+        rates in proptest::collection::vec(
+            (0u32..300_000, 0u32..300_000, 0u32..300_000, 0u32..300_000), 8..40),
+        slopes in proptest::collection::vec(0.02f64..0.2, 4),
+        stages in proptest::collection::vec(4u32..9, 4),
+        homes in proptest::collection::vec(0u16..2, 4),
+    ) {
+        use inc::hw::{DeviceFabric, DeviceId, PipelineBudget, ProgramResources,
+                      TierCost, Topology};
+        use inc::ondemand::{ArbiterConfig, ArbitrationMode, FleetApp,
+                            FleetController, FleetControllerConfig, FleetSample,
+                            HierarchicalController, HostSample,
+                            PlacementAnalysis};
+        use inc::power::EnergyParams;
+        use inc::sim::Nanos;
+
+        let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 52.0,
+                sleep_w: 0.0,
+                active_w: 52.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        };
+        // One pod of two ToRs: contention, moves and fairness claims all
+        // happen, but everything is intra-pod.
+        let fabric = || DeviceFabric::homogeneous(
+            2,
+            PipelineBudget::tofino_like(),
+            Topology::rack_pairs(
+                1,
+                TierCost::standard_intra_pod(),
+                TierCost::standard_inter_pod(),
+            ),
+        );
+        let apps: Vec<FleetApp> = (0..4).map(|i| FleetApp {
+            name: format!("app{i}"),
+            demand: ProgramResources {
+                stages: stages[i],
+                sram_bytes: 4 << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(slopes[i]),
+            home: DeviceId(homes[i]),
+            weight: 1.0,
+        }).collect();
+        let cfg = FleetControllerConfig::standard(Nanos::from_secs(1));
+        let mut flat = FleetController::new(cfg, fabric(), apps.clone());
+        let mut hier = HierarchicalController::new(
+            ArbiterConfig {
+                fleet: cfg,
+                mode: ArbitrationMode::Incremental,
+                rate_deadband: 0.0,
+            },
+            fabric(),
+            apps.clone(),
+        );
+        for (step, r) in rates.iter().enumerate() {
+            let rs = [r.0 as f64, r.1 as f64, r.2 as f64, r.3 as f64];
+            let now = Nanos::from_secs(step as u64 + 1);
+            let samples: Vec<FleetSample> = rs.iter().map(|&r| FleetSample {
+                host: HostSample { rapl_w: 50.0, app_cpu_util: 0.5, hw_app_rate: r },
+                offered_pps: r,
+            }).collect();
+            let df = flat.sample(now, &samples);
+            let dh = hier.sample(now, &samples);
+            prop_assert_eq!(df, dh, "decisions diverged at step {}", step);
+            prop_assert_eq!(flat.placements(), hier.placements(),
+                            "placements diverged at step {}", step);
+            for i in 0..4 {
+                prop_assert_eq!(flat.admission_decision(i), hier.admission_decision(i));
+                prop_assert_eq!(flat.starved_streak(i), hier.starved_streak(i));
+            }
+        }
+        prop_assert_eq!(flat.shifts().len(), hier.shifts().len());
+        for (f, h) in flat.shifts().iter().zip(hier.shifts()) {
+            prop_assert_eq!(f.at, h.at);
+            prop_assert_eq!(f.app, h.app);
+            prop_assert_eq!(f.to, h.to);
+            prop_assert_eq!(f.reason, h.reason);
+            prop_assert_eq!(f.rate_pps.to_bits(), h.rate_pps.to_bits());
+            prop_assert_eq!(f.benefit_w.to_bits(), h.benefit_w.to_bits());
+        }
+        prop_assert_eq!(flat.queued_intervals(), hier.queued_intervals());
+    }
+}
