@@ -187,7 +187,7 @@ fn main() {
         Series {
             name: "throughput_kpps".into(),
             points: timeline
-                .rows
+                .rows()
                 .iter()
                 .map(|r| (r.t.as_secs_f64(), r.throughput_pps / 1000.0))
                 .collect(),
@@ -195,7 +195,7 @@ fn main() {
         Series {
             name: "latency_us".into(),
             points: timeline
-                .rows
+                .rows()
                 .iter()
                 .map(|r| (r.t.as_secs_f64(), r.latency_p50_ns as f64 / 1000.0))
                 .collect(),
@@ -203,7 +203,7 @@ fn main() {
         Series {
             name: "power_w".into(),
             points: timeline
-                .rows
+                .rows()
                 .iter()
                 .map(|r| (r.t.as_secs_f64(), r.power_w))
                 .collect(),

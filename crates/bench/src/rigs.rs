@@ -12,9 +12,9 @@ use inc_kvs::{
 use inc_net::{Endpoint, Packet};
 use inc_net::{L2Switch, Match};
 use inc_ondemand::{
-    run_fleet_controlled, AppObservation, ArbiterConfig, ArbitrationMode, ClaimPolicy, FleetApp,
-    FleetController, FleetControllerConfig, FleetSample, FleetTimeline, HierarchicalController,
-    HostSample, PlacementAnalysis,
+    run_fleet_controlled_with, AppObservation, ArbiterConfig, ArbitrationMode, ClaimPolicy,
+    FleetApp, FleetController, FleetControllerConfig, FleetSample, FleetTimeline,
+    HierarchicalController, HostSample, PlacementAnalysis, RowLog,
 };
 use inc_paxos::{
     Acceptor, AcceptorStorage, AddressBook, HostConfig, Leader, Learner, PaxosClient, PaxosNode,
@@ -585,6 +585,17 @@ impl SharedDeviceRig {
     /// tenants' diurnal schedules and recording per-app timelines plus
     /// total metered energy (each tenant's device partition and server).
     pub fn run(&mut self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
+        self.run_with(controller, until, RowLog::Full)
+    }
+
+    /// [`SharedDeviceRig::run`] with an explicit timeline row-retention
+    /// mode (the streaming-equivalence tests drive both).
+    pub fn run_with(
+        &mut self,
+        controller: &mut FleetController,
+        until: Nanos,
+        mode: RowLog,
+    ) -> FleetTimeline {
         // Execute any pre-seeded placements on the simulated hardware.
         let now = self.sim.now();
         if controller.placements()[Self::KVS_APP].is_offloaded() {
@@ -604,10 +615,11 @@ impl SharedDeviceRig {
             (self.dns_client, self.dns_device, self.dns_server);
         let kvs_profile = self.kvs_profile.clone();
         let dns_profile = self.dns_profile.clone();
-        run_fleet_controlled(
+        run_fleet_controlled_with(
             &mut self.sim,
             controller,
             until,
+            mode,
             |sim| {
                 let now = sim.now();
                 // Follow the offered-rate schedules.
@@ -1150,6 +1162,17 @@ impl MultiTorRig {
     /// three tenants' diurnal schedules and recording per-app timelines
     /// plus total metered energy.
     pub fn run(&mut self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
+        self.run_with(controller, until, RowLog::Full)
+    }
+
+    /// [`MultiTorRig::run`] with an explicit timeline row-retention mode
+    /// (the streaming-equivalence tests drive both).
+    pub fn run_with(
+        &mut self,
+        controller: &mut FleetController,
+        until: Nanos,
+        mode: RowLog,
+    ) -> FleetTimeline {
         let ids = ApplyIds {
             kvs_client: self.kvs_client,
             kvs_dev_home: self.kvs_dev_home,
@@ -1177,10 +1200,11 @@ impl MultiTorRig {
         }
         let interval = controller.config().interval;
         let profiles = self.profiles.clone();
-        run_fleet_controlled(
+        run_fleet_controlled_with(
             &mut self.sim,
             controller,
             until,
+            mode,
             |sim| {
                 let now = sim.now();
                 // Follow the offered-rate schedules.
@@ -1399,7 +1423,7 @@ fn apply_multi_tor_placement(
 /// tenants' §8 analyses are stylised curves with the same relative
 /// economics as the calibrated tenants (KVS out-scores everyone, Paxos
 /// clears the floor but never wins a score fight), driven through
-/// [`run_fleet_controlled`] against closed-form observations. The
+/// [`run_fleet_controlled_with`] against closed-form observations. The
 /// fairness dance (queue → claim → clip → tenure → counter-claim) needs
 /// precisely shaped, *sustained* contention; the packet plumbing it
 /// would ride on is already end-to-end tested by the other rigs.
@@ -1591,9 +1615,21 @@ impl ContendedFabricRig {
     /// detour burns, exactly as the scheduler prices it (this rig's
     /// topology carries no link energy, so only the haircut meters).
     pub fn run(&self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
+        self.run_with(controller, until, RowLog::Full)
+    }
+
+    /// [`ContendedFabricRig::run`] with an explicit timeline
+    /// row-retention mode (the streaming-equivalence tests drive both).
+    pub fn run_with(
+        &self,
+        controller: &mut FleetController,
+        until: Nanos,
+        mode: RowLog,
+    ) -> FleetTimeline {
         run_stylised_model(
             controller,
             until,
+            mode,
             &Self::fabric(),
             &self.profiles,
             Self::SW_LATENCY_NS,
@@ -1603,7 +1639,7 @@ impl ContendedFabricRig {
 }
 
 /// Drives a **model-driven** rig (stylised §8 curves, no packet
-/// machinery) through [`run_fleet_controlled`]: the curves supply the
+/// machinery) through [`run_fleet_controlled_with`]: the curves supply the
 /// rates (sampled mid-interval), power and latency per placement, and a
 /// remote placement's metered power gives back the topology tier's share
 /// of the saving *plus* the link energy its detour burns — exactly as
@@ -1612,6 +1648,7 @@ impl ContendedFabricRig {
 fn run_stylised_model(
     controller: &mut FleetController,
     until: Nanos,
+    mode: RowLog,
     fabric: &DeviceFabric,
     profiles: &[RateProfile],
     sw_latency_ns: u64,
@@ -1621,10 +1658,11 @@ fn run_stylised_model(
     let apps = controller.apps().to_vec();
     let interval = controller.config().interval;
     let placements = std::cell::RefCell::new(controller.placements().to_vec());
-    run_fleet_controlled(
+    run_fleet_controlled_with(
         &mut sim,
         controller,
         until,
+        mode,
         |sim| {
             let now = sim.now();
             let mid = now - interval.mul_f64(0.5);
@@ -1698,7 +1736,7 @@ fn run_stylised_model(
 ///
 /// Like [`ContendedFabricRig`] this rig is **model-driven**: stylised §8
 /// curves with precisely shaped sustained plateaus, driven through
-/// [`run_fleet_controlled`]; the packet plumbing such schedules ride on
+/// [`run_fleet_controlled_with`]; the packet plumbing such schedules ride on
 /// is end-to-end tested by [`MultiTorRig`]. Metered power for a remote
 /// placement gives back the tier's share of the saving *plus* the link
 /// energy its detour burns, exactly as the scheduler prices it.
@@ -1925,9 +1963,21 @@ impl PodFabricRig {
     /// of the saving plus the detour's link energy, exactly as the
     /// scheduler prices it.
     pub fn run(&self, controller: &mut FleetController, until: Nanos) -> FleetTimeline {
+        self.run_with(controller, until, RowLog::Full)
+    }
+
+    /// [`PodFabricRig::run`] with an explicit timeline row-retention
+    /// mode (the streaming-equivalence tests drive both).
+    pub fn run_with(
+        &self,
+        controller: &mut FleetController,
+        until: Nanos,
+        mode: RowLog,
+    ) -> FleetTimeline {
         run_stylised_model(
             controller,
             until,
+            mode,
             &Self::fabric(),
             &self.profiles,
             Self::SW_LATENCY_NS,

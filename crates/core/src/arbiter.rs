@@ -60,7 +60,8 @@ use inc_sim::Nanos;
 
 use crate::fleet::pricing;
 use crate::fleet::{
-    AdmissionDecision, FleetApp, FleetControllerConfig, FleetSample, FleetShift, ShiftReason,
+    AdmissionDecision, FleetApp, FleetControllerConfig, FleetSample, FleetScheduler, FleetShift,
+    ShiftReason,
 };
 
 /// How the hierarchical pipeline schedules re-scoring work.
@@ -914,6 +915,27 @@ impl HierarchicalController {
             }
         }
         (fair_placed, fair_clipped)
+    }
+}
+
+impl FleetScheduler for HierarchicalController {
+    fn interval(&self) -> Nanos {
+        self.config().fleet.interval
+    }
+    fn app_count(&self) -> usize {
+        self.apps().len()
+    }
+    fn placements(&self) -> &[Placement] {
+        HierarchicalController::placements(self)
+    }
+    fn sample(&mut self, now: Nanos, samples: &[FleetSample]) -> Vec<(usize, Placement)> {
+        HierarchicalController::sample(self, now, samples)
+    }
+    fn admission_decision(&self, app: usize) -> AdmissionDecision {
+        HierarchicalController::admission_decision(self, app)
+    }
+    fn queued_intervals(&self) -> &[u64] {
+        HierarchicalController::queued_intervals(self)
     }
 }
 

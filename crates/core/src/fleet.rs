@@ -1103,6 +1103,54 @@ impl FleetController {
     }
 }
 
+/// The scheduling surface the fleet harness drives.
+///
+/// [`run_fleet_controlled`] only needs the sample/apply loop: feed one
+/// [`FleetSample`] per app per interval, execute the returned placement
+/// changes, and read the admission book-keeping at the end. Both the
+/// flat [`FleetController`] and the hierarchical pod arbiter
+/// ([`HierarchicalController`]) expose that surface, so the harness —
+/// and every rig built on it — is generic over which one arbitrates.
+///
+/// [`run_fleet_controlled`]: crate::system::run_fleet_controlled
+/// [`HierarchicalController`]: crate::arbiter::HierarchicalController
+pub trait FleetScheduler {
+    /// The sampling interval the harness steps by.
+    fn interval(&self) -> Nanos;
+    /// Number of scheduled applications (one [`FleetSample`] each).
+    fn app_count(&self) -> usize;
+    /// Current per-app placements, indexed like the app vector.
+    fn placements(&self) -> &[Placement];
+    /// Feeds one sample per app; returns the placement changes to
+    /// execute.
+    fn sample(&mut self, now: Nanos, samples: &[FleetSample]) -> Vec<(usize, Placement)>;
+    /// The admission verdict for `app`.
+    fn admission_decision(&self, app: usize) -> AdmissionDecision;
+    /// Cumulative queued samples per app over the run.
+    fn queued_intervals(&self) -> &[u64];
+}
+
+impl FleetScheduler for FleetController {
+    fn interval(&self) -> Nanos {
+        self.config().interval
+    }
+    fn app_count(&self) -> usize {
+        self.apps().len()
+    }
+    fn placements(&self) -> &[Placement] {
+        FleetController::placements(self)
+    }
+    fn sample(&mut self, now: Nanos, samples: &[FleetSample]) -> Vec<(usize, Placement)> {
+        FleetController::sample(self, now, samples)
+    }
+    fn admission_decision(&self, app: usize) -> AdmissionDecision {
+        FleetController::admission_decision(self, app)
+    }
+    fn queued_intervals(&self) -> &[u64] {
+        FleetController::queued_intervals(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,12 +53,12 @@ pub use decision::{dns_analysis, kvs_analysis, PlacementAnalysis};
 pub use envelope::{EnvelopePoint, OnDemandEnvelope};
 pub use fleet::{
     AdmissionDecision, ClaimPlan, ClaimPolicy, FleetApp, FleetController, FleetControllerConfig,
-    FleetSample, FleetShift, ShiftReason,
+    FleetSample, FleetScheduler, FleetShift, ShiftReason,
 };
 pub use host::{HostController, HostControllerConfig, HostSample, Shift};
 pub use system::{
-    run_fleet_controlled, run_host_controlled, AppObservation, FleetTimeline, IntervalObservation,
-    Timeline, TimelineRow,
+    run_fleet_controlled, run_fleet_controlled_with, run_host_controlled, run_host_controlled_with,
+    AppObservation, FleetTimeline, IntervalObservation, RowLog, Timeline, TimelineRow,
 };
 pub use tor::TorRack;
 

@@ -7,11 +7,27 @@
 //! interval at a time, gathers a [`HostSample`] through a caller-provided
 //! probe, and applies the controller's decisions — while recording the
 //! timeline that Figure 6 plots.
+//!
+//! # Row logging and streaming aggregates
+//!
+//! A [`Timeline`] keeps O(1) streaming aggregates — a duration-weighted
+//! [`StreamStats`] of power (whose weighted sum *is* the energy
+//! integral), a completed-request counter, and a [`Histogram`] sketch of
+//! the per-interval median latencies — updated on every [`Timeline::push`]
+//! regardless of mode. What the [`RowLog`] mode controls is row
+//! *retention*: [`RowLog::Full`] keeps every [`TimelineRow`] (the plots
+//! and fine-grained window queries need them), while
+//! [`RowLog::Recent`]`(n)` retains only the newest `n` rows so memory
+//! stays constant however long the run — the heavy-traffic replay mode.
+//! Queries whose window covers the whole recorded span answer from the
+//! aggregates in *both* modes, and the aggregates accumulate in row
+//! (push) order, so full-span results are bit-for-bit identical across
+//! modes; partial windows are answered from whatever rows are retained.
 
 use inc_hw::Placement;
-use inc_sim::{Nanos, Payload, Simulator};
+use inc_sim::{Histogram, Nanos, Payload, RecentRing, Simulator, StreamStats};
 
-use crate::fleet::{AdmissionDecision, FleetController, FleetSample};
+use crate::fleet::{AdmissionDecision, FleetSample, FleetScheduler};
 use crate::host::{HostController, HostSample};
 
 /// One timeline row (the Figure 6/7 plot data).
@@ -36,24 +52,137 @@ pub struct TimelineRow {
     pub placement: Placement,
 }
 
+/// How a [`Timeline`] retains its rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowLog {
+    /// Keep every row — the default, required by the fig6/fig7 plots and
+    /// by window queries over arbitrary sub-spans.
+    Full,
+    /// Keep only the newest `n` rows; memory is O(n) however long the
+    /// run. Full-span queries still answer exactly (they read the
+    /// streaming aggregates); partial-window queries see only the
+    /// retained tail.
+    Recent(usize),
+}
+
 /// The recorded timeline of a run.
-#[derive(Clone, Debug, Default)]
+///
+/// Rows are accessed through [`Timeline::rows`]; construction goes
+/// through [`Timeline::new`]/[`Timeline::push`] (or
+/// [`Timeline::from_rows`] for tests) so the streaming aggregates stay
+/// consistent with the rows.
+#[derive(Clone, Debug)]
 pub struct Timeline {
-    /// Rows, one per sampling interval.
-    pub rows: Vec<TimelineRow>,
+    rows: RecentRing<TimelineRow>,
     /// Times at which the placement changed.
     pub shifts: Vec<(Nanos, Placement)>,
+    mode: RowLog,
+    /// Duration-weighted power: `weighted_sum()` is the energy integral
+    /// in joules, `total_weight()` the sampled seconds.
+    power: StreamStats,
+    completed_total: u64,
+    /// Sketch of the nonzero per-row median latencies, for O(1)
+    /// full-span median queries in [`RowLog::Recent`] mode.
+    latency_sketch: Histogram,
+    /// `t` of the first and last rows ever pushed.
+    span: Option<(Nanos, Nanos)>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new(RowLog::Full)
+    }
 }
 
 impl Timeline {
+    /// An empty timeline with the given row-retention mode.
+    pub fn new(mode: RowLog) -> Self {
+        let rows = match mode {
+            RowLog::Full => RecentRing::unbounded(),
+            RowLog::Recent(cap) => RecentRing::bounded(cap),
+        };
+        Timeline {
+            rows,
+            shifts: Vec::new(),
+            mode,
+            power: StreamStats::new(),
+            completed_total: 0,
+            latency_sketch: Histogram::new(),
+            span: None,
+        }
+    }
+
+    /// A fully-logged timeline built from pre-made rows (test helper).
+    pub fn from_rows(rows: Vec<TimelineRow>) -> Self {
+        let mut timeline = Timeline::new(RowLog::Full);
+        for row in rows {
+            timeline.push(row);
+        }
+        timeline
+    }
+
+    /// Appends a row, updating the streaming aggregates in push order
+    /// (the order-sensitivity is what makes full-span query results
+    /// bit-for-bit identical across [`RowLog`] modes).
+    pub fn push(&mut self, row: TimelineRow) {
+        self.power
+            .push_weighted(row.power_w, row.interval.as_secs_f64());
+        self.completed_total += row.completed;
+        if row.latency_p50_ns > 0 {
+            self.latency_sketch.record(row.latency_p50_ns);
+        }
+        self.span = Some(match self.span {
+            None => (row.t, row.t),
+            Some((first, _)) => (first, row.t),
+        });
+        self.rows.push(row);
+    }
+
+    /// The retained rows, oldest first (every row in [`RowLog::Full`]
+    /// mode, the newest tail in [`RowLog::Recent`]).
+    pub fn rows(&self) -> &[TimelineRow] {
+        self.rows.as_slice()
+    }
+
+    /// Rows ever pushed (≥ `rows().len()` in [`RowLog::Recent`] mode).
+    pub fn total_rows(&self) -> u64 {
+        self.rows.total()
+    }
+
+    /// Rows currently held in memory.
+    pub fn retained_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The row-retention mode.
+    pub fn mode(&self) -> RowLog {
+        self.mode
+    }
+
+    /// Responses completed across every row ever pushed.
+    pub fn total_completed(&self) -> u64 {
+        self.completed_total
+    }
+
     fn window(&self, from: Nanos, to: Nanos) -> impl Iterator<Item = &TimelineRow> {
-        self.rows.iter().filter(move |r| r.t >= from && r.t < to)
+        self.rows().iter().filter(move |r| r.t >= from && r.t < to)
+    }
+
+    /// Whether `[from, to)` contains every row ever pushed — the case
+    /// the streaming aggregates answer exactly, evicted rows included.
+    fn covers_all(&self, from: Nanos, to: Nanos) -> bool {
+        self.span
+            .is_some_and(|(first, last)| from <= first && to > last)
     }
 
     /// Duration-weighted mean power over rows in `[from, to)`, or `None`
     /// if the window holds no rows (indistinguishable sentinels like a
     /// literal `0.0` reading are not used).
     pub fn mean_power_w(&self, from: Nanos, to: Nanos) -> Option<f64> {
+        if self.covers_all(from, to) {
+            let secs = self.power.total_weight();
+            return (secs > 0.0).then(|| self.power.weighted_sum() / secs);
+        }
         let (mut joules, mut secs) = (0.0, 0.0);
         for r in self.window(from, to) {
             let dt = r.interval.as_secs_f64();
@@ -69,6 +198,10 @@ impl Timeline {
     /// mean over-counts short or idle intervals when intervals differ).
     /// `None` if the window holds no rows.
     pub fn mean_throughput_pps(&self, from: Nanos, to: Nanos) -> Option<f64> {
+        if self.covers_all(from, to) {
+            let secs = self.power.total_weight();
+            return (secs > 0.0).then(|| self.completed_total as f64 / secs);
+        }
         let (mut completed, mut secs) = (0u64, 0.0);
         for r in self.window(from, to) {
             completed += r.completed;
@@ -82,7 +215,15 @@ impl Timeline {
     /// `None` when every row in the window is empty. For an even number
     /// of contributing rows this is the mean of the two middle elements,
     /// rounded to the nearest nanosecond.
+    ///
+    /// In [`RowLog::Recent`] mode a full-span query reads the
+    /// [`Histogram`] quantile sketch instead of the (partially evicted)
+    /// rows: the answer covers every row ever pushed, exact to within
+    /// the sketch's 1/32 bucket resolution.
     pub fn median_latency_ns(&self, from: Nanos, to: Nanos) -> Option<u64> {
+        if matches!(self.mode, RowLog::Recent(_)) && self.covers_all(from, to) {
+            return (self.latency_sketch.count() > 0).then(|| self.latency_sketch.quantile(0.5));
+        }
         let mut l: Vec<u64> = self
             .window(from, to)
             .filter(|r| r.latency_p50_ns > 0)
@@ -91,23 +232,24 @@ impl Timeline {
         if l.is_empty() {
             return None;
         }
-        l.sort_unstable();
+        // Selection, not a full sort: the two middle order statistics
+        // are all a median needs.
         let mid = l.len() / 2;
-        Some(if l.len() % 2 == 1 {
-            l[mid]
+        let odd = l.len() % 2 == 1;
+        let (lower, upper_mid, _) = l.select_nth_unstable(mid);
+        let b = *upper_mid;
+        Some(if odd {
+            b
         } else {
+            let a = *lower.iter().max().expect("even window has a lower half");
             // Round half up: (a + b + 1) / 2 without overflow.
-            let (a, b) = (l[mid - 1], l[mid]);
             a / 2 + b / 2 + (a % 2 + b % 2).div_ceil(2)
         })
     }
 
-    /// Total metered energy across all rows, joules.
+    /// Total metered energy across all rows ever pushed, joules.
     pub fn energy_j(&self) -> f64 {
-        self.rows
-            .iter()
-            .map(|r| r.power_w * r.interval.as_secs_f64())
-            .sum()
+        self.power.weighted_sum()
     }
 }
 
@@ -126,7 +268,8 @@ pub struct IntervalObservation {
     pub power_w: f64,
 }
 
-/// Runs a host-controlled on-demand experiment until `until`.
+/// Runs a host-controlled on-demand experiment until `until`, logging
+/// every row ([`RowLog::Full`]).
 ///
 /// * `probe` inspects the simulation and returns the interval observation
 ///   (it may mutate nodes to drain measurement windows);
@@ -135,11 +278,23 @@ pub fn run_host_controlled<M: Payload>(
     sim: &mut Simulator<M>,
     controller: &mut HostController,
     until: Nanos,
+    probe: impl FnMut(&mut Simulator<M>) -> IntervalObservation,
+    apply: impl FnMut(&mut Simulator<M>, Nanos, Placement),
+) -> Timeline {
+    run_host_controlled_with(sim, controller, until, RowLog::Full, probe, apply)
+}
+
+/// [`run_host_controlled`] with an explicit row-retention mode.
+pub fn run_host_controlled_with<M: Payload>(
+    sim: &mut Simulator<M>,
+    controller: &mut HostController,
+    until: Nanos,
+    mode: RowLog,
     mut probe: impl FnMut(&mut Simulator<M>) -> IntervalObservation,
     mut apply: impl FnMut(&mut Simulator<M>, Nanos, Placement),
 ) -> Timeline {
     let interval = controller.config().interval;
-    let mut timeline = Timeline::default();
+    let mut timeline = Timeline::new(mode);
     let mut t = sim.now();
     while t < until {
         t += interval;
@@ -149,7 +304,7 @@ pub fn run_host_controlled<M: Payload>(
             apply(sim, t, p);
             timeline.shifts.push((t, p));
         }
-        timeline.rows.push(TimelineRow {
+        timeline.push(TimelineRow {
             t,
             interval,
             completed: obs.completed,
@@ -207,29 +362,47 @@ impl FleetTimeline {
     }
 }
 
-/// Runs a fleet-controlled multi-application experiment until `until`.
+/// Runs a fleet-controlled multi-application experiment until `until`,
+/// logging every row ([`RowLog::Full`]).
 ///
 /// The multi-app generalisation of [`run_host_controlled`]: the simulator
 /// steps one sampling interval at a time; `probe` returns one
 /// [`AppObservation`] per app (same order as the controller's app
 /// vector); the controller re-solves its placement knapsack; `apply`
 /// executes each placement change on the simulated hardware. Records one
-/// [`Timeline`] per app plus the fleet-level energy total.
+/// [`Timeline`] per app plus the fleet-level energy total. Generic over
+/// the [`FleetScheduler`]: the flat
+/// [`FleetController`](crate::fleet::FleetController) and the
+/// hierarchical
+/// [`HierarchicalController`](crate::arbiter::HierarchicalController)
+/// both drive it.
 ///
 /// The run advances in whole sampling intervals, so when `until` is not
 /// an interval multiple the final interval extends past it; read the
 /// covered span off the recorded rows (last row `t`), not `until`.
-pub fn run_fleet_controlled<M: Payload>(
+pub fn run_fleet_controlled<M: Payload, S: FleetScheduler>(
     sim: &mut Simulator<M>,
-    controller: &mut FleetController,
+    controller: &mut S,
     until: Nanos,
+    probe: impl FnMut(&mut Simulator<M>) -> Vec<AppObservation>,
+    apply: impl FnMut(&mut Simulator<M>, Nanos, usize, Placement),
+) -> FleetTimeline {
+    run_fleet_controlled_with(sim, controller, until, RowLog::Full, probe, apply)
+}
+
+/// [`run_fleet_controlled`] with an explicit row-retention mode.
+pub fn run_fleet_controlled_with<M: Payload, S: FleetScheduler>(
+    sim: &mut Simulator<M>,
+    controller: &mut S,
+    until: Nanos,
+    mode: RowLog,
     mut probe: impl FnMut(&mut Simulator<M>) -> Vec<AppObservation>,
     mut apply: impl FnMut(&mut Simulator<M>, Nanos, usize, Placement),
 ) -> FleetTimeline {
-    let interval = controller.config().interval;
-    let n = controller.apps().len();
+    let interval = controller.interval();
+    let n = controller.app_count();
     let mut timeline = FleetTimeline {
-        per_app: vec![Timeline::default(); n],
+        per_app: (0..n).map(|_| Timeline::new(mode)).collect(),
         ..FleetTimeline::default()
     };
     let mut t = sim.now();
@@ -245,7 +418,7 @@ pub fn run_fleet_controlled<M: Payload>(
             timeline.per_app[app].shifts.push((t, placement));
         }
         for (app, o) in obs.iter().enumerate() {
-            timeline.per_app[app].rows.push(TimelineRow {
+            timeline.per_app[app].push(TimelineRow {
                 t,
                 interval,
                 completed: o.completed,
@@ -327,7 +500,7 @@ mod tests {
         let after = timeline.median_latency_ns(Nanos::from_secs(3), Nanos::from_secs(5));
         assert_eq!(before, Some(13_500));
         assert_eq!(after, Some(1_400));
-        assert_eq!(timeline.rows.len(), 80);
+        assert_eq!(timeline.rows().len(), 80);
     }
 
     /// Two synthetic apps contending for a one-slot device, closed-form
@@ -439,9 +612,9 @@ mod tests {
         assert!(s0[0].0 >= s1[1].0, "{s0:?} vs {s1:?}");
         // The capacity bound held at every row.
         for (r0, r1) in timeline.per_app[0]
-            .rows
+            .rows()
             .iter()
-            .zip(&timeline.per_app[1].rows)
+            .zip(timeline.per_app[1].rows())
         {
             assert!(
                 !(r0.placement == Placement::HARDWARE && r1.placement == Placement::HARDWARE),
@@ -452,7 +625,7 @@ mod tests {
         // Energy bookkeeping matches the per-app timelines.
         let summed: f64 = timeline.per_app.iter().map(Timeline::energy_j).sum();
         assert!((timeline.energy_j - summed).abs() < 1e-6);
-        assert_eq!(timeline.per_app[0].rows.len(), 90);
+        assert_eq!(timeline.per_app[0].rows().len(), 90);
     }
 
     fn row(t_ms: u64, interval_ms: u64, completed: u64, p50: u64, power: f64) -> TimelineRow {
@@ -473,15 +646,12 @@ mod tests {
     fn median_latency_even_window_uses_both_middle_rows() {
         // Regression: the old implementation returned l[len/2] — the
         // *upper* of the two middle elements on even-length windows.
-        let timeline = Timeline {
-            rows: vec![
-                row(100, 100, 10, 1_000, 50.0),
-                row(200, 100, 10, 2_000, 50.0),
-                row(300, 100, 10, 4_000, 50.0),
-                row(400, 100, 10, 9_000, 50.0),
-            ],
-            shifts: Vec::new(),
-        };
+        let timeline = Timeline::from_rows(vec![
+            row(100, 100, 10, 1_000, 50.0),
+            row(200, 100, 10, 2_000, 50.0),
+            row(300, 100, 10, 4_000, 50.0),
+            row(400, 100, 10, 9_000, 50.0),
+        ]);
         // Four rows: median = (2000 + 4000) / 2, not 4000.
         assert_eq!(
             timeline.median_latency_ns(Nanos::ZERO, Nanos::from_secs(1)),
@@ -493,10 +663,10 @@ mod tests {
             Some(2_000)
         );
         // Rounding: (1000 + 2001 + 1) / 2 = 1501 (half away from zero).
-        let t2 = Timeline {
-            rows: vec![row(100, 100, 1, 1_000, 0.0), row(200, 100, 1, 2_001, 0.0)],
-            shifts: Vec::new(),
-        };
+        let t2 = Timeline::from_rows(vec![
+            row(100, 100, 1, 1_000, 0.0),
+            row(200, 100, 1, 2_001, 0.0),
+        ]);
         assert_eq!(
             t2.median_latency_ns(Nanos::ZERO, Nanos::from_secs(1)),
             Some(1_501)
@@ -507,20 +677,18 @@ mod tests {
     fn mean_throughput_weights_by_interval() {
         // Regression: a short busy interval must not count as much as a
         // long idle one. 100 ms at 10 kpps + 900 ms at 0 pps = 1 kpps.
-        let timeline = Timeline {
-            rows: vec![row(100, 100, 1_000, 500, 40.0), row(1000, 900, 0, 0, 40.0)],
-            shifts: Vec::new(),
-        };
+        let timeline = Timeline::from_rows(vec![
+            row(100, 100, 1_000, 500, 40.0),
+            row(1000, 900, 0, 0, 40.0),
+        ]);
         let mean = timeline
             .mean_throughput_pps(Nanos::ZERO, Nanos::from_secs(2))
             .unwrap();
         // The old unweighted mean of per-row rates said 5 kpps.
         assert!((mean - 1_000.0).abs() < 1e-6, "mean {mean}");
         // Power is duration-weighted the same way.
-        let timeline = Timeline {
-            rows: vec![row(100, 100, 0, 0, 100.0), row(1000, 900, 0, 0, 50.0)],
-            shifts: Vec::new(),
-        };
+        let timeline =
+            Timeline::from_rows(vec![row(100, 100, 0, 0, 100.0), row(1000, 900, 0, 0, 50.0)]);
         let p = timeline
             .mean_power_w(Nanos::ZERO, Nanos::from_secs(2))
             .unwrap();
@@ -530,10 +698,7 @@ mod tests {
 
     #[test]
     fn empty_windows_are_none_not_zero() {
-        let timeline = Timeline {
-            rows: vec![row(100, 100, 0, 0, 40.0)],
-            shifts: Vec::new(),
-        };
+        let timeline = Timeline::from_rows(vec![row(100, 100, 0, 0, 40.0)]);
         let nowhere = (Nanos::from_secs(5), Nanos::from_secs(6));
         assert_eq!(timeline.mean_power_w(nowhere.0, nowhere.1), None);
         assert_eq!(timeline.mean_throughput_pps(nowhere.0, nowhere.1), None);
@@ -547,6 +712,89 @@ mod tests {
         assert_eq!(
             timeline.median_latency_ns(Nanos::ZERO, Nanos::from_secs(1)),
             None
+        );
+    }
+
+    /// Sub-window queries answer identically whether the window filter
+    /// runs over retained rows or (for a covering window) the streaming
+    /// aggregates — and the aggregate path is reached in both modes.
+    #[test]
+    fn full_span_queries_match_windowed_iteration_bitwise() {
+        let rows = vec![
+            row(100, 100, 1_000, 500, 40.0),
+            row(200, 100, 2_000, 700, 41.5),
+            row(350, 150, 0, 0, 39.0),
+            row(450, 100, 500, 900, 44.25),
+            row(550, 100, 750, 650, 43.0),
+        ];
+        let full = Timeline::from_rows(rows.clone());
+        // A window strictly wider than the span takes the aggregate
+        // path; one that merely touches the last row does not (to > last
+        // is required).
+        let span = (Nanos::ZERO, Nanos::from_secs(1));
+        let edge = (Nanos::ZERO, Nanos::from_millis(550));
+        assert!(full.covers_all(span.0, span.1));
+        assert!(!full.covers_all(edge.0, edge.1));
+        // Aggregate answers equal a hand-rolled row iteration bit for bit.
+        let (mut joules, mut secs, mut completed) = (0.0, 0.0, 0u64);
+        for r in &rows {
+            let dt = r.interval.as_secs_f64();
+            joules += r.power_w * dt;
+            secs += dt;
+            completed += r.completed;
+        }
+        assert_eq!(
+            full.mean_power_w(span.0, span.1).unwrap().to_bits(),
+            (joules / secs).to_bits()
+        );
+        assert_eq!(
+            full.mean_throughput_pps(span.0, span.1).unwrap().to_bits(),
+            (completed as f64 / secs).to_bits()
+        );
+        assert_eq!(full.energy_j().to_bits(), joules.to_bits());
+    }
+
+    /// Satellite regression: the streaming (`RowLog::Recent`) median
+    /// reads the quantile sketch; it must agree with the exact
+    /// (`RowLog::Full`) selection within the `Histogram`'s 1/32
+    /// relative-error bucket resolution.
+    #[test]
+    fn streaming_median_tracks_exact_within_sketch_error() {
+        let mut full = Timeline::new(RowLog::Full);
+        let mut recent = Timeline::new(RowLog::Recent(8));
+        // Odd number of nonzero rows, so the exact median is a pure
+        // order statistic (no mid-pair averaging to blur the bound).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..1001u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let p50 = 1_000 + (state >> 40); // ~1 µs .. ~17 ms spread
+            let r = row(100 * (i + 1), 100, 10, p50, 40.0);
+            full.push(r);
+            recent.push(r);
+        }
+        assert_eq!(recent.retained_rows(), 8 + (1001 % 8));
+        assert_eq!(recent.total_rows(), 1001);
+        let (from, to) = (Nanos::ZERO, Nanos::from_secs(1_000_000));
+        let exact = full.median_latency_ns(from, to).unwrap();
+        let sketch = recent.median_latency_ns(from, to).unwrap();
+        // The sketch reports a bucket upper bound: never below the exact
+        // median, never more than one 1/32 bucket above it.
+        assert!(sketch >= exact, "sketch {sketch} < exact {exact}");
+        assert!(
+            sketch <= exact + exact / 32 + 1,
+            "sketch {sketch} vs exact {exact}"
+        );
+        // The O(1) aggregates agree bit-for-bit across modes.
+        assert_eq!(full.energy_j().to_bits(), recent.energy_j().to_bits());
+        assert_eq!(
+            full.mean_power_w(from, to).unwrap().to_bits(),
+            recent.mean_power_w(from, to).unwrap().to_bits()
+        );
+        assert_eq!(
+            full.mean_throughput_pps(from, to).unwrap().to_bits(),
+            recent.mean_throughput_pps(from, to).unwrap().to_bits()
         );
     }
 }

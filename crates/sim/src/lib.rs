@@ -68,5 +68,7 @@ pub use service::{Admission, ServiceStation};
 pub use sim::{
     Ctx, LinkSpec, MeterConfig, Node, NodeId, Payload, PortId, Simulator, Timer, TimerId,
 };
-pub use stats::{EnergyIntegrator, Ewma, Histogram, TimeSeries, WindowRate};
+pub use stats::{
+    EnergyIntegrator, Ewma, Histogram, RecentRing, StreamStats, TimeSeries, WindowRate,
+};
 pub use time::Nanos;

@@ -59,18 +59,58 @@ impl PowerTrace {
     /// Synthesizes `seconds` of 1 Hz samples for a workload class using a
     /// mean-reverting multiplicative random walk.
     pub fn synthesize(rng: &mut Rng, class: WorkloadClass, seconds: u64) -> Self {
-        let mean = class.mean_w();
-        let sigma = class.step_sigma();
+        let mut walk = PowerWalk::new(class);
         let mut series = TimeSeries::new();
-        let mut level = mean;
         for s in 0..seconds {
-            let noise = rng.normal(0.0, sigma);
-            // Mean reversion keeps the trace stationary.
-            level += (mean - level) * 0.05 + mean * noise;
-            level = level.clamp(mean * 0.3, mean * 2.0);
+            let level = walk.next_w(rng);
             series.push(Nanos::from_secs(s), level);
         }
         PowerTrace { series, class }
+    }
+}
+
+/// The [`PowerTrace`] random walk as a streaming generator: one watt
+/// sample per call, no per-sample allocation and no materialised
+/// [`TimeSeries`] — the per-request path for heavy-traffic replays that
+/// only need the instantaneous level. [`PowerTrace::synthesize`] is this
+/// walk collected into a series (same draws, same levels).
+#[derive(Clone, Copy, Debug)]
+pub struct PowerWalk {
+    class: WorkloadClass,
+    level: f64,
+    mean: f64,
+    sigma: f64,
+}
+
+impl PowerWalk {
+    /// A walk starting at the class mean.
+    pub fn new(class: WorkloadClass) -> Self {
+        let mean = class.mean_w();
+        PowerWalk {
+            class,
+            level: mean,
+            mean,
+            sigma: class.step_sigma(),
+        }
+    }
+
+    /// The class this walk models.
+    pub fn class(&self) -> WorkloadClass {
+        self.class
+    }
+
+    /// The class mean, watts.
+    pub fn mean_w(&self) -> f64 {
+        self.mean
+    }
+
+    /// Advances one 1 Hz step and returns the new power level, watts.
+    pub fn next_w(&mut self, rng: &mut Rng) -> f64 {
+        let noise = rng.normal(0.0, self.sigma);
+        // Mean reversion keeps the trace stationary.
+        self.level += (self.mean - self.level) * 0.05 + self.mean * noise;
+        self.level = self.level.clamp(self.mean * 0.3, self.mean * 2.0);
+        self.level
     }
 }
 

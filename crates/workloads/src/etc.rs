@@ -41,10 +41,29 @@ impl EtcWorkload {
 
     /// Key name for rank `r` (rank 1 = hottest).
     pub fn key_for_rank(r: u64) -> Vec<u8> {
+        let mut key = [0u8; Self::KEY_LEN];
+        Self::key_for_rank_into(r, &mut key);
+        key.to_vec()
+    }
+
+    /// Length of every generated key: `"etc:"` + 16 hex digits.
+    pub const KEY_LEN: usize = 20;
+
+    /// Writes the key for rank `r` into a caller-owned buffer — the
+    /// allocation-free twin of [`EtcWorkload::key_for_rank`], for
+    /// per-request hot paths that reuse one buffer across samples.
+    pub fn key_for_rank_into(r: u64, key: &mut [u8; Self::KEY_LEN]) {
         // Spread ranks over the namespace so adjacent ranks do not share
         // cache lines/buckets artificially.
         let spread = r.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        format!("etc:{spread:016x}").into_bytes()
+        key[..4].copy_from_slice(b"etc:");
+        for (i, b) in key[4..].iter_mut().enumerate() {
+            let nibble = ((spread >> (60 - 4 * i)) & 0xf) as u8;
+            *b = match nibble {
+                0..=9 => b'0' + nibble,
+                _ => b'a' + (nibble - 10),
+            };
+        }
     }
 
     /// Samples an ETC value size in bytes.
@@ -70,16 +89,58 @@ impl EtcWorkload {
             (v as usize).min(8_000)
         }
     }
+
+    /// Draws one request without allocating: the key is identified by
+    /// rank (render it on demand with
+    /// [`EtcWorkload::key_for_rank_into`]), the value by its size.
+    ///
+    /// This is the per-request hot path for heavy-traffic replays; the
+    /// [`OpGen`] impl wraps it and materialises the key bytes.
+    pub fn next_sample(&mut self, rng: &mut Rng) -> EtcSample {
+        let rank = self.zipf.sample(rng);
+        if rng.chance(self.get_ratio) {
+            EtcSample {
+                rank,
+                kind: EtcOpKind::Get,
+                value_len: 0,
+            }
+        } else {
+            EtcSample {
+                rank,
+                kind: EtcOpKind::Set,
+                value_len: Self::value_size(rng),
+            }
+        }
+    }
+}
+
+/// Operation kind of an [`EtcSample`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EtcOpKind {
+    /// A GET (the dominant ETC operation).
+    Get,
+    /// A SET carrying `value_len` bytes.
+    Set,
+}
+
+/// One sampled ETC request, `Copy` and allocation-free.
+#[derive(Clone, Copy, Debug)]
+pub struct EtcSample {
+    /// Popularity rank of the key (1 = hottest).
+    pub rank: u64,
+    /// GET or SET.
+    pub kind: EtcOpKind,
+    /// Value size in bytes (0 for GETs).
+    pub value_len: usize,
 }
 
 impl OpGen for EtcWorkload {
     fn next_op(&mut self, rng: &mut Rng) -> KvOp {
-        let rank = self.zipf.sample(rng);
-        let key = Self::key_for_rank(rank);
-        if rng.chance(self.get_ratio) {
-            KvOp::Get(key)
-        } else {
-            KvOp::Set(key, Self::value_size(rng))
+        let s = self.next_sample(rng);
+        let key = Self::key_for_rank(s.rank);
+        match s.kind {
+            EtcOpKind::Get => KvOp::Get(key),
+            EtcOpKind::Set => KvOp::Set(key, s.value_len),
         }
     }
 }
@@ -137,5 +198,39 @@ mod tests {
     fn keys_are_stable_per_rank() {
         assert_eq!(EtcWorkload::key_for_rank(5), EtcWorkload::key_for_rank(5));
         assert_ne!(EtcWorkload::key_for_rank(5), EtcWorkload::key_for_rank(6));
+    }
+
+    #[test]
+    fn key_for_rank_into_matches_formatted_key() {
+        for r in [0u64, 1, 5, 1 << 40, u64::MAX] {
+            let spread = r.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let formatted = format!("etc:{spread:016x}").into_bytes();
+            let mut buf = [0u8; EtcWorkload::KEY_LEN];
+            EtcWorkload::key_for_rank_into(r, &mut buf);
+            assert_eq!(buf.as_slice(), formatted.as_slice(), "rank {r}");
+            assert_eq!(EtcWorkload::key_for_rank(r), formatted);
+        }
+    }
+
+    #[test]
+    fn next_sample_matches_next_op_draw_for_draw() {
+        let mut w_op = EtcWorkload::new(10_000);
+        let mut w_sample = w_op.clone();
+        let mut rng_op = Rng::new(7);
+        let mut rng_sample = Rng::new(7);
+        for _ in 0..10_000 {
+            let op = w_op.next_op(&mut rng_op);
+            let s = w_sample.next_sample(&mut rng_sample);
+            match (op, s.kind) {
+                (KvOp::Get(k), EtcOpKind::Get) => {
+                    assert_eq!(k, EtcWorkload::key_for_rank(s.rank));
+                }
+                (KvOp::Set(k, len), EtcOpKind::Set) => {
+                    assert_eq!(k, EtcWorkload::key_for_rank(s.rank));
+                    assert_eq!(len, s.value_len);
+                }
+                (op, kind) => panic!("diverged: {op:?} vs {kind:?}"),
+            }
+        }
     }
 }

@@ -108,10 +108,22 @@ impl GoogleTrace {
     /// §9.3 offload candidates: tasks using at least `min_cores` of a core
     /// for at least `min_duration`.
     pub fn offload_candidates(&self, min_cores: f64, min_duration: Nanos) -> Vec<&Task> {
+        self.offload_candidates_iter(min_cores, min_duration)
+            .collect()
+    }
+
+    /// Streaming twin of [`GoogleTrace::offload_candidates`]: yields the
+    /// qualifying tasks without materialising a `Vec` per query (the
+    /// per-request path of heavy-traffic replays scans candidates every
+    /// interval).
+    pub fn offload_candidates_iter(
+        &self,
+        min_cores: f64,
+        min_duration: Nanos,
+    ) -> impl Iterator<Item = &Task> {
         self.tasks
             .iter()
-            .filter(|t| t.cpu_cores >= min_cores && t.duration >= min_duration)
-            .collect()
+            .filter(move |t| t.cpu_cores >= min_cores && t.duration >= min_duration)
     }
 
     /// §9.3 dilution metric: the average, over 5-minute windows and nodes,
@@ -120,8 +132,7 @@ impl GoogleTrace {
         let window = Nanos::from_secs(300);
         let windows = (self.horizon.as_nanos() / window.as_nanos()).max(1);
         let mut total = 0.0;
-        let candidates = self.offload_candidates(min_cores, min_duration);
-        for t in &candidates {
+        for t in self.offload_candidates_iter(min_cores, min_duration) {
             // A task contributes its CPU to every window it overlaps.
             let first = t.start.as_nanos() / window.as_nanos();
             let last = (t.start + t.duration).as_nanos() / window.as_nanos();
@@ -170,7 +181,7 @@ impl GoogleTrace {
         let windows = (self.horizon.as_nanos() / window.as_nanos()).max(1) as usize;
         // Occupancy per (node, window): count + cores of candidate tasks.
         let mut occupancy = vec![(0usize, 0.0f64); windows * self.nodes as usize];
-        for t in self.offload_candidates(min_cores, min_duration) {
+        for t in self.offload_candidates_iter(min_cores, min_duration) {
             let first = (t.start.as_nanos() / window.as_nanos()) as usize;
             let last = ((t.start + t.duration).as_nanos() / window.as_nanos()) as usize;
             for w in first..=last.min(windows - 1) {

@@ -16,8 +16,8 @@ pub mod google;
 pub mod osnt;
 pub mod zipf;
 
-pub use dynamo::{suits_on_demand, variation, PowerTrace, Variation, WorkloadClass};
-pub use etc::EtcWorkload;
+pub use dynamo::{suits_on_demand, variation, PowerTrace, PowerWalk, Variation, WorkloadClass};
+pub use etc::{EtcOpKind, EtcSample, EtcWorkload};
 pub use google::{GoogleTrace, Task};
 pub use osnt::{OsntSource, PacketFactory, PacketSink, RateProfile};
 pub use zipf::Zipf;

@@ -45,7 +45,7 @@ fn run(label: &str, mut controller: FleetController) -> (f64, [f64; 4]) {
     let mut shares = [0.0f64; 4];
     for (app, share) in shares.iter_mut().enumerate() {
         let rows: Vec<_> = timeline.per_app[app]
-            .rows
+            .rows()
             .iter()
             .filter(|r| r.t >= BUSY_FROM && r.t < BUSY_TO)
             .collect();

@@ -97,7 +97,7 @@ fn main() {
     );
 
     println!("\n   t      kpps    p50 us   power W  placement");
-    for row in timeline.rows.iter().step_by(2) {
+    for row in timeline.rows().iter().step_by(2) {
         println!(
             "{:>5.1}  {:>7.1}  {:>8.1}  {:>8.1}  {:?}",
             row.t.as_secs_f64(),

@@ -39,7 +39,7 @@ fn run(label: &str, mut controller: inc::ondemand::FleetController) -> f64 {
         );
     }
     let covered = timeline.per_app[0]
-        .rows
+        .rows()
         .last()
         .map_or(0.0, |r| r.t.as_secs_f64());
     println!(
@@ -49,7 +49,7 @@ fn run(label: &str, mut controller: inc::ondemand::FleetController) -> f64 {
     );
     if label == "fleet-controlled" {
         println!("\n   t     kvs_kpps  dns_kpps  pax_kpps   kvs_plc   dns_plc   pax_plc  total_W");
-        let rows = |app: usize| &timeline.per_app[app].rows;
+        let rows = |app: usize| timeline.per_app[app].rows();
         for i in (0..rows(0).len()).step_by(2) {
             let (rk, rd, rp) = (&rows(0)[i], &rows(1)[i], &rows(2)[i]);
             let plc = |p: Placement| match p {

@@ -37,16 +37,16 @@ fn run(label: &str, mut controller: inc::ondemand::FleetController) -> f64 {
     // The harness runs whole sampling intervals, so the covered span is
     // the last row's timestamp (it can overshoot HORIZON slightly).
     let covered = timeline.per_app[0]
-        .rows
+        .rows()
         .last()
         .map_or(0.0, |r| r.t.as_secs_f64());
     println!("  energy {:.1} J over {covered:.2} s", timeline.energy_j);
     if label == "fleet-controlled" {
         println!("\n   t     kvs_kpps  dns_kpps  kvs_plc  dns_plc  total_W");
         for (rk, rd) in timeline.per_app[0]
-            .rows
+            .rows()
             .iter()
-            .zip(&timeline.per_app[1].rows)
+            .zip(timeline.per_app[1].rows())
             .step_by(2)
         {
             println!(

@@ -61,7 +61,7 @@ fn run(label: &str, mut controller: FleetController) -> RunStats {
     let mut pax_share = 0.0;
     for app in 0..controller.apps().len() {
         let rows: Vec<_> = timeline.per_app[app]
-            .rows
+            .rows()
             .iter()
             .filter(|r| r.t >= BUSY_FROM && r.t < BUSY_TO)
             .collect();

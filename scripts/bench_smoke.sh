@@ -29,6 +29,7 @@ cargo run --release --example multi_tor
 cargo run --release --example fairness
 cargo run --release --example topology
 cargo run --release --example mega_fabric
+cargo run --release --example heavy_traffic
 
 echo "== release-mode scheduling e2e tests =="
 cargo test --release -q --test shared_device
@@ -36,6 +37,7 @@ cargo test --release -q --test multi_tor
 cargo test --release -q --test fairness
 cargo test --release -q --test topology
 cargo test --release -q --test mega_fabric
+cargo test --release -q --test streaming_equivalence
 
 echo "== criterion smoke targets =="
 cargo bench -p inc-bench --bench codecs
@@ -44,6 +46,7 @@ cargo bench -p inc-bench --bench multi_tor
 cargo bench -p inc-bench --bench fairness
 cargo bench -p inc-bench --bench topology
 cargo bench -p inc-bench --bench mega_fabric
+cargo bench -p inc-bench --bench heavy_traffic
 
 echo "== collected artifacts =="
 ls -l "$INC_METRICS_DIR"
@@ -59,6 +62,7 @@ required_artifacts=(
   fairness.json
   topology.json
   mega_fabric.json
+  heavy_traffic.json
 )
 missing=0
 for f in "${required_artifacts[@]}"; do
@@ -72,3 +76,25 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 echo "all ${#required_artifacts[@]} required artifacts present"
+
+# Heavy-traffic floors: the streaming measurement plane must replay at
+# least 10 M simulated requests per wall-clock second and at least 8x
+# the per-event plane on the same machine. The example's dev-machine
+# numbers are ~113 M req/s and ~14x, so these are smoke floors against
+# catastrophic regressions (an accidental per-request allocation, rows
+# sneaking back into streaming mode), not tight performance pins —
+# the criterion bench holds the curve.
+check_floor() { # file key floor
+  value="$(sed -n "s/^ *\"$2\": \([0-9.eE+-]*\),*$/\1/p" "$INC_METRICS_DIR/$1")"
+  if [[ -z "$value" ]]; then
+    echo "bench smoke failed: $2 missing from $1" >&2
+    exit 1
+  fi
+  if ! awk -v v="$value" -v f="$3" 'BEGIN { exit !(v >= f) }'; then
+    echo "bench smoke failed: $1 $2 = $value below floor $3" >&2
+    exit 1
+  fi
+  echo "$1 $2 = $value (floor $3)"
+}
+check_floor heavy_traffic.json sim_requests_per_s_streaming 10000000
+check_floor heavy_traffic.json speedup 8

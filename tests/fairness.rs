@@ -69,7 +69,7 @@ fn runs() -> &'static Runs {
 /// Fraction of the busy-window intervals `app` spent device-resident.
 fn resident_fraction(timeline: &FleetTimeline, app: usize) -> f64 {
     let rows: Vec<_> = timeline.per_app[app]
-        .rows
+        .rows()
         .iter()
         .filter(|r| r.t >= BUSY_FROM && r.t < BUSY_TO)
         .collect();
@@ -172,7 +172,7 @@ fn unsatisfiable_tenant_is_rejected_not_thrashed() {
             timeline.shifts_for(BULK)
         );
         assert!(timeline.per_app[BULK]
-            .rows
+            .rows()
             .iter()
             .all(|r| r.placement == Placement::Software));
     }
@@ -195,12 +195,12 @@ fn budgets_hold_and_fleet_energy_beats_all_software() {
 
     // Replay every interval's placement vector into fresh ledgers: no
     // device is ever oversubscribed, fairness clips included.
-    let n_rows = runs.fair.per_app[KVS].rows.len();
+    let n_rows = runs.fair.per_app[KVS].rows().len();
     for i in 0..n_rows {
         for dev in [ContendedFabricRig::TOR_A, ContendedFabricRig::TOR_B] {
             let mut ledger = DeviceCapacity::new(budget);
             for app in [KVS, DNS, PAX, BULK] {
-                if runs.fair.per_app[app].rows[i].placement == Placement::Device(dev) {
+                if runs.fair.per_app[app].rows()[i].placement == Placement::Device(dev) {
                     assert!(
                         ledger.admit(app as u64, demands[app]).is_ok(),
                         "row {i}: {dev} oversubscribed"

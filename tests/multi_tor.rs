@@ -92,7 +92,7 @@ fn fleet_run() -> &'static FleetRun {
 fn fleet_places_across_the_fabric_and_beats_static_schedules() {
     let shared = fleet_run();
     let fleet = &shared.timeline;
-    let n_rows = fleet.per_app[KVS].rows.len();
+    let n_rows = fleet.per_app[KVS].rows().len();
     let demands: Vec<ProgramResources> =
         MultiTorRig::fleet_apps().iter().map(|a| a.demand).collect();
 
@@ -103,7 +103,7 @@ fn fleet_places_across_the_fabric_and_beats_static_schedules() {
         for dev in [MultiTorRig::TOR_A, MultiTorRig::TOR_B] {
             let (mut stages, mut sram) = (0u32, 0u64);
             for app in [KVS, DNS, PAX] {
-                if fleet.per_app[app].rows[i].placement == Placement::Device(dev) {
+                if fleet.per_app[app].rows()[i].placement == Placement::Device(dev) {
                     stages += demands[app].stages;
                     sram += demands[app].sram_bytes;
                 }
@@ -158,7 +158,7 @@ fn fleet_places_across_the_fabric_and_beats_static_schedules() {
     let (spill_at, spill_to) = fleet.shifts_for(PAX)[0];
     assert_eq!(spill_to, Placement::Device(MultiTorRig::TOR_B));
     let kvs_at_spill = fleet.per_app[KVS]
-        .rows
+        .rows()
         .iter()
         .find(|r| r.t >= spill_at)
         .map(|r| r.placement)
@@ -196,8 +196,8 @@ fn fleet_places_across_the_fabric_and_beats_static_schedules() {
     // co-resident on the remote device for at least a few intervals.
     let co_resident = (0..n_rows)
         .filter(|&i| {
-            fleet.per_app[DNS].rows[i].placement == Placement::Device(MultiTorRig::TOR_B)
-                && fleet.per_app[PAX].rows[i].placement == Placement::Device(MultiTorRig::TOR_B)
+            fleet.per_app[DNS].rows()[i].placement == Placement::Device(MultiTorRig::TOR_B)
+                && fleet.per_app[PAX].rows()[i].placement == Placement::Device(MultiTorRig::TOR_B)
         })
         .count();
     assert!(co_resident >= 2, "dns+paxos never shared ToR B");
@@ -236,7 +236,7 @@ fn per_app_timelines_record_the_placement_windows() {
     let fleet = &fleet_run().timeline;
     let placement_at = |app: usize, t: Nanos| {
         fleet.per_app[app]
-            .rows
+            .rows()
             .iter()
             .find(|r| r.t >= t)
             .map(|r| r.placement)

@@ -1302,3 +1302,91 @@ proptest! {
         prop_assert_eq!(flat.queued_intervals(), hier.queued_intervals());
     }
 }
+
+// --- Streaming telemetry equivalence (measurement plane). ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A streaming (`RowLog::Recent`) timeline and the full row log
+    /// answer every full-span query identically — bit for bit for the
+    /// energy integral, mean power and mean throughput (both modes fold
+    /// rows through the same accumulators in push order), and within the
+    /// histogram's 1/32 relative-error bound for the median — on random
+    /// interval traces with irregular interval lengths, idle gaps and
+    /// arbitrary ring capacities.
+    #[test]
+    fn streaming_timeline_matches_full_row_log(
+        rows in proptest::collection::vec(
+            // (interval µs, completed, p50 ns, power mW); an idle gap
+            // before each row is derived below so spans are irregular.
+            (100u64..5_000, 0u64..100_000, 0u64..2_000_000, 1_000u64..500_000),
+            1..300,
+        ),
+        cap in 1usize..64,
+    ) {
+        use inc::hw::Placement;
+        use inc::ondemand::{RowLog, Timeline, TimelineRow};
+
+        let mut full = Timeline::new(RowLog::Full);
+        let mut recent = Timeline::new(RowLog::Recent(cap));
+        let mut t = Nanos::ZERO;
+        for &(interval_us, completed, p50, power_mw) in &rows {
+            let gap_us = (completed ^ p50) % 2_000;
+            t += Nanos::from_micros(gap_us + interval_us);
+            let interval = Nanos::from_micros(interval_us);
+            let row = TimelineRow {
+                t,
+                interval,
+                completed,
+                throughput_pps: completed as f64 / interval.as_secs_f64(),
+                latency_p50_ns: p50,
+                latency_p99_ns: p50 * 2,
+                power_w: power_mw as f64 / 1_000.0,
+                placement: Placement::Software,
+            };
+            full.push(row);
+            recent.push(row);
+        }
+        let span_to = t + Nanos::from_nanos(1);
+
+        prop_assert_eq!(full.energy_j().to_bits(), recent.energy_j().to_bits());
+        prop_assert_eq!(full.total_rows(), recent.total_rows());
+        prop_assert!(recent.retained_rows() <= 2 * cap);
+        prop_assert_eq!(
+            full.mean_power_w(Nanos::ZERO, span_to).map(f64::to_bits),
+            recent.mean_power_w(Nanos::ZERO, span_to).map(f64::to_bits)
+        );
+        prop_assert_eq!(
+            full.mean_throughput_pps(Nanos::ZERO, span_to).map(f64::to_bits),
+            recent.mean_throughput_pps(Nanos::ZERO, span_to).map(f64::to_bits)
+        );
+        // The median is the one full-span query answered differently:
+        // the full log reproduces the legacy exact semantics (mean of
+        // the two middles for even counts), the streaming mode answers
+        // from the latency sketch, whose documented target is the
+        // ceil(n/2)-th order statistic within 1/32 relative error.
+        let mut p50s: Vec<u64> = rows
+            .iter()
+            .map(|&(_, _, p50, _)| p50)
+            .filter(|&p| p > 0)
+            .collect();
+        p50s.sort_unstable();
+        let exact = full.median_latency_ns(Nanos::ZERO, span_to);
+        let sketch = recent.median_latency_ns(Nanos::ZERO, span_to);
+        prop_assert_eq!(exact.is_some(), sketch.is_some());
+        prop_assert_eq!(exact.is_some(), !p50s.is_empty());
+        if let Some(sketch) = sketch {
+            let (a, b) = (p50s[(p50s.len() - 1) / 2], p50s[p50s.len() / 2]);
+            prop_assert_eq!(
+                exact.unwrap(),
+                a / 2 + b / 2 + (a % 2 + b % 2).div_ceil(2),
+                "full-log median no longer matches the legacy formula"
+            );
+            prop_assert!(
+                sketch >= a && sketch <= a + a / 32 + 1,
+                "sketch median {} outside bound of order statistic {}", sketch, a
+            );
+        }
+    }
+}

@@ -69,7 +69,11 @@ fn fleet_arbitrates_the_shared_device_and_beats_every_static_schedule() {
 
     // --- The capacity bound held at every instant: the device never
     // hosted both programs.
-    for (rk, rd) in fleet.per_app[KVS].rows.iter().zip(&fleet.per_app[DNS].rows) {
+    for (rk, rd) in fleet.per_app[KVS]
+        .rows()
+        .iter()
+        .zip(fleet.per_app[DNS].rows())
+    {
         assert!(
             !(rk.placement == Placement::HARDWARE && rd.placement == Placement::HARDWARE),
             "both tenants hardware-resident at {}",
@@ -184,7 +188,7 @@ fn per_app_timelines_record_the_offload_windows() {
     // and software placement around the other's.
     let placement_at = |app: usize, t: Nanos| {
         fleet.per_app[app]
-            .rows
+            .rows()
             .iter()
             .find(|r| r.t >= t)
             .map(|r| r.placement)

@@ -81,7 +81,7 @@ fn runs() -> &'static Runs {
 /// Fraction of the busy-window intervals `app` spent device-resident.
 fn resident_fraction(timeline: &FleetTimeline, app: usize) -> f64 {
     let rows: Vec<_> = timeline.per_app[app]
-        .rows
+        .rows()
         .iter()
         .filter(|r| r.t >= BUSY_FROM && r.t < BUSY_TO)
         .collect();
@@ -372,12 +372,12 @@ fn budgets_hold_and_handovers_are_deliberate() {
     ] {
         // Replay every interval's placement vector into fresh ledgers:
         // no device is ever oversubscribed, clips included.
-        let n_rows = t.per_app[KVS].rows.len();
+        let n_rows = t.per_app[KVS].rows().len();
         for i in 0..n_rows {
             for (di, dev) in fabric.device_ids().enumerate() {
                 let mut ledger = DeviceCapacity::new(budgets[di]);
                 for app in [KVS, ANA, DNS, EDGE, PAX] {
-                    if t.per_app[app].rows[i].placement == Placement::Device(dev) {
+                    if t.per_app[app].rows()[i].placement == Placement::Device(dev) {
                         assert!(
                             ledger.admit(app as u64, demands[app]).is_ok(),
                             "{name} row {i}: {dev} oversubscribed"

@@ -1,0 +1,91 @@
+//! Smoke tests for the allocation-free per-request paths of the trace
+//! generators: one million samples from each must draw in bounded time
+//! (the heavy-traffic replay pushes tens of millions of requests through
+//! these per run, so a per-sample allocation or an accidental O(n) step
+//! would show up here as seconds, not milliseconds).
+
+use std::time::{Duration, Instant};
+
+use inc::sim::{Nanos, Rng};
+use inc::workloads::dynamo::PowerWalk;
+use inc::workloads::etc::{EtcOpKind, EtcWorkload};
+use inc::workloads::{GoogleTrace, WorkloadClass};
+
+const SAMPLES: u64 = 1_000_000;
+// Generous: these tests also run unoptimised under `cargo test`. The
+// per-sample paths are a few rng draws each, so even a debug build
+// clears 1M draws in well under a second on anything modern; 30 s only
+// trips on a real per-sample allocation or complexity regression.
+const BOUND: Duration = Duration::from_secs(30);
+
+#[test]
+fn etc_draws_one_million_samples_in_bounded_time() {
+    let mut w = EtcWorkload::new(1_000_000);
+    let mut rng = Rng::new(11);
+    let mut key = [0u8; EtcWorkload::KEY_LEN];
+    let start = Instant::now();
+    let (mut gets, mut set_bytes, mut key_bytes) = (0u64, 0u64, 0u64);
+    for _ in 0..SAMPLES {
+        let s = w.next_sample(&mut rng);
+        EtcWorkload::key_for_rank_into(s.rank, &mut key);
+        key_bytes += u64::from(key[4]);
+        match s.kind {
+            EtcOpKind::Get => gets += 1,
+            EtcOpKind::Set => set_bytes += s.value_len as u64,
+        }
+    }
+    let elapsed = start.elapsed();
+    assert!(elapsed < BOUND, "1M ETC samples took {elapsed:?}");
+    // The mix survived the streaming path.
+    let ratio = gets as f64 / SAMPLES as f64;
+    assert!((ratio - 0.97).abs() < 0.01, "get ratio {ratio}");
+    assert!(set_bytes > 0);
+    assert!(key_bytes > 0);
+}
+
+#[test]
+fn dynamo_walks_one_million_steps_in_bounded_time() {
+    let mut rng = Rng::new(12);
+    let mut walk = PowerWalk::new(WorkloadClass::Rack);
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..SAMPLES {
+        acc += walk.next_w(&mut rng);
+    }
+    let elapsed = start.elapsed();
+    assert!(elapsed < BOUND, "1M Dynamo steps took {elapsed:?}");
+    // The walk stayed inside its stationary clamp band.
+    let mean = acc / SAMPLES as f64;
+    assert!((2_400.0..16_000.0).contains(&mean), "mean {mean}");
+}
+
+#[test]
+fn dynamo_walk_matches_synthesized_trace_levels() {
+    let mut rng_trace = Rng::new(99);
+    let trace = inc::workloads::PowerTrace::synthesize(&mut rng_trace, WorkloadClass::Cache, 500);
+    let mut rng_walk = Rng::new(99);
+    let mut walk = PowerWalk::new(WorkloadClass::Cache);
+    for &(t, level) in trace.series.points() {
+        let w = walk.next_w(&mut rng_walk);
+        assert_eq!(w.to_bits(), level.to_bits(), "diverged at {t}");
+    }
+}
+
+#[test]
+fn google_candidate_scan_streams_one_million_tasks_in_bounded_time() {
+    // 1M synthesized tasks, then a streaming candidate scan over all of
+    // them — the iterator path must not materialise a Vec per query.
+    let mut rng = Rng::new(13);
+    let trace = GoogleTrace::synthesize(&mut rng, 1_000, Nanos::from_secs(24 * 3600), 1_000);
+    assert_eq!(trace.tasks.len(), 1_000_000);
+    let start = Instant::now();
+    let mut candidates = 0u64;
+    for _ in 0..8 {
+        candidates += trace
+            .offload_candidates_iter(0.10, Nanos::from_secs(300))
+            .count() as u64;
+    }
+    let elapsed = start.elapsed();
+    assert!(elapsed < BOUND, "8 scans of 1M tasks took {elapsed:?}");
+    assert!(candidates > 0);
+}
