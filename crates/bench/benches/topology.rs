@@ -16,6 +16,7 @@ use inc_ondemand::{
     PlacementAnalysis,
 };
 use inc_power::EnergyParams;
+use inc_power::LinkEnergyModel;
 use inc_sim::Nanos;
 
 fn sample(rate: f64) -> FleetSample {
@@ -65,14 +66,9 @@ fn pod_fleet(n: usize, pods: usize, claim_policy: ClaimPolicy) -> FleetControlle
         claim_policy,
         ..FleetControllerConfig::standard(Nanos::from_millis(1))
     };
-    let intra = TierCost {
-        link_energy_nj: 500.0,
-        ..TierCost::standard_intra_pod()
-    };
-    let inter = TierCost {
-        link_energy_nj: 1_500.0,
-        ..TierCost::standard_inter_pod()
-    };
+    let link = LinkEnergyModel::arista_class();
+    let intra = TierCost::calibrated_intra_pod(&link);
+    let inter = TierCost::calibrated_inter_pod(&link);
     FleetController::new(
         config,
         DeviceFabric::homogeneous(

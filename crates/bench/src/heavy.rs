@@ -232,7 +232,9 @@ impl HeavyTrafficRig {
     }
 
     /// A hierarchical controller (incremental mode, 5 % dead band) over
-    /// the [`MegaFabricRig`] fabric and this rig's tenants.
+    /// the [`MegaFabricRig`] fabric — whose detour prices are calibrated
+    /// from the §9.4 switch model, see
+    /// [`MegaFabricRig::fabric`] — and this rig's tenants.
     pub fn controller(&self) -> HierarchicalController {
         HierarchicalController::new(
             ArbiterConfig {

@@ -20,7 +20,7 @@ use inc_paxos::{
     Acceptor, AcceptorStorage, AddressBook, HostConfig, Leader, Learner, PaxosClient, PaxosNode,
     Platform, RoleEngine, PAXOS_ACCEPTOR_PORT, PAXOS_LEADER_PORT, PAXOS_LEARNER_PORT,
 };
-use inc_power::{calib, EnergyParams};
+use inc_power::{calib, EnergyParams, LinkEnergyModel};
 use inc_sim::{LinkSpec, Nanos, Node, NodeId, PortId, Rng, Simulator};
 use inc_workloads::{RateProfile, Zipf};
 use std::cell::Cell;
@@ -1776,23 +1776,19 @@ impl PodFabricRig {
     /// The starvation window of the rig's fairness configuration.
     pub const STARVATION_WINDOW: u32 = 8;
 
-    /// The intra-pod tier: the standard 2 µs / 0.85 detour plus a
-    /// metered 500 nJ per packet per direction of aggregation-switch
-    /// port energy.
+    /// The intra-pod tier: the standard 2 µs / 0.85 detour plus the
+    /// metered aggregation-switch port energy, calibrated from the
+    /// §9.4 switch figures (exactly 500 nJ per packet per direction —
+    /// the value this rig used to quote by hand).
     pub fn intra_pod() -> TierCost {
-        TierCost {
-            link_energy_nj: 500.0,
-            ..TierCost::standard_intra_pod()
-        }
+        TierCost::calibrated_intra_pod(&LinkEnergyModel::arista_class())
     }
 
     /// The inter-pod tier: the standard 6 µs / 0.70 core detour plus
-    /// 1500 nJ per packet per direction (three switch traversals).
+    /// three calibrated switch traversals (exactly 1500 nJ per packet
+    /// per direction).
     pub fn inter_pod() -> TierCost {
-        TierCost {
-            link_energy_nj: 1_500.0,
-            ..TierCost::standard_inter_pod()
-        }
+        TierCost::calibrated_inter_pod(&LinkEnergyModel::arista_class())
     }
 
     /// The small-ToR budget: 10 stages / 32 MB (an older-generation
@@ -2025,16 +2021,19 @@ impl MegaFabricRig {
     /// recovering).
     pub const CHURN_PERIOD: u64 = 4;
 
-    /// The 128-device fat-tree fabric under the standard tier costs.
+    /// The 128-device fat-tree fabric under the calibrated tier costs
+    /// (standard latency/haircut terms, link energy metered from the
+    /// §9.4 switch model).
     pub fn fabric() -> DeviceFabric {
+        let link = LinkEnergyModel::arista_class();
         DeviceFabric::homogeneous(
             Self::DEVICES,
             PipelineBudget::tofino_like(),
             Topology::fat_tree(
                 Self::PODS,
                 Self::TORS_PER_POD,
-                TierCost::standard_intra_pod(),
-                TierCost::standard_inter_pod(),
+                TierCost::calibrated_intra_pod(&link),
+                TierCost::calibrated_inter_pod(&link),
             ),
         )
     }

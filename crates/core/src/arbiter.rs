@@ -61,7 +61,7 @@ use inc_sim::Nanos;
 use crate::fleet::pricing;
 use crate::fleet::{
     AdmissionDecision, FleetApp, FleetControllerConfig, FleetSample, FleetScheduler, FleetShift,
-    ShiftReason,
+    PriceRule, ShiftReason, TenureEstimator, TenurePolicy,
 };
 
 /// How the hierarchical pipeline schedules re-scoring work.
@@ -181,10 +181,15 @@ pub struct HierarchicalController {
     shifts: Vec<FleetShift>,
     /// Held scoring rate per app; NaN until the first sample arrives.
     held_rates: Vec<f64>,
-    /// The §8 raw benefit at the held rate, cached so a clean tick never
-    /// re-runs the energy model (it only changes when the held rate
-    /// does).
+    /// The §8 raw benefit at the held rate, priced by the configured
+    /// [`Objective`](crate::fleet::Objective) (plain watts under
+    /// `Joules`), cached so a clean tick never re-runs the energy model
+    /// (it only changes when the held rate does).
     held_raw_w: Vec<f64>,
+    /// Per-app online tenure estimators (consulted only under
+    /// [`TenurePolicy::Learned`]); observe the same shift stream as the
+    /// flat controller's, so the two stay bit-equivalent.
+    tenures: Vec<TenureEstimator>,
     /// Per-app starvation threshold (a pure function of config and the
     /// app's weight, so computed once).
     thresholds: Vec<u32>,
@@ -226,11 +231,7 @@ impl HierarchicalController {
                 app.weight
             );
         }
-        assert!(
-            config.fleet.migration_cost_j.is_finite() && config.fleet.migration_cost_j >= 0.0,
-            "migration_cost_j {} must be finite and non-negative",
-            config.fleet.migration_cost_j
-        );
+        config.fleet.validate();
         assert!(
             config.rate_deadband.is_finite() && config.rate_deadband >= 0.0,
             "rate_deadband {} must be finite and non-negative",
@@ -273,6 +274,7 @@ impl HierarchicalController {
             shifts: Vec::new(),
             held_rates: vec![f64::NAN; n],
             held_raw_w: vec![f64::NAN; n],
+            tenures: vec![TenureEstimator::new(); n],
             thresholds,
             pending_dirty: vec![false; n],
             pending_device_dirty: vec![false; devices],
@@ -356,8 +358,43 @@ impl HierarchicalController {
         self.pending_device_dirty[device.index()] = true;
     }
 
+    /// Expected placement tenure of `app` in scheduler intervals (the
+    /// learned estimate under [`TenurePolicy::Learned`], the config
+    /// constant otherwise) — same contract as
+    /// [`FleetController::expected_tenure_samples`](crate::fleet::FleetController::expected_tenure_samples).
+    pub fn expected_tenure_samples(&self, app: usize) -> f64 {
+        match self.config.fleet.tenure {
+            TenurePolicy::Fixed => f64::from(self.config.fleet.expected_tenure_samples.max(1)),
+            TenurePolicy::Learned { .. } => {
+                self.tenures[app].expected_samples(self.config.fleet.expected_tenure_samples)
+            }
+        }
+    }
+
+    /// The online tenure estimator of `app` (its EWMA state advances on
+    /// every recorded shift whatever the [`TenurePolicy`]).
+    pub fn tenure_estimator(&self, app: usize) -> &TenureEstimator {
+        &self.tenures[app]
+    }
+
+    /// The objective-priced migration debit charged against a move of
+    /// `app` — mirrors `FleetController::migration_value` exactly, so
+    /// flat and hierarchical runs price moves identically.
+    fn migration_value(&self, app: usize) -> f64 {
+        let config = &self.config.fleet;
+        let watts = match config.tenure {
+            TenurePolicy::Fixed => pricing::migration_w(config),
+            TenurePolicy::Learned { .. } => pricing::migration_w_for(
+                config,
+                self.tenures[app].expected_samples(config.expected_tenure_samples),
+            ),
+        };
+        config.objective.value_of_w(watts)
+    }
+
     fn sticky_score(&self, app: usize, device: DeviceId) -> f64 {
         let eff = pricing::effective_benefit_w(
+            &self.config.fleet,
             &self.fabric,
             &self.apps[app],
             device,
@@ -387,7 +424,7 @@ impl HierarchicalController {
         assert_eq!(samples.len(), self.apps.len(), "one sample per app");
         let n = self.apps.len();
         let sustain = self.config.fleet.sustain_samples;
-        let floor = self.config.fleet.min_benefit_w;
+        let floor = pricing::floor_value(&self.config.fleet);
         self.stats.ticks += 1;
 
         // --- Phase 0+1: measure, hold, account streaks, build the dirty
@@ -448,10 +485,11 @@ impl HierarchicalController {
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
             if !((measured - held).abs() <= deadband * held.abs().max(1.0)) {
                 self.held_rates[i] = measured;
-                self.held_raw_w[i] = pricing::raw_benefit_w(&self.apps[i], measured);
+                self.held_raw_w[i] =
+                    pricing::raw_value(&self.config.fleet, &self.apps[i], measured);
                 Self::mark(&mut dirty, &mut queue, &mut self.stats, i);
             }
-            // The cached raw benefit makes a clean tick free of energy-
+            // The cached raw value makes a clean tick free of energy-
             // model evaluations; `delivered` applies the same haircut
             // arithmetic as `pricing::effective_benefit_w`.
             let raw = self.held_raw_w[i];
@@ -478,8 +516,14 @@ impl HierarchicalController {
             match self.placements[i] {
                 Placement::Software => self.down_streaks[i] = 0,
                 Placement::Device(d) => {
-                    let delivered = raw * self.fabric.benefit_factor(self.apps[i].home, d)
-                        - self.fabric.link_energy_w(self.apps[i].home, d, rate);
+                    let delivered = pricing::effective_value_of(
+                        &self.config.fleet,
+                        &self.fabric,
+                        self.apps[i].home,
+                        d,
+                        raw,
+                        rate,
+                    );
                     if delivered < evict_w {
                         self.down_streaks[i] = self.down_streaks[i].saturating_add(1);
                     } else {
@@ -636,11 +680,22 @@ impl HierarchicalController {
                 self.down_streaks[i] = 0;
                 self.starved_streaks[i] = 0;
                 self.fair_hold[i] = fair_placed[i];
+                self.tenures[i].observe_shift(
+                    now,
+                    self.config.fleet.interval,
+                    self.config.fleet.tenure.ewma_alpha(),
+                );
                 let benefit_w = match want {
-                    Placement::Device(d) => {
-                        pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rates[i])
+                    Placement::Device(d) => pricing::effective_benefit_w(
+                        &self.config.fleet,
+                        &self.fabric,
+                        &self.apps[i],
+                        d,
+                        rates[i],
+                    ),
+                    Placement::Software => {
+                        pricing::raw_value(&self.config.fleet, &self.apps[i], rates[i])
                     }
-                    Placement::Software => pricing::raw_benefit_w(&self.apps[i], rates[i]),
                 };
                 self.shifts.push(FleetShift {
                     at: now,
@@ -661,7 +716,7 @@ impl HierarchicalController {
     /// device in exactly the flat controller's candidate order.
     fn solve_pod(&mut self, pod: u16, selected: &mut [Option<DeviceId>]) {
         let sustain = self.config.fleet.sustain_samples;
-        let floor = self.config.fleet.min_benefit_w;
+        let floor = pricing::floor_value(&self.config.fleet);
         let devices: Vec<DeviceId> = self.fabric.pod_devices(pod).collect();
         let mut heaps: Vec<BinaryHeap<Cand>> = devices.iter().map(|_| BinaryHeap::new()).collect();
         let push = |heaps: &mut Vec<BinaryHeap<Cand>>, k: usize, score: f64, app: usize| {
@@ -687,16 +742,25 @@ impl HierarchicalController {
                     for (k, &d) in devices.iter().enumerate() {
                         if d == cur {
                             self.stats.candidates_scored += 1;
-                            let eff =
-                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate);
+                            let eff = pricing::effective_benefit_w(
+                                &self.config.fleet,
+                                &self.fabric,
+                                &self.apps[i],
+                                d,
+                                rate,
+                            );
                             let score = pricing::per_capacity(&self.fabric, &self.apps[i], d, eff)
                                 * self.config.fleet.stickiness;
                             push(&mut heaps, k, score, i);
                         } else if self.up_streaks[i] >= sustain {
                             self.stats.candidates_scored += 1;
-                            let mb =
-                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate)
-                                    - pricing::migration_w(&self.config.fleet);
+                            let mb = pricing::effective_benefit_w(
+                                &self.config.fleet,
+                                &self.fabric,
+                                &self.apps[i],
+                                d,
+                                rate,
+                            ) - self.migration_value(i);
                             if mb >= floor {
                                 let score =
                                     pricing::per_capacity(&self.fabric, &self.apps[i], d, mb);
@@ -712,8 +776,13 @@ impl HierarchicalController {
                     if self.up_streaks[i] >= sustain {
                         for (k, &d) in devices.iter().enumerate() {
                             self.stats.candidates_scored += 1;
-                            let eff =
-                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate);
+                            let eff = pricing::effective_benefit_w(
+                                &self.config.fleet,
+                                &self.fabric,
+                                &self.apps[i],
+                                d,
+                                rate,
+                            );
                             if eff >= floor {
                                 let score =
                                     pricing::per_capacity(&self.fabric, &self.apps[i], d, eff);
@@ -761,8 +830,7 @@ impl HierarchicalController {
     fn coordinate(&mut self, selected: &mut [Option<DeviceId>]) -> (Vec<bool>, Vec<bool>) {
         let n = self.apps.len();
         let sustain = self.config.fleet.sustain_samples;
-        let floor = self.config.fleet.min_benefit_w;
-        let migration = pricing::migration_w(&self.config.fleet);
+        let floor = pricing::floor_value(&self.config.fleet);
 
         // (a) Cross-pod candidates: spills for apps their home pod could
         // not place, and moves (including repatriation) for cross-pod
@@ -781,6 +849,7 @@ impl HierarchicalController {
                         continue;
                     }
                     let cross = self.fabric.pod(cur) != self.home_pod[i];
+                    let migration = self.migration_value(i);
                     if cross && seat == Some(cur) {
                         let sticky = self.sticky_score(i, cur);
                         for d in self.fabric.device_ids() {
@@ -788,9 +857,13 @@ impl HierarchicalController {
                                 continue;
                             }
                             self.stats.candidates_scored += 1;
-                            let mb =
-                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate)
-                                    - migration;
+                            let mb = pricing::effective_benefit_w(
+                                &self.config.fleet,
+                                &self.fabric,
+                                &self.apps[i],
+                                d,
+                                rate,
+                            ) - migration;
                             if mb >= floor {
                                 let sc = pricing::per_capacity(&self.fabric, &self.apps[i], d, mb);
                                 if sc > sticky {
@@ -805,9 +878,13 @@ impl HierarchicalController {
                                 continue;
                             }
                             self.stats.candidates_scored += 1;
-                            let mb =
-                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate)
-                                    - migration;
+                            let mb = pricing::effective_benefit_w(
+                                &self.config.fleet,
+                                &self.fabric,
+                                &self.apps[i],
+                                d,
+                                rate,
+                            ) - migration;
                             if mb >= floor {
                                 cands.push((
                                     pricing::per_capacity(&self.fabric, &self.apps[i], d, mb),
@@ -825,8 +902,13 @@ impl HierarchicalController {
                                 continue;
                             }
                             self.stats.candidates_scored += 1;
-                            let eff =
-                                pricing::effective_benefit_w(&self.fabric, &self.apps[i], d, rate);
+                            let eff = pricing::effective_benefit_w(
+                                &self.config.fleet,
+                                &self.fabric,
+                                &self.apps[i],
+                                d,
+                                rate,
+                            );
                             if eff >= floor {
                                 cands.push((
                                     pricing::per_capacity(&self.fabric, &self.apps[i], d, eff),
@@ -895,6 +977,7 @@ impl HierarchicalController {
                     &self.fabric,
                     |j| selected[j],
                     |j| fair_placed[j],
+                    |j| self.migration_value(j),
                     i,
                     &self.held_rates,
                 );

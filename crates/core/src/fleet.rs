@@ -112,31 +112,81 @@ pub(crate) mod pricing {
     use super::*;
 
     /// Estimated power saved by offloading `app` at `rate_pps` (§8
-    /// dynamic terms), before any locality penalty.
+    /// dynamic terms), before any locality penalty. Watts, regardless of
+    /// the configured objective.
     pub(crate) fn raw_benefit_w(app: &FleetApp, rate_pps: f64) -> f64 {
         let (sw, hw) = app.analysis.energy_per_second(rate_pps);
         sw - hw
     }
 
-    /// The benefit of placing `app` on `device`: the raw §8 benefit
-    /// behind the topology's locality haircut, minus detour link power.
+    /// The objective-priced raw benefit of `app` at `rate_pps`: the §8
+    /// watts pushed through [`Objective::value_of_w`]. Identical to
+    /// [`raw_benefit_w`] under [`Objective::Joules`].
+    pub(crate) fn raw_value(config: &FleetControllerConfig, app: &FleetApp, rate_pps: f64) -> f64 {
+        config.objective.value_of_w(raw_benefit_w(app, rate_pps))
+    }
+
+    /// The objective value of placing a seat whose objective-priced raw
+    /// benefit is `raw_value` on `at`: the raw value behind the
+    /// topology's locality haircut, minus the objective-priced detour
+    /// cost. The one formula both controllers score remote seats with —
+    /// callers that cache the raw value (the incremental arbiter) and
+    /// callers that recompute it must go through here so a single float
+    /// never drifts between the engines.
+    pub(crate) fn effective_value_of(
+        config: &FleetControllerConfig,
+        fabric: &DeviceFabric,
+        home: DeviceId,
+        at: DeviceId,
+        raw_value: f64,
+        rate_pps: f64,
+    ) -> f64 {
+        raw_value * fabric.benefit_factor(home, at)
+            - config.objective.detour_value(fabric, home, at, rate_pps)
+    }
+
+    /// The objective value of placing `app` on `device`
+    /// ([`effective_value_of`] with the raw value computed in place).
+    /// Under [`Objective::Joules`] this is the historical
+    /// `effective_benefit_w` in watts, bit for bit.
     pub(crate) fn effective_benefit_w(
+        config: &FleetControllerConfig,
         fabric: &DeviceFabric,
         app: &FleetApp,
         device: DeviceId,
         rate_pps: f64,
     ) -> f64 {
-        raw_benefit_w(app, rate_pps) * fabric.benefit_factor(app.home, device)
-            - fabric.link_energy_w(app.home, device, rate_pps)
+        effective_value_of(
+            config,
+            fabric,
+            app.home,
+            device,
+            raw_value(config, app, rate_pps),
+            rate_pps,
+        )
     }
 
-    /// The amortised switchover debit, watts.
-    pub(crate) fn migration_w(config: &FleetControllerConfig) -> f64 {
+    /// The objective-priced offload floor: what a candidate's effective
+    /// value must clear ([`FleetControllerConfig::min_benefit_w`] under
+    /// [`Objective::Joules`]).
+    pub(crate) fn floor_value(config: &FleetControllerConfig) -> f64 {
+        config.objective.value_of_w(config.min_benefit_w)
+    }
+
+    /// The amortised switchover debit of a placement expected to hold
+    /// `tenure_samples` sampling intervals, watts.
+    pub(crate) fn migration_w_for(config: &FleetControllerConfig, tenure_samples: f64) -> f64 {
         if config.migration_cost_j <= 0.0 {
             return 0.0;
         }
-        config.migration_cost_j
-            / (f64::from(config.expected_tenure_samples.max(1)) * config.interval.as_secs_f64())
+        config.migration_cost_j / (tenure_samples.max(1.0) * config.interval.as_secs_f64())
+    }
+
+    /// The amortised switchover debit at the *configured* tenure, watts
+    /// (the [`TenurePolicy::Fixed`] debit, and the learned policy's
+    /// fallback before an app has any shift history).
+    pub(crate) fn migration_w(config: &FleetControllerConfig) -> f64 {
+        migration_w_for(config, f64::from(config.expected_tenure_samples.max(1)))
     }
 
     /// `benefit_w` per capacity unit of `app`'s demand on `device` (the
@@ -173,7 +223,10 @@ pub(crate) mod pricing {
     /// Plans a fairness hand-over for `app` on every feasible device of
     /// the assignment described by `fabric`/`resident_on` (see
     /// [`FleetController::claim_plans`]). `protected` marks incumbents a
-    /// claim may not clip.
+    /// claim may not clip; `migration_value_of` prices each tenant's
+    /// switchover in objective units (per-app under
+    /// [`TenurePolicy::Learned`], the flat config debit under
+    /// [`TenurePolicy::Fixed`]).
     #[allow(clippy::too_many_arguments)] // free function shared by both controllers
     pub(crate) fn plan_handovers(
         config: &FleetControllerConfig,
@@ -182,17 +235,33 @@ pub(crate) mod pricing {
         fabric: &DeviceFabric,
         resident_on: impl Fn(usize) -> Option<DeviceId>,
         protected: impl Fn(usize) -> bool,
+        migration_value_of: impl Fn(usize) -> f64,
         app: usize,
         rates: &[f64],
     ) -> Vec<ClaimPlan> {
         let n = apps.len();
         let total_w = contending_weight(apps, starved, app, |j| resident_on(j).is_some());
-        let migration_w = migration_w(config);
+        let floor = floor_value(config);
         let mut plans = Vec::new();
         for d in fabric.device_ids() {
-            if effective_benefit_w(fabric, &apps[app], d, rates[app]) < config.min_benefit_w {
+            if effective_benefit_w(config, fabric, &apps[app], d, rates[app]) < floor {
                 continue;
             }
+            // The share a seat counts for against its entitlement. Under
+            // tier-weighted entitlements a remote seat is discounted by
+            // the locality factor of its distance — a cross-core seat
+            // "occupies" less of the fleet than a home-rack one, so far
+            // incumbents are clipped later and claimants must starve
+            // longer to displace them.
+            let seat_share = |j: usize| -> f64 {
+                let share = fabric.device(d).dominant_share(j as u64);
+                match config.entitlement {
+                    EntitlementPolicy::Uniform => share,
+                    EntitlementPolicy::TierWeighted => {
+                        share * fabric.benefit_factor(apps[j].home, d)
+                    }
+                }
+            };
             // Simulate the clip sequence on a scratch ledger: release the
             // most over-weighted over-entitled incumbents until the
             // claimant fits (or the clippable set runs out).
@@ -203,12 +272,12 @@ pub(crate) mod pricing {
                     .filter(|&j| {
                         resident_on(j) == Some(d)
                             && !protected(j)
-                            && fabric.device(d).dominant_share(j as u64) > apps[j].weight / total_w
+                            && seat_share(j) > apps[j].weight / total_w
                     })
                     .collect();
                 over.sort_by(|&a, &b| {
-                    let sa = fabric.device(d).dominant_share(a as u64) / apps[a].weight;
-                    let sb = fabric.device(d).dominant_share(b as u64) / apps[b].weight;
+                    let sa = seat_share(a) / apps[a].weight;
+                    let sb = seat_share(b) / apps[b].weight;
                     sb.total_cmp(&sa).then(a.cmp(&b))
                 });
                 let mut fits = false;
@@ -226,18 +295,30 @@ pub(crate) mod pricing {
             }
             let clipped_benefit_w = clips
                 .iter()
-                .map(|&j| effective_benefit_w(fabric, &apps[j], d, rates[j]))
+                .map(|&j| effective_benefit_w(config, fabric, &apps[j], d, rates[j]))
                 .sum();
+            // Under the fixed policy every debit is the same, so the sum
+            // is kept as a multiply (bit-compatible with the historical
+            // arithmetic); per-app estimates must genuinely be summed.
+            let migration_w = match config.tenure {
+                TenurePolicy::Fixed => {
+                    config.objective.value_of_w(migration_w(config)) * (clips.len() + 1) as f64
+                }
+                TenurePolicy::Learned { .. } => {
+                    clips.iter().map(|&j| migration_value_of(j)).sum::<f64>()
+                        + migration_value_of(app)
+                }
+            };
             plans.push(ClaimPlan {
                 device: d,
-                migration_w: migration_w * (clips.len() + 1) as f64,
+                migration_w,
                 clips,
                 clipped_benefit_w,
                 score: per_capacity(
                     fabric,
                     &apps[app],
                     d,
-                    effective_benefit_w(fabric, &apps[app], d, rates[app]),
+                    effective_benefit_w(config, fabric, &apps[app], d, rates[app]),
                 ),
             });
         }
@@ -351,10 +432,13 @@ pub struct ClaimPlan {
     /// device already has room.
     pub clips: Vec<usize>,
     /// Summed benefit the clipped incumbents currently deliver on this
-    /// device, watts: what the fleet forfeits until they re-place.
+    /// device, in objective units (watts under [`Objective::Joules`]):
+    /// what the fleet forfeits until they re-place.
     pub clipped_benefit_w: f64,
-    /// Amortised switchover debit of the hand-over, watts: one migration
-    /// charge per clipped incumbent plus one for the claimant.
+    /// Amortised switchover debit of the hand-over, in objective units:
+    /// one migration charge per clipped incumbent plus one for the
+    /// claimant (each tenant's own estimated tenure under
+    /// [`TenurePolicy::Learned`]).
     pub migration_w: f64,
     /// The claimant's own knapsack score on this device (the
     /// [`ClaimPolicy::BestScore`] ranking key).
@@ -400,6 +484,270 @@ pub struct FleetSample {
     pub offered_pps: f64,
 }
 
+/// The pricing rule behind an [`Objective`]: how the raw §8 watts of an
+/// offload and the link power of a placement detour translate into the
+/// units the scheduler actually optimises. Factored as a trait so
+/// analysis code can price placements under any rule; the controllers
+/// consume it through the [`Objective`] enum carried by
+/// [`FleetControllerConfig::objective`].
+pub trait PriceRule {
+    /// Price `watts` of host-side §8 saving (or debit) in objective
+    /// units per second. Applied to raw benefits, the offload floor and
+    /// migration debits, so scale-only rules degenerate cleanly.
+    fn value_of_w(&self, watts: f64) -> f64;
+
+    /// The objective-priced cost of the detour a seat at `at` pays for
+    /// an app homed at `home` running `rate_pps` packets/second (zero at
+    /// home). Subtracted from the haircut benefit to form the effective
+    /// value of a placement.
+    fn detour_value(
+        &self,
+        fabric: &DeviceFabric,
+        home: DeviceId,
+        at: DeviceId,
+        rate_pps: f64,
+    ) -> f64;
+}
+
+/// What a placement is worth: the currency the fleet scheduler's
+/// knapsack, hysteresis floors, migration debits and fairness hand-over
+/// prices are all denominated in. Gray's *Distributed Computing
+/// Economics* argues placement is a price question, and the price is
+/// not always energy — the objective makes the currency pluggable while
+/// keeping every decision formula shared between the flat and
+/// hierarchical controllers.
+///
+/// [`Objective::Joules`] is the default and reproduces the historical
+/// watts-denominated behaviour bit for bit. A [`Objective::Dollar`]
+/// rule with `per_joule > 0` and `per_gb_moved = 0` is a uniform
+/// rescaling of every compared quantity, so it makes identical
+/// decisions to `Joules`; the economics only diverge when moved bytes
+/// are priced ([`Objective::Dollar::per_gb_moved`]) or carbon
+/// intensity differs across tiers ([`Objective::Carbon`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Objective {
+    /// Maximise estimated energy saving: values are watts (the paper's
+    /// §8 objective, the default).
+    Joules,
+    /// Maximise dollars: energy priced per joule, plus an egress-style
+    /// price on every gigabyte a placement detour moves through the
+    /// fabric (Gray: "put the computation near the data").
+    Dollar {
+        /// Dollars per joule of host-side energy (and of detour link
+        /// energy). Must be finite and positive.
+        per_joule: f64,
+        /// Dollars per gigabyte of traffic a remote seat detours
+        /// through the fabric. Must be finite and non-negative.
+        per_gb_moved: f64,
+    },
+    /// Minimise carbon: energy priced by the grid intensity of the
+    /// power domain it is drawn in, indexed by hop tier.
+    Carbon {
+        /// Carbon intensity per joule by [`Topology::distance`]
+        /// (`[home, intra-pod, inter-pod]`): index 0 prices host-side
+        /// power, the seat's tier prices its detour link power. All
+        /// entries must be finite and positive.
+        ///
+        /// [`Topology::distance`]: inc_hw::Topology::distance
+        per_joule_by_tier: [f64; 3],
+    },
+}
+
+impl Objective {
+    /// Bytes per detoured packet used to convert a seat's packet rate
+    /// into moved gigabytes (the paper's §9.4 1500 B query size).
+    pub const DETOUR_PACKET_BYTES: f64 = 1500.0;
+
+    /// Panics unless every price in the rule is usable (finite;
+    /// positive where a zero would make the floor degenerate).
+    fn validate(&self) {
+        match *self {
+            Objective::Joules => {}
+            Objective::Dollar {
+                per_joule,
+                per_gb_moved,
+            } => {
+                assert!(
+                    per_joule.is_finite() && per_joule > 0.0,
+                    "Dollar per_joule {per_joule} must be finite and positive"
+                );
+                assert!(
+                    per_gb_moved.is_finite() && per_gb_moved >= 0.0,
+                    "Dollar per_gb_moved {per_gb_moved} must be finite and non-negative"
+                );
+            }
+            Objective::Carbon { per_joule_by_tier } => {
+                for (tier, &p) in per_joule_by_tier.iter().enumerate() {
+                    assert!(
+                        p.is_finite() && p > 0.0,
+                        "Carbon per_joule_by_tier[{tier}] {p} must be finite and positive"
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl PriceRule for Objective {
+    fn value_of_w(&self, watts: f64) -> f64 {
+        match *self {
+            // The identity must literally return its input — no `1.0 ×`
+            // — so Joules pricing is the historical arithmetic bit for
+            // bit (pinned by the equivalence proptests).
+            Objective::Joules => watts,
+            Objective::Dollar { per_joule, .. } => per_joule * watts,
+            Objective::Carbon { per_joule_by_tier } => per_joule_by_tier[0] * watts,
+        }
+    }
+
+    fn detour_value(
+        &self,
+        fabric: &DeviceFabric,
+        home: DeviceId,
+        at: DeviceId,
+        rate_pps: f64,
+    ) -> f64 {
+        let link_w = fabric.link_energy_w(home, at, rate_pps);
+        match *self {
+            Objective::Joules => link_w,
+            Objective::Dollar {
+                per_joule,
+                per_gb_moved,
+            } => {
+                // Request + response cross the detour once each, so a
+                // remote seat moves 2 × 1500 B × rate through the fabric
+                // per tier it is away from home.
+                let gb_per_s = f64::from(fabric.distance(home, at))
+                    * 2.0
+                    * Objective::DETOUR_PACKET_BYTES
+                    * 1e-9
+                    * rate_pps;
+                per_joule * link_w + per_gb_moved * gb_per_s
+            }
+            Objective::Carbon { per_joule_by_tier } => {
+                per_joule_by_tier[fabric.distance(home, at) as usize] * link_w
+            }
+        }
+    }
+}
+
+/// How the scheduler amortises [`FleetControllerConfig::migration_cost_j`]:
+/// over a fixed configured tenure, or over each app's own observed
+/// placement tenure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TenurePolicy {
+    /// Every move is amortised over
+    /// [`FleetControllerConfig::expected_tenure_samples`] (the default,
+    /// the historical behaviour).
+    Fixed,
+    /// Each app's tenure is estimated online from its own shift history
+    /// (an EWMA of inter-shift gaps, see [`TenureEstimator`]), falling
+    /// back to the config constant until a first gap is observed. Sticky
+    /// tenants migrate cheaply; flappy ones are debited honestly.
+    Learned {
+        /// EWMA gain in `(0, 1]`: the weight of the newest inter-shift
+        /// gap.
+        alpha: f64,
+    },
+}
+
+impl TenurePolicy {
+    /// EWMA gain used to fold observed inter-shift gaps: the configured
+    /// gain under [`TenurePolicy::Learned`]; a default 0.3 under
+    /// [`TenurePolicy::Fixed`], where the estimate is maintained for
+    /// observability but never priced.
+    pub fn ewma_alpha(self) -> f64 {
+        match self {
+            TenurePolicy::Fixed => 0.3,
+            TenurePolicy::Learned { alpha } => alpha,
+        }
+    }
+}
+
+/// How a seat's dominant share is counted against its fair-share
+/// entitlement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntitlementPolicy {
+    /// A seat's dominant share counts at face value wherever it is
+    /// placed (the default, the historical behaviour).
+    Uniform,
+    /// A seat's dominant share is scaled by the locality factor of its
+    /// placement (`Topology::benefit_factor`, a function of
+    /// `Topology::distance`): a cross-core seat counts for less of the
+    /// fleet than a home-rack one, so tenants parked far from home are
+    /// clipped later than tenants hogging their own rack.
+    TierWeighted,
+}
+
+/// Online estimate of one app's placement tenure: an EWMA of the gaps
+/// between its recorded [`FleetShift`]s, in sampling intervals. Feeds
+/// [`TenurePolicy::Learned`] migration pricing; deterministic — the
+/// estimate is a pure fold over the app's shift times, so replaying a
+/// trace replays the estimates.
+///
+/// # Examples
+///
+/// ```
+/// use inc_ondemand::TenureEstimator;
+/// use inc_sim::Nanos;
+///
+/// let mut est = TenureEstimator::new();
+/// // No history yet: the config fallback applies.
+/// assert_eq!(est.expected_samples(20), 20.0);
+/// let interval = Nanos::from_secs(1);
+/// est.observe_shift(Nanos::from_secs(5), interval, 0.3);
+/// // A single shift has no gap yet — still the fallback.
+/// assert_eq!(est.expected_samples(20), 20.0);
+/// est.observe_shift(Nanos::from_secs(13), interval, 0.3);
+/// // One observed gap of 8 samples seeds the estimate.
+/// assert_eq!(est.expected_samples(20), 8.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TenureEstimator {
+    /// When the app last shifted (`None` before its first shift).
+    last_shift_at: Option<Nanos>,
+    /// EWMA of inter-shift gaps in samples (`None` before the first
+    /// observed gap).
+    ewma_samples: Option<f64>,
+}
+
+impl TenureEstimator {
+    /// An estimator with no history (the fallback applies).
+    pub fn new() -> Self {
+        TenureEstimator::default()
+    }
+
+    /// Folds a placement shift at `now` into the estimate: the gap since
+    /// the previous shift, in `interval`s, enters the EWMA with gain
+    /// `alpha`. The first shift only anchors the clock.
+    pub fn observe_shift(&mut self, now: Nanos, interval: Nanos, alpha: f64) {
+        if let Some(prev) = self.last_shift_at {
+            let gap = (now.as_secs_f64() - prev.as_secs_f64()) / interval.as_secs_f64();
+            self.ewma_samples = Some(match self.ewma_samples {
+                Some(e) => e + alpha * (gap - e),
+                None => gap,
+            });
+        }
+        self.last_shift_at = Some(now);
+    }
+
+    /// The tenure a new placement of this app is expected to hold, in
+    /// sampling intervals: the EWMA estimate clamped to at least one
+    /// sample, or `fallback` (the config constant) before any gap has
+    /// been observed.
+    pub fn expected_samples(&self, fallback: u32) -> f64 {
+        match self.ewma_samples {
+            Some(e) => e.max(1.0),
+            None => f64::from(fallback.max(1)),
+        }
+    }
+
+    /// The raw EWMA estimate, if any gap has been observed yet.
+    pub fn observed_samples(&self) -> Option<f64> {
+        self.ewma_samples
+    }
+}
+
 /// Configuration of the fleet scheduler.
 #[derive(Clone, Copy, Debug)]
 pub struct FleetControllerConfig {
@@ -441,6 +789,19 @@ pub struct FleetControllerConfig {
     pub expected_tenure_samples: u32,
     /// How fairness claims choose among feasible hand-over devices.
     pub claim_policy: ClaimPolicy,
+    /// The currency every decision is priced in: raw benefits, the
+    /// offload floor, detour costs and migration debits all pass
+    /// through this rule. [`Objective::Joules`] (the default) is the
+    /// historical watts-denominated behaviour bit for bit.
+    pub objective: Objective,
+    /// How [`Self::migration_cost_j`] is amortised: over the fixed
+    /// [`Self::expected_tenure_samples`] (default) or over each app's
+    /// own learned tenure estimate.
+    pub tenure: TenurePolicy,
+    /// How a seat's dominant share is counted against its fair-share
+    /// entitlement (uniform by default; optionally discounted by
+    /// placement tier).
+    pub entitlement: EntitlementPolicy,
 }
 
 impl FleetControllerConfig {
@@ -449,7 +810,9 @@ impl FleetControllerConfig {
     /// 20-sample starvation window (fairness as a backstop: transient
     /// contention resolves by benefit, only sustained starvation forces
     /// a fair-share hand-over), a 5 J switchover debit amortised over a
-    /// 20-sample tenure, and min-cost hand-overs.
+    /// 20-sample tenure, and min-cost hand-overs — priced in
+    /// [`Objective::Joules`] with a fixed tenure and uniform
+    /// entitlements (the historical behaviour, bit for bit).
     ///
     /// # Examples
     ///
@@ -480,6 +843,29 @@ impl FleetControllerConfig {
             migration_cost_j: 5.0,
             expected_tenure_samples: 20,
             claim_policy: ClaimPolicy::MinCost,
+            objective: Objective::Joules,
+            tenure: TenurePolicy::Fixed,
+            entitlement: EntitlementPolicy::Uniform,
+        }
+    }
+
+    /// Panics unless the economic knobs are usable: a finite
+    /// non-negative migration cost, valid objective prices, and a
+    /// learned-tenure gain in `(0, 1]`. Both controllers call this at
+    /// construction so a bad price fails loudly instead of silently
+    /// mis-ranking every candidate.
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.migration_cost_j.is_finite() && self.migration_cost_j >= 0.0,
+            "migration_cost_j {} must be finite and non-negative",
+            self.migration_cost_j
+        );
+        self.objective.validate();
+        if let TenurePolicy::Learned { alpha } = self.tenure {
+            assert!(
+                alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+                "learned-tenure alpha {alpha} must be in (0, 1]"
+            );
         }
     }
 }
@@ -495,7 +881,8 @@ pub struct FleetShift {
     pub to: Placement,
     /// The rate estimate that priced the decision, packets/second.
     pub rate_pps: f64,
-    /// The estimated benefit at that rate, watts — penalty-adjusted for
+    /// The estimated benefit at that rate, in objective units (watts
+    /// under the default [`Objective::Joules`]) — penalty-adjusted for
     /// the target device when the shift is an offload.
     pub benefit_w: f64,
     /// What drove the decision: raw benefit, a fair-share claim/clip, or
@@ -557,6 +944,9 @@ pub struct FleetController {
     fair_hold: Vec<bool>,
     /// Up-front admission verdict: demand unfit on every device.
     rejected: Vec<bool>,
+    /// Per-app online tenure estimate (fed by the shift log; priced
+    /// only under [`TenurePolicy::Learned`]).
+    tenures: Vec<TenureEstimator>,
     shifts: Vec<FleetShift>,
 }
 
@@ -587,11 +977,7 @@ impl FleetController {
                 app.weight
             );
         }
-        assert!(
-            config.migration_cost_j.is_finite() && config.migration_cost_j >= 0.0,
-            "migration_cost_j {} must be finite and non-negative",
-            config.migration_cost_j
-        );
+        config.validate();
         let rejected = apps
             .iter()
             .map(|app| {
@@ -612,6 +998,7 @@ impl FleetController {
             queued_intervals: vec![0; n],
             fair_hold: vec![false; n],
             rejected,
+            tenures: vec![TenureEstimator::new(); n],
             shifts: Vec::new(),
         }
     }
@@ -750,31 +1137,84 @@ impl FleetController {
 
     /// Estimated power saved by offloading `app` at `rate_pps` (§8 dynamic
     /// terms): software watts minus network watts, before any locality
-    /// penalty. Negative when software is cheaper.
+    /// penalty. Negative when software is cheaper. Always watts — the
+    /// configured objective prices this into decision units.
     pub fn benefit_w(&self, app: usize, rate_pps: f64) -> f64 {
         pricing::raw_benefit_w(&self.apps[app], rate_pps)
     }
 
-    /// The benefit of placing `app` on `device` at `rate_pps`: the raw §8
-    /// benefit scaled by the topology's locality factor (1.0 at home, the
-    /// hop tier's haircut elsewhere), minus the power the detour's extra
-    /// link traversals burn at that rate.
+    /// The objective value of placing `app` on `device` at `rate_pps`:
+    /// the objective-priced raw benefit scaled by the topology's
+    /// locality factor (1.0 at home, the hop tier's haircut elsewhere),
+    /// minus the objective-priced detour cost at that rate. Under the
+    /// default [`Objective::Joules`] this is watts — the historical
+    /// `effective_benefit_w` — bit for bit.
     pub fn effective_benefit_w(&self, app: usize, device: DeviceId, rate_pps: f64) -> f64 {
-        pricing::effective_benefit_w(&self.fabric, &self.apps[app], device, rate_pps)
+        pricing::effective_benefit_w(
+            &self.config,
+            &self.fabric,
+            &self.apps[app],
+            device,
+            rate_pps,
+        )
     }
 
-    /// The amortised switchover debit, watts: the configured migration
-    /// cost spread over the expected tenure of the new placement.
+    /// The amortised switchover debit at the configured tenure, watts:
+    /// the migration cost spread over
+    /// [`FleetControllerConfig::expected_tenure_samples`].
     pub fn migration_w(&self) -> f64 {
         pricing::migration_w(&self.config)
     }
 
-    /// The benefit of *moving* `app` from its current device to `device`:
-    /// the effective benefit there, debited by the amortised switchover
-    /// cost. This is what a device-to-device candidate must clear the
-    /// floor with and is scored by.
+    /// The tenure a new placement of `app` is expected to hold, in
+    /// sampling intervals: the config constant under
+    /// [`TenurePolicy::Fixed`], the app's own EWMA estimate (with the
+    /// config constant as fallback) under [`TenurePolicy::Learned`].
+    pub fn expected_tenure_samples(&self, app: usize) -> f64 {
+        match self.config.tenure {
+            TenurePolicy::Fixed => f64::from(self.config.expected_tenure_samples.max(1)),
+            TenurePolicy::Learned { .. } => {
+                self.tenures[app].expected_samples(self.config.expected_tenure_samples)
+            }
+        }
+    }
+
+    /// The app's online tenure estimator (maintained from the shift log
+    /// regardless of policy; priced only under
+    /// [`TenurePolicy::Learned`]).
+    pub fn tenure_estimator(&self, app: usize) -> &TenureEstimator {
+        &self.tenures[app]
+    }
+
+    /// The objective-priced switchover debit charged to a move of `app`:
+    /// its migration cost amortised over [`Self::expected_tenure_samples`]
+    /// and pushed through the objective. Equals [`Self::migration_w`]
+    /// under the default fixed-tenure joule pricing.
+    pub fn app_migration_w(&self, app: usize) -> f64 {
+        self.migration_value(app)
+    }
+
+    /// The objective-priced per-app migration debit (the decision-side
+    /// form of [`Self::app_migration_w`]). Under `Fixed` tenure this
+    /// must reduce to the historical flat debit bit for bit, so the
+    /// fixed arm bypasses the estimator entirely.
+    fn migration_value(&self, app: usize) -> f64 {
+        let watts = match self.config.tenure {
+            TenurePolicy::Fixed => pricing::migration_w(&self.config),
+            TenurePolicy::Learned { .. } => pricing::migration_w_for(
+                &self.config,
+                self.tenures[app].expected_samples(self.config.expected_tenure_samples),
+            ),
+        };
+        self.config.objective.value_of_w(watts)
+    }
+
+    /// The value of *moving* `app` from its current device to `device`:
+    /// the effective value there, debited by the objective-priced
+    /// amortised switchover cost. This is what a device-to-device
+    /// candidate must clear the floor with and is scored by.
     pub fn move_benefit_w(&self, app: usize, device: DeviceId, rate_pps: f64) -> f64 {
-        self.effective_benefit_w(app, device, rate_pps) - self.migration_w()
+        self.effective_benefit_w(app, device, rate_pps) - self.migration_value(app)
     }
 
     /// Benefit per capacity unit of placing `app` on `device`: the
@@ -821,6 +1261,7 @@ impl FleetController {
             fabric,
             resident_on,
             protected,
+            |j| self.migration_value(j),
             app,
             rates,
         )
@@ -842,17 +1283,20 @@ impl FleetController {
         assert_eq!(samples.len(), self.apps.len(), "one sample per app");
         let n = self.apps.len();
         let rates: Vec<f64> = (0..n).map(|i| self.trusted_rate(i, &samples[i])).collect();
-        let benefits: Vec<f64> = (0..n).map(|i| self.benefit_w(i, rates[i])).collect();
+        let raw_values: Vec<f64> = (0..n)
+            .map(|i| pricing::raw_value(&self.config, &self.apps[i], rates[i]))
+            .collect();
+        let floor = pricing::floor_value(&self.config);
 
         // Streak accounting (the HostController sustain rule, per app).
-        // The up-streak — consecutive samples of raw benefit above the
+        // The up-streak — consecutive samples of raw value above the
         // floor since the app's last placement change — gates *entering*
         // a device: a software app's first offload and, equally, a
         // resident app's move to a different ToR. A resident app is
-        // additionally judged by the benefit it actually delivers where
+        // additionally judged by the value it actually delivers where
         // it runs (haircut included) for the eviction streak.
         for i in 0..n {
-            if benefits[i] >= self.config.min_benefit_w {
+            if raw_values[i] >= floor {
                 self.up_streaks[i] = self.up_streaks[i].saturating_add(1);
             } else {
                 self.up_streaks[i] = 0;
@@ -861,7 +1305,7 @@ impl FleetController {
                 Placement::Software => self.down_streaks[i] = 0,
                 Placement::Device(d) => {
                     let delivered = self.effective_benefit_w(i, d, rates[i]);
-                    if delivered < self.config.min_benefit_w * self.config.evict_fraction {
+                    if delivered < floor * self.config.evict_fraction {
                         self.down_streaks[i] = self.down_streaks[i].saturating_add(1);
                     } else {
                         self.down_streaks[i] = 0;
@@ -895,7 +1339,7 @@ impl FleetController {
                                     d,
                                 ));
                             } else if self.up_streaks[i] >= self.config.sustain_samples
-                                && self.move_benefit_w(i, d, rate) >= self.config.min_benefit_w
+                                && self.move_benefit_w(i, d, rate) >= floor
                             {
                                 // A cross-ToR move is a fresh offload
                                 // (it needs its own sustained
@@ -918,7 +1362,7 @@ impl FleetController {
                 Placement::Software => {
                     if self.up_streaks[i] >= self.config.sustain_samples {
                         for d in self.fabric.device_ids() {
-                            if self.effective_benefit_w(i, d, rate) >= self.config.min_benefit_w {
+                            if self.effective_benefit_w(i, d, rate) >= floor {
                                 candidates.push((self.score(i, d, rate), i, d));
                             }
                         }
@@ -1068,9 +1512,14 @@ impl FleetController {
                 self.down_streaks[i] = 0;
                 self.starved_streaks[i] = 0;
                 self.fair_hold[i] = fair_placed[i];
+                self.tenures[i].observe_shift(
+                    now,
+                    self.config.interval,
+                    self.config.tenure.ewma_alpha(),
+                );
                 let benefit_w = match want {
                     Placement::Device(d) => self.effective_benefit_w(i, d, rates[i]),
-                    Placement::Software => benefits[i],
+                    Placement::Software => raw_values[i],
                 };
                 self.shifts.push(FleetShift {
                     at: now,

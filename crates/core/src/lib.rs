@@ -52,8 +52,9 @@ pub use arbiter::{ArbiterConfig, ArbiterStats, ArbitrationMode, HierarchicalCont
 pub use decision::{dns_analysis, kvs_analysis, PlacementAnalysis};
 pub use envelope::{EnvelopePoint, OnDemandEnvelope};
 pub use fleet::{
-    AdmissionDecision, ClaimPlan, ClaimPolicy, FleetApp, FleetController, FleetControllerConfig,
-    FleetSample, FleetScheduler, FleetShift, ShiftReason,
+    AdmissionDecision, ClaimPlan, ClaimPolicy, EntitlementPolicy, FleetApp, FleetController,
+    FleetControllerConfig, FleetSample, FleetScheduler, FleetShift, Objective, PriceRule,
+    ShiftReason, TenureEstimator, TenurePolicy,
 };
 pub use host::{HostController, HostControllerConfig, HostSample, Shift};
 pub use system::{

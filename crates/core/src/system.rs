@@ -343,6 +343,10 @@ pub struct FleetTimeline {
     /// Every placement change, in decision order: (time, app, placement).
     pub shifts: Vec<(Nanos, usize, Placement)>,
     /// Total metered energy over the run (all apps' slices), joules.
+    /// Always physical joules, whatever
+    /// [`Objective`](crate::fleet::Objective) the controller priced
+    /// decisions in: prices steer placements, meters stay watts — which
+    /// is what makes energy comparable across objectives.
     pub energy_j: f64,
     /// Each app's admission verdict at the end of the run: the
     /// back-pressure surface — `Reject` names tenants whose demand can

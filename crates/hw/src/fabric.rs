@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 
+use inc_power::LinkEnergyModel;
 use inc_sim::Nanos;
 
 use crate::capacity::{AppSlot, DeviceCapacity};
@@ -114,17 +115,41 @@ impl TierCost {
         }
     }
 
+    /// An intra-pod tier whose link energy is derived from a switch
+    /// power model instead of quoted: the detour crosses
+    /// [`HopTier::IntraPod::switch_traversals`](HopTier::switch_traversals)
+    /// = 1 aggregation switch, so the per-packet price is one marginal
+    /// switch traversal. Latency and haircut follow
+    /// [`standard_intra_pod`](Self::standard_intra_pod).
+    pub fn calibrated_intra_pod(link: &LinkEnergyModel) -> Self {
+        TierCost {
+            link_energy_nj: link.detour_nj(HopTier::IntraPod.switch_traversals()),
+            ..TierCost::standard_intra_pod()
+        }
+    }
+
+    /// An inter-pod tier calibrated the same way: the detour crosses
+    /// aggregation + core + aggregation = 3 switches. Latency and
+    /// haircut follow [`standard_inter_pod`](Self::standard_inter_pod).
+    pub fn calibrated_inter_pod(link: &LinkEnergyModel) -> Self {
+        TierCost {
+            link_energy_nj: link.detour_nj(HopTier::InterPod.switch_traversals()),
+            ..TierCost::standard_inter_pod()
+        }
+    }
+
     /// Validates the tier for use in a [`Topology`].
     ///
     /// # Panics
     ///
-    /// Panics unless `benefit_factor` is in `[0, 1]` and `link_energy_nj`
-    /// is finite and non-negative. A factor above 1.0 would make a
-    /// *remote* placement score higher than home and silently invert
-    /// locality — the bug class this assertion exists to catch.
+    /// Panics unless `benefit_factor` is finite and in `[0, 1]` and
+    /// `link_energy_nj` is finite and non-negative. A factor above 1.0
+    /// would make a *remote* placement score higher than home and
+    /// silently invert locality — the bug class this assertion exists
+    /// to catch.
     fn validated(self, tier: &str) -> Self {
         assert!(
-            (0.0..=1.0).contains(&self.benefit_factor),
+            self.benefit_factor.is_finite() && (0.0..=1.0).contains(&self.benefit_factor),
             "{tier} benefit_factor {} outside [0, 1]: a factor above 1 \
              would rank remote placements above home",
             self.benefit_factor
@@ -158,6 +183,19 @@ impl HopTier {
             HopTier::Local => 0,
             HopTier::IntraPod => 1,
             HopTier::InterPod => 2,
+        }
+    }
+
+    /// Switches a detour through this tier crosses that home traffic
+    /// would not: none at home, the pod's aggregation switch intra-pod,
+    /// and aggregation + core + aggregation across pods. Multiplied by a
+    /// [`LinkEnergyModel`]'s per-traversal energy to calibrate
+    /// [`TierCost::link_energy_nj`].
+    pub const fn switch_traversals(self) -> u32 {
+        match self {
+            HopTier::Local => 0,
+            HopTier::IntraPod => 1,
+            HopTier::InterPod => 3,
         }
     }
 }
@@ -755,6 +793,91 @@ mod tests {
             ..TierCost::standard_intra_pod()
         };
         let _ = Topology::fat_tree(1, 2, bad, TierCost::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "benefit_factor")]
+    fn nan_benefit_factor_is_rejected() {
+        // Regression: NaN compares false against every range bound, so a
+        // plain `<=` check chain would have waved it through.
+        let bad = TierCost {
+            benefit_factor: f64::NAN,
+            ..TierCost::standard_intra_pod()
+        };
+        let _ = Topology::fat_tree(2, 2, bad, TierCost::standard_inter_pod());
+    }
+
+    #[test]
+    #[should_panic(expected = "link_energy_nj")]
+    fn infinite_link_energy_is_rejected() {
+        let bad = TierCost {
+            link_energy_nj: f64::INFINITY,
+            ..TierCost::standard_inter_pod()
+        };
+        let _ = Topology::fat_tree(2, 2, TierCost::standard_intra_pod(), bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pod")]
+    fn zero_pods_are_rejected() {
+        let _ = Topology::fat_tree(0, 4, TierCost::NONE, TierCost::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ToR")]
+    fn zero_tors_per_pod_are_rejected() {
+        let _ = Topology::fat_tree(4, 0, TierCost::NONE, TierCost::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ToR")]
+    fn empty_single_topology_is_rejected() {
+        let _ = Topology::single(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pod")]
+    fn zero_rack_pairs_are_rejected() {
+        let _ = Topology::rack_pairs(0, TierCost::standard_intra_pod(), TierCost::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "DeviceId index space")]
+    fn device_count_overflow_is_rejected() {
+        let _ = Topology::fat_tree(u16::MAX as usize, 2, TierCost::NONE, TierCost::NONE);
+    }
+
+    #[test]
+    fn calibrated_tiers_reproduce_the_stylised_constants() {
+        let link = LinkEnergyModel::arista_class();
+        let intra = TierCost::calibrated_intra_pod(&link);
+        let inter = TierCost::calibrated_inter_pod(&link);
+        // The derivation must land bit-for-bit on the hand-quoted 500 /
+        // 1500 nJ the rigs used to carry, so swapping them in moves no
+        // pinned energy figure.
+        assert_eq!(intra.link_energy_nj.to_bits(), 500.0_f64.to_bits());
+        assert_eq!(inter.link_energy_nj.to_bits(), 1_500.0_f64.to_bits());
+        assert_eq!(
+            intra.benefit_factor,
+            TierCost::standard_intra_pod().benefit_factor
+        );
+        assert_eq!(
+            inter.extra_latency,
+            TierCost::standard_inter_pod().extra_latency
+        );
+        // And the calibrated tiers pass construction validation.
+        let topo = Topology::fat_tree(2, 2, intra, inter);
+        assert_eq!(
+            topo.link_energy_w(DeviceId(0), DeviceId(2), 1e6),
+            2.0 * 1_500.0 * 1e-9 * 1e6
+        );
+    }
+
+    #[test]
+    fn switch_traversals_count_the_detour_switches() {
+        assert_eq!(HopTier::Local.switch_traversals(), 0);
+        assert_eq!(HopTier::IntraPod.switch_traversals(), 1);
+        assert_eq!(HopTier::InterPod.switch_traversals(), 3);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`RaplCounter`] / [`RaplSampler`] — the counters the host-controlled
 //!   on-demand controller reads (§9.1).
 //! * [`Psu`] / [`WallMeter`] — wall-power metering (SHW 3A, §4.1).
+//! * [`LinkEnergyModel`] — per-packet link energy of placement detours,
+//!   calibrated from the switch port figures (§9.4).
 //! * [`calib`] — every constant calibrated against the paper's text.
 
 pub mod calib;
@@ -21,6 +23,7 @@ pub mod cpu;
 pub mod device;
 pub mod efficiency;
 pub mod energy;
+pub mod link;
 pub mod meter;
 pub mod model;
 pub mod rapl;
@@ -29,6 +32,7 @@ pub use cpu::CpuModel;
 pub use device::{DevicePower, Module, ModuleState, NoSuchModule};
 pub use efficiency::{ops_per_dynamic_watt, ops_per_watt, EfficiencyClass};
 pub use energy::{EnergyBreakdown, EnergyParams, PlacementComparison, StateTimes};
+pub use link::LinkEnergyModel;
 pub use meter::{Psu, WallMeter};
 pub use model::{crossover_fn, crossover_rate, CurveError, PiecewiseLinear};
 pub use rapl::{RaplCounter, RaplDomain, RaplSampler};

@@ -1,0 +1,70 @@
+//! Price-aware placement: the same contended five-tenant day scheduled
+//! under three economic objectives.
+//!
+//! The `EconomicsRig` replays the `PodFabricRig` plateau with the fleet
+//! controller pricing in joules (the default), in uniform dollars
+//! (`$1/J`, no byte charge — which must reproduce the joule schedule
+//! bit-for-bit) and under a skewed tariff that also charges for detour
+//! bytes (`$1/J + $15/GB` moved through the fabric). Under the skew the
+//! analytics tenant's spill onto the near small ToR stops paying for
+//! itself, so it stays in host software: the placement *set* changes,
+//! which is the difference between a pluggable objective and a rescaled
+//! one.
+//!
+//! Run with: `cargo run --release --example economics`
+
+use inc::hw::Placement;
+use inc::ondemand::Objective;
+use inc_bench::economics::{EconomicsReport, EconomicsRig, EconomicsRun, PROBE, SKEW_PER_GB};
+
+fn plc(p: Placement) -> String {
+    match p {
+        Placement::Software => "software".to_string(),
+        Placement::Device(d) => format!("{d}"),
+    }
+}
+
+fn describe(run: &EconomicsRun) {
+    let label = match run.objective {
+        Objective::Joules => "joules (default)".to_string(),
+        Objective::Dollar {
+            per_joule,
+            per_gb_moved,
+        } => format!("dollar (${per_joule}/J + ${per_gb_moved}/GB)"),
+        Objective::Carbon { .. } => "carbon".to_string(),
+    };
+    println!("\n=== {label} ===");
+    let apps = EconomicsRig::controller(run.objective);
+    for (i, p) in run.placements.iter().enumerate() {
+        println!(
+            "  {:>9} @ t={:.1}s: {}",
+            apps.apps()[i].name,
+            PROBE.as_secs_f64(),
+            plc(*p)
+        );
+    }
+    println!(
+        "  {} shifts over the day, {:.1} J metered",
+        run.shifts.len(),
+        run.energy_j
+    );
+}
+
+fn main() {
+    let report: EconomicsReport = EconomicsRig::report();
+    describe(&report.joules);
+    describe(&report.uniform);
+    describe(&report.skewed);
+
+    println!("\n=== verdict ===");
+    println!(
+        "  uniform dollar reproduces the joule schedule bit-for-bit: {}",
+        report.uniform_matches_joules()
+    );
+    println!(
+        "  skewed tariff (+${SKEW_PER_GB}/GB) picks a different placement set: {}",
+        report.placement_sets_differ()
+    );
+
+    inc_bench::emit_metrics("economics", &report.metrics());
+}

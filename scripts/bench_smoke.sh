@@ -30,6 +30,7 @@ cargo run --release --example fairness
 cargo run --release --example topology
 cargo run --release --example mega_fabric
 cargo run --release --example heavy_traffic
+cargo run --release --example economics
 
 echo "== release-mode scheduling e2e tests =="
 cargo test --release -q --test shared_device
@@ -38,6 +39,7 @@ cargo test --release -q --test fairness
 cargo test --release -q --test topology
 cargo test --release -q --test mega_fabric
 cargo test --release -q --test streaming_equivalence
+cargo test --release -q --test economics
 
 echo "== criterion smoke targets =="
 cargo bench -p inc-bench --bench codecs
@@ -63,6 +65,7 @@ required_artifacts=(
   topology.json
   mega_fabric.json
   heavy_traffic.json
+  economics.json
 )
 missing=0
 for f in "${required_artifacts[@]}"; do
@@ -98,3 +101,10 @@ check_floor() { # file key floor
 }
 check_floor heavy_traffic.json sim_requests_per_s_streaming 10000000
 check_floor heavy_traffic.json speedup 8
+
+# Economics floors: the pluggable objective must be a real policy
+# lever, not a unit relabel — skewed dollar prices pick a different
+# placement set than the joule objective (1.0 = holds), while a uniform
+# tariff reproduces the joule schedule bit-for-bit.
+check_floor economics.json placement_sets_differ 1
+check_floor economics.json uniform_matches_joules 1

@@ -1390,3 +1390,238 @@ proptest! {
         }
     }
 }
+
+// --- Economic objectives (pricing plane). ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Uniform prices are a unit relabel, not a policy change: pricing
+    /// the same trace in joules, in dollars at `$1/J` with no byte
+    /// charge, and in carbon with an all-ones tier intensity must
+    /// produce bit-identical shift logs and placements — on the flat
+    /// controller and on the hierarchical pipeline alike. `1.0 × x`
+    /// and `x − 0.0` have to be the *same float* as `x` all the way
+    /// through the scoring arithmetic for this to hold.
+    #[test]
+    fn uniform_prices_degenerate_to_the_joule_schedule(
+        rates in proptest::collection::vec(
+            proptest::collection::vec(0u32..300_000, 5), 8..30),
+        slopes in proptest::collection::vec(0.02f64..0.2, 5),
+        stages in proptest::collection::vec(4u32..9, 5),
+        homes in proptest::collection::vec(0u16..4, 5),
+    ) {
+        use inc::hw::{DeviceFabric, DeviceId, PipelineBudget, ProgramResources,
+                      TierCost, Topology};
+        use inc::ondemand::{ArbiterConfig, ArbitrationMode, FleetApp,
+                            FleetController, FleetControllerConfig, FleetSample,
+                            HierarchicalController, HostSample, Objective,
+                            PlacementAnalysis};
+        use inc::power::{EnergyParams, LinkEnergyModel};
+        use inc::sim::Nanos;
+
+        let analysis = |slope_per_kpps: f64| PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope_per_kpps * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 52.0,
+                sleep_w: 0.0,
+                active_w: 52.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        };
+        let link = LinkEnergyModel::arista_class();
+        let fabric = || DeviceFabric::homogeneous(
+            4,
+            PipelineBudget::tofino_like(),
+            Topology::fat_tree(
+                2, 2,
+                TierCost::calibrated_intra_pod(&link),
+                TierCost::calibrated_inter_pod(&link),
+            ),
+        );
+        let apps: Vec<FleetApp> = (0..5).map(|i| FleetApp {
+            name: format!("app{i}"),
+            demand: ProgramResources {
+                stages: stages[i],
+                sram_bytes: 4 << 20,
+                parse_depth_bytes: 64,
+            },
+            analysis: analysis(slopes[i]),
+            home: DeviceId(homes[i]),
+            weight: 1.0,
+        }).collect();
+        let objectives = [
+            Objective::Joules,
+            Objective::Dollar { per_joule: 1.0, per_gb_moved: 0.0 },
+            Objective::Carbon { per_joule_by_tier: [1.0, 1.0, 1.0] },
+        ];
+        let interval = Nanos::from_secs(1);
+        let mut flats: Vec<FleetController> = objectives.iter().map(|&objective| {
+            FleetController::new(
+                FleetControllerConfig { objective, ..FleetControllerConfig::standard(interval) },
+                fabric(),
+                apps.clone(),
+            )
+        }).collect();
+        let mut hiers: Vec<HierarchicalController> = objectives.iter().map(|&objective| {
+            HierarchicalController::new(
+                ArbiterConfig {
+                    fleet: FleetControllerConfig {
+                        objective,
+                        ..FleetControllerConfig::standard(interval)
+                    },
+                    mode: ArbitrationMode::Incremental,
+                    rate_deadband: 0.05,
+                },
+                fabric(),
+                apps.clone(),
+            )
+        }).collect();
+        for (step, r) in rates.iter().enumerate() {
+            let now = Nanos::from_secs(step as u64 + 1);
+            let samples: Vec<FleetSample> = r.iter().map(|&x| {
+                let r = f64::from(x);
+                FleetSample {
+                    host: HostSample { rapl_w: 50.0, app_cpu_util: 0.5, hw_app_rate: r },
+                    offered_pps: r,
+                }
+            }).collect();
+            let d0 = flats[0].sample(now, &samples);
+            for flat in &mut flats[1..] {
+                prop_assert_eq!(&flat.sample(now, &samples), &d0,
+                                "flat decisions diverged at step {}", step);
+            }
+            let h0 = hiers[0].sample(now, &samples);
+            for hier in &mut hiers[1..] {
+                prop_assert_eq!(&hier.sample(now, &samples), &h0,
+                                "hierarchical decisions diverged at step {}", step);
+            }
+        }
+        let check = |a: &[inc::ondemand::FleetShift], b: &[inc::ondemand::FleetShift]| {
+            if a.len() != b.len() { return false; }
+            a.iter().zip(b).all(|(x, y)| {
+                x.at == y.at && x.app == y.app && x.to == y.to && x.reason == y.reason
+                    && x.rate_pps.to_bits() == y.rate_pps.to_bits()
+                    && x.benefit_w.to_bits() == y.benefit_w.to_bits()
+            })
+        };
+        for flat in &flats[1..] {
+            prop_assert!(check(flats[0].shifts(), flat.shifts()),
+                         "a uniform objective re-priced the flat shift log");
+            prop_assert_eq!(flats[0].placements(), flat.placements());
+        }
+        for hier in &hiers[1..] {
+            prop_assert!(check(hiers[0].shifts(), hier.shifts()),
+                         "a uniform objective re-priced the hierarchical shift log");
+            prop_assert_eq!(hiers[0].placements(), hier.placements());
+        }
+    }
+
+    /// Raising the dollar price of a joule (holding the byte tariff
+    /// fixed) never makes the scheduler *drop* an energy-saving
+    /// placement: with equal capacity costs across the candidate
+    /// devices, the settled joule-valued effective benefit is
+    /// non-decreasing along an ascending `per_joule` ladder. (Each
+    /// candidate's value is linear in `per_joule` with slope `W_eff −
+    /// floor`, so admissibility and the argmax both move toward
+    /// higher-benefit placements as joules get more expensive relative
+    /// to bytes.)
+    #[test]
+    fn raising_the_joule_price_never_buys_more_energy(
+        slope in 0.05f64..0.2,
+        rate in 60_000u32..250_000,
+        per_gb in 0.0f64..25.0,
+        base in 0.2f64..2.0,
+    ) {
+        use inc::hw::{DeviceFabric, DeviceId, Placement, PipelineBudget,
+                      ProgramResources, TierCost, Topology};
+        use inc::ondemand::{FleetApp, FleetController, FleetControllerConfig,
+                            FleetSample, HostSample, Objective,
+                            PlacementAnalysis};
+        use inc::power::{EnergyParams, LinkEnergyModel};
+        use inc::sim::Nanos;
+
+        let analysis = PlacementAnalysis {
+            software: EnergyParams {
+                idle_w: 50.0,
+                sleep_w: 0.0,
+                active_w: 50.0 + slope * 1_000.0,
+                peak_rate_pps: 1_000_000.0,
+            },
+            network: EnergyParams {
+                idle_w: 52.0,
+                sleep_w: 0.0,
+                active_w: 52.1,
+                peak_rate_pps: 10_000_000.0,
+            },
+        };
+        // The probe's home ToR is too small for its program, so every
+        // placement is a detour: the near small-haircut device and the
+        // two cross-core ones, all with identical budgets (equal
+        // capacity costs — the regime where the monotonicity theorem
+        // holds).
+        let tiny = PipelineBudget { stages: 2, sram_bytes: 4 << 20, parse_depth_bytes: 64 };
+        let big = PipelineBudget::tofino_like();
+        let link = LinkEnergyModel::arista_class();
+        let fabric = || DeviceFabric::new(
+            vec![tiny, big, big, big],
+            Topology::fat_tree(
+                2, 2,
+                TierCost::calibrated_intra_pod(&link),
+                TierCost::calibrated_inter_pod(&link),
+            ),
+        );
+        let apps = || vec![FleetApp {
+            name: "probe".into(),
+            demand: ProgramResources { stages: 6, sram_bytes: 8 << 20, parse_depth_bytes: 64 },
+            analysis,
+            home: DeviceId(0),
+            weight: 1.0,
+        }];
+        let rate = f64::from(rate);
+        let sample = FleetSample {
+            host: HostSample { rapl_w: 50.0, app_cpu_util: 0.5, hw_app_rate: rate },
+            offered_pps: rate,
+        };
+        // The settled joule-valued delivery of the chosen placement
+        // (0 W for software), computed from the public fabric pricing.
+        let settled_w = |per_joule: f64| -> f64 {
+            let mut ctl = FleetController::new(
+                FleetControllerConfig {
+                    objective: Objective::Dollar { per_joule, per_gb_moved: per_gb },
+                    starvation_window: 1_000_000,
+                    ..FleetControllerConfig::standard(Nanos::from_secs(1))
+                },
+                fabric(),
+                apps(),
+            );
+            for step in 0..12u64 {
+                let now = Nanos::from_secs(step + 1);
+                ctl.sample(now, std::slice::from_ref(&sample));
+            }
+            match ctl.placements()[0] {
+                Placement::Software => 0.0,
+                Placement::Device(d) => {
+                    let (sw, hw) = ctl.apps()[0].analysis.energy_per_second(rate);
+                    let f = ctl.fabric().benefit_factor(DeviceId(0), d);
+                    (sw - hw) * f - ctl.fabric().link_energy_w(DeviceId(0), d, rate)
+                }
+            }
+        };
+        let mut prev = settled_w(base);
+        for mult in [2.0, 4.0, 8.0, 16.0] {
+            let next = settled_w(base * mult);
+            prop_assert!(
+                next >= prev - 1e-12,
+                "raising $/J from a settled {} W placement bought less energy saving ({} W)",
+                prev, next
+            );
+            prev = next;
+        }
+    }
+}
