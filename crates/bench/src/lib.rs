@@ -11,6 +11,7 @@
 //! The analytic sweeps come from `inc_ondemand::apps`; spot points are
 //! cross-checked against full event simulations built by [`rigs`].
 
+pub mod consensus;
 pub mod economics;
 pub mod heavy;
 pub mod rigs;

@@ -358,6 +358,40 @@ impl HierarchicalController {
         self.pending_device_dirty[device.index()] = true;
     }
 
+    /// Marks a fabric device alive or dead (the chaos suite's
+    /// device-kill / ToR-partition lever). Tenants of a dead device are
+    /// force-evicted to software on the next
+    /// [`HierarchicalController::sample`] as [`ShiftReason::DeviceLoss`]
+    /// shifts; the death raises a capacity event, so the device's pod
+    /// re-arbitrates the same tick, and the device is skipped as a
+    /// candidate until revived (which raises another capacity event).
+    pub fn set_device_online(&mut self, id: DeviceId, online: bool) {
+        self.fabric.set_online(id, online);
+        self.pending_device_dirty[id.index()] = true;
+    }
+
+    /// Re-targets the offload floor
+    /// ([`FleetControllerConfig::min_benefit_w`]) mid-run — the
+    /// power-budget knob the chaos suite flaps. Every app is marked
+    /// dirty: the floor gates every score, so incremental mode must
+    /// re-arbitrate the whole fleet against the new budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor_w` is not finite and non-negative.
+    ///
+    /// [`FleetControllerConfig::min_benefit_w`]: crate::fleet::FleetControllerConfig::min_benefit_w
+    pub fn set_min_benefit_w(&mut self, floor_w: f64) {
+        assert!(
+            floor_w.is_finite() && floor_w >= 0.0,
+            "offload floor must be finite and non-negative"
+        );
+        self.config.fleet.min_benefit_w = floor_w;
+        for p in self.pending_dirty.iter_mut() {
+            *p = true;
+        }
+    }
+
     /// Expected placement tenure of `app` in scheduler intervals (the
     /// learned estimate under [`TenurePolicy::Learned`], the config
     /// constant otherwise) — same contract as
@@ -426,6 +460,45 @@ impl HierarchicalController {
         let sustain = self.config.fleet.sustain_samples;
         let floor = pricing::floor_value(&self.config.fleet);
         self.stats.ticks += 1;
+
+        // Failure response precedes everything else (mirroring the flat
+        // controller): tenants of an offline device are force-evicted
+        // to software with their streaks reset, and the death feeds the
+        // dirty-app queue — the evictee is marked dirty and the dead
+        // device raises a capacity event, so its whole pod re-arbitrates
+        // this very tick. The shift is recorded at the rate measured on
+        // the (dead) device, priced as the raw software value — exactly
+        // the flat controller's eviction record.
+        let mut evicted: Vec<(usize, Placement)> = Vec::new();
+        for (i, sample) in samples.iter().enumerate().take(n) {
+            if let Placement::Device(d) = self.placements[i] {
+                if !self.fabric.is_online(d) {
+                    let measured = sample.host.hw_app_rate;
+                    self.fabric.release(i as u64);
+                    self.placements[i] = Placement::Software;
+                    self.up_streaks[i] = 0;
+                    self.down_streaks[i] = 0;
+                    self.starved_streaks[i] = 0;
+                    self.fair_hold[i] = false;
+                    self.pending_dirty[i] = true;
+                    self.pending_device_dirty[d.index()] = true;
+                    self.tenures[i].observe_shift(
+                        now,
+                        self.config.fleet.interval,
+                        self.config.fleet.tenure.ewma_alpha(),
+                    );
+                    self.shifts.push(FleetShift {
+                        at: now,
+                        app: i,
+                        to: Placement::Software,
+                        rate_pps: measured,
+                        benefit_w: pricing::raw_value(&self.config.fleet, &self.apps[i], measured),
+                        reason: ShiftReason::DeviceLoss,
+                    });
+                    evicted.push((i, Placement::Software));
+                }
+            }
+        }
 
         // --- Phase 0+1: measure, hold, account streaks, build the dirty
         // queue. Every gate consulted by the solve is derived from held
@@ -583,7 +656,12 @@ impl HierarchicalController {
                 self.pending_dirty[i] = true;
             }
         }
-        decisions
+        if evicted.is_empty() {
+            decisions
+        } else {
+            evicted.extend(decisions);
+            evicted
+        }
     }
 
     /// Re-solves the dirty pods and runs the global coordinator, then
@@ -717,7 +795,11 @@ impl HierarchicalController {
     fn solve_pod(&mut self, pod: u16, selected: &mut [Option<DeviceId>]) {
         let sustain = self.config.fleet.sustain_samples;
         let floor = pricing::floor_value(&self.config.fleet);
-        let devices: Vec<DeviceId> = self.fabric.pod_devices(pod).collect();
+        let devices: Vec<DeviceId> = self
+            .fabric
+            .pod_devices(pod)
+            .filter(|&d| self.fabric.is_online(d))
+            .collect();
         let mut heaps: Vec<BinaryHeap<Cand>> = devices.iter().map(|_| BinaryHeap::new()).collect();
         let push = |heaps: &mut Vec<BinaryHeap<Cand>>, k: usize, score: f64, app: usize| {
             let dev = devices[k];
@@ -853,7 +935,7 @@ impl HierarchicalController {
                     if cross && seat == Some(cur) {
                         let sticky = self.sticky_score(i, cur);
                         for d in self.fabric.device_ids() {
-                            if d == cur {
+                            if d == cur || !self.fabric.is_online(d) {
                                 continue;
                             }
                             self.stats.candidates_scored += 1;
@@ -874,7 +956,7 @@ impl HierarchicalController {
                     } else if !cross && seat.is_none() {
                         // Preempted at home: spill out of the pod.
                         for d in self.fabric.device_ids() {
-                            if self.fabric.pod(d) == self.home_pod[i] {
+                            if self.fabric.pod(d) == self.home_pod[i] || !self.fabric.is_online(d) {
                                 continue;
                             }
                             self.stats.candidates_scored += 1;
@@ -898,7 +980,7 @@ impl HierarchicalController {
                 Placement::Software => {
                     if seat.is_none() && self.up_streaks[i] >= sustain {
                         for d in self.fabric.device_ids() {
-                            if self.fabric.pod(d) == self.home_pod[i] {
+                            if self.fabric.pod(d) == self.home_pod[i] || !self.fabric.is_online(d) {
                                 continue;
                             }
                             self.stats.candidates_scored += 1;

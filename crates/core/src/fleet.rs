@@ -244,6 +244,9 @@ pub(crate) mod pricing {
         let floor = floor_value(config);
         let mut plans = Vec::new();
         for d in fabric.device_ids() {
+            if !fabric.is_online(d) {
+                continue;
+            }
             if effective_benefit_w(config, fabric, &apps[app], d, rates[app]) < floor {
                 continue;
             }
@@ -465,6 +468,12 @@ pub enum ShiftReason {
     /// Admission control: a queued tenant entered capacity that freed up
     /// (the back-pressure queue draining).
     Admission,
+    /// Failure response: the hosting device went offline and its tenants
+    /// were force-evicted to software (§ the chaos suite's device-kill
+    /// scenario). Unlike every other reason, this shift ignores
+    /// hysteresis — a dead device's tenants cannot wait out a sustain
+    /// window.
+    DeviceLoss,
 }
 
 /// Per-application controller inputs for one sampling interval.
@@ -1046,6 +1055,34 @@ impl FleetController {
         &self.config
     }
 
+    /// Marks a fabric device alive or dead (the chaos suite's
+    /// device-kill / ToR-partition lever). Tenants of a dead device are
+    /// force-evicted to software on the next [`FleetController::sample`]
+    /// as [`ShiftReason::DeviceLoss`] shifts, and the device is skipped
+    /// as a candidate until revived.
+    pub fn set_device_online(&mut self, id: DeviceId, online: bool) {
+        self.fabric.set_online(id, online);
+    }
+
+    /// Re-targets the offload floor
+    /// ([`FleetControllerConfig::min_benefit_w`]) mid-run — the
+    /// power-budget knob the chaos suite flaps. A higher floor demands
+    /// more §8 savings per offload (a tighter budget); existing tenants
+    /// re-justify themselves against it through the ordinary eviction
+    /// hysteresis, so a flap shorter than the sustain window moves
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor_w` is not finite and non-negative.
+    pub fn set_min_benefit_w(&mut self, floor_w: f64) {
+        assert!(
+            floor_w.is_finite() && floor_w >= 0.0,
+            "offload floor must be finite and non-negative"
+        );
+        self.config.min_benefit_w = floor_w;
+    }
+
     /// The decision log.
     pub fn shifts(&self) -> &[FleetShift] {
         &self.shifts
@@ -1288,6 +1325,41 @@ impl FleetController {
             .collect();
         let floor = pricing::floor_value(&self.config);
 
+        // Failure response precedes everything else: tenants of a dead
+        // (offline) device cannot wait out hysteresis, so they are
+        // force-evicted to software before streaks and candidacy run.
+        // The eviction resets the evictee's streaks like any other
+        // shift, so re-offload onto a live device goes back through the
+        // ordinary sustain machinery — bounded by one sustain window,
+        // which is the recovery deadline the chaos suite pins.
+        let mut decisions: Vec<(usize, Placement)> = Vec::new();
+        for i in 0..n {
+            if let Placement::Device(d) = self.placements[i] {
+                if !self.fabric.is_online(d) {
+                    self.fabric.release(i as u64);
+                    self.placements[i] = Placement::Software;
+                    self.up_streaks[i] = 0;
+                    self.down_streaks[i] = 0;
+                    self.starved_streaks[i] = 0;
+                    self.fair_hold[i] = false;
+                    self.tenures[i].observe_shift(
+                        now,
+                        self.config.interval,
+                        self.config.tenure.ewma_alpha(),
+                    );
+                    self.shifts.push(FleetShift {
+                        at: now,
+                        app: i,
+                        to: Placement::Software,
+                        rate_pps: rates[i],
+                        benefit_w: raw_values[i],
+                        reason: ShiftReason::DeviceLoss,
+                    });
+                    decisions.push((i, Placement::Software));
+                }
+            }
+        }
+
         // Streak accounting (the HostController sustain rule, per app).
         // The up-streak — consecutive samples of raw value above the
         // floor since the app's last placement change — gates *entering*
@@ -1332,6 +1404,9 @@ impl FleetController {
                 Placement::Device(cur) => {
                     if self.down_streaks[i] < self.config.sustain_samples {
                         for d in self.fabric.device_ids() {
+                            if !self.fabric.is_online(d) {
+                                continue;
+                            }
                             if d == cur {
                                 candidates.push((
                                     self.score(i, d, rate) * self.config.stickiness,
@@ -1362,6 +1437,9 @@ impl FleetController {
                 Placement::Software => {
                     if self.up_streaks[i] >= self.config.sustain_samples {
                         for d in self.fabric.device_ids() {
+                            if !self.fabric.is_online(d) {
+                                continue;
+                            }
                             if self.effective_benefit_w(i, d, rate) >= floor {
                                 candidates.push((self.score(i, d, rate), i, d));
                             }
@@ -1462,9 +1540,9 @@ impl FleetController {
         }
 
         // Execute the diff between the chosen assignment and the current
-        // one. A cross-device move is a single decision (the executor
-        // tears down one residency and programs the other).
-        let mut decisions = Vec::new();
+        // one (appending to any DeviceLoss evictions recorded above). A
+        // cross-device move is a single decision (the executor tears
+        // down one residency and programs the other).
         let want_of = |s: Option<DeviceId>| match s {
             Some(d) => Placement::Device(d),
             None => Placement::Software,

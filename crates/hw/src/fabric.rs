@@ -434,6 +434,11 @@ pub struct DeviceFabric {
     // operations instead of fabric-wide sweeps — the difference between
     // an incremental scheduler tick and an O(apps × devices) one.
     where_is: HashMap<AppSlot, DeviceId>,
+    // Liveness per device: a dead or partitioned device keeps its ledger
+    // (its state is not recoverable, but its *budget* description is)
+    // while refusing new admissions. Controllers treat offline devices
+    // as zero-capacity: evict their tenants and skip them as candidates.
+    online: Vec<bool>,
 }
 
 impl DeviceFabric {
@@ -451,10 +456,13 @@ impl DeviceFabric {
             topology.device_count(),
             "budget list and topology must cover the same devices"
         );
+        let devices: Vec<DeviceCapacity> = budgets.into_iter().map(DeviceCapacity::new).collect();
+        let online = vec![true; devices.len()];
         DeviceFabric {
-            devices: budgets.into_iter().map(DeviceCapacity::new).collect(),
+            devices,
             topology,
             where_is: HashMap::new(),
+            online,
         }
     }
 
@@ -473,8 +481,9 @@ impl DeviceFabric {
         DeviceFabric::new(vec![budget; n], topology)
     }
 
-    /// An empty copy: same budgets and topology, no allocations. Used by
-    /// schedulers to build a candidate assignment before committing.
+    /// An empty copy: same budgets, topology and liveness, no
+    /// allocations. Used by schedulers to build a candidate assignment
+    /// before committing.
     pub fn fresh(&self) -> Self {
         DeviceFabric {
             devices: self
@@ -484,6 +493,7 @@ impl DeviceFabric {
                 .collect(),
             topology: self.topology.clone(),
             where_is: HashMap::new(),
+            online: self.online.clone(),
         }
     }
 
@@ -536,6 +546,29 @@ impl DeviceFabric {
         self.topology.pod_devices(pod)
     }
 
+    /// Whether `id` is online (alive and reachable). Devices start
+    /// online.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn is_online(&self, id: DeviceId) -> bool {
+        self.online[id.index()]
+    }
+
+    /// Marks `id` alive or dead. Taking a device offline does *not*
+    /// release its tenants — the fabric records topology and capacity,
+    /// not policy; the controller owns eviction (and charges it as a
+    /// `DeviceLoss` shift). While offline, [`DeviceFabric::admit`]
+    /// refuses the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_online(&mut self, id: DeviceId, online: bool) {
+        self.online[id.index()] = online;
+    }
+
     /// Benefit multiplier for an app homed at `home` placed on `at`:
     /// 1.0 at home, the hop tier's [`TierCost::benefit_factor`] elsewhere.
     pub fn benefit_factor(&self, home: DeviceId, at: DeviceId) -> f64 {
@@ -577,6 +610,12 @@ impl DeviceFabric {
         app: AppSlot,
         r: ProgramResources,
     ) -> Result<(), PipelineError> {
+        if !self.online[id.index()] {
+            return Err(PipelineError::DoesNotFit(format!(
+                "device {} is offline",
+                id.index()
+            )));
+        }
         self.devices[id.index()].admit(app, r)?;
         if let Some(prev) = self.where_is.insert(app, id) {
             if prev != id {

@@ -5,6 +5,14 @@
 //! not acknowledged" — this retry is load-bearing for the leader shift:
 //! retried requests reach the new leader and advance its sequence number.
 //! The ~100 ms zero-throughput window in Figure 7 is exactly this timeout.
+//!
+//! The client is a simulator [`Node`], not a sans-IO machine: it owns
+//! timers and builds UDP packets, addressing the leader *service*
+//! endpoint rather than any particular leader. That indirection is why
+//! the same client works unchanged against the coordinator-steered
+//! [`crate::roles`] pipeline and the self-electing [`crate::multi`]
+//! machines — whoever currently holds the leader role receives its
+//! requests.
 
 use inc_net::{build_udp, Endpoint, Packet, UdpFrame};
 use inc_sim::{impl_node_any, Ctx, Histogram, Nanos, Node, PortId, Timer};

@@ -6,24 +6,38 @@
 //! the paper compares: libpaxos, libpaxos+DPDK, P4xos-on-FPGA and
 //! P4xos-on-ASIC.
 //!
+//! All state machines here are **sans-IO**: they consume one decoded
+//! [`msg::PaxosMsg`] at a time and return the messages to send, tagged
+//! with a routing [`roles::Dest`]. Sockets, clocks and loss live in the
+//! caller (the simulated UDP fabric, the `inc-bench` chaos rig, the
+//! property tests) — which is why every drop/reorder/duplicate/partition
+//! interleaving is deterministically replayable.
+//!
 //! * [`msg`] — the P4xos wire format and the client-command encoding.
-//! * [`roles`] — pure leader/acceptor/learner state machines, including
-//!   the §9.2 leader-handover recovery (instance sync from `last_voted`,
-//!   client retry, learner gap detection, safe no-op filling) and the
-//!   bounded ring storage that models ASIC register arrays.
+//! * [`roles`] — the single-sequencer pipeline the paper measures:
+//!   leader/acceptor/learner machines with the §9.2 coordinator-driven
+//!   handover (instance sync from `last_voted`, client retry, learner
+//!   gap detection, safe no-op filling) and the bounded ring storage
+//!   that models ASIC register arrays.
+//! * [`multi`] — full Multi-Paxos: ballot-numbered replica/leader
+//!   (scout + commander)/acceptor machines with timeout-driven leader
+//!   *election* (not just handover), slot-ordered execution and
+//!   duplicate/reorder-safe handling. This is what the chaos suite
+//!   kills and partitions.
 //! * [`node`] — deployment wrappers with per-platform timing and power.
 //! * [`client`] — the closed-loop client whose retry timeout produces the
 //!   ~100 ms outage visible in Figure 7.
 
 pub mod client;
 pub mod msg;
+pub mod multi;
 pub mod node;
 pub mod roles;
 
 pub use client::{PaxosClient, PaxosClientStats};
 pub use msg::{
-    ClientCommand, MsgError, MsgType, PaxosMsg, NOOP_VALUE, PAXOS_ACCEPTOR_PORT, PAXOS_CLIENT_PORT,
-    PAXOS_LEADER_PORT, PAXOS_LEARNER_PORT,
+    ClientCommand, MsgError, MsgType, PaxosMsg, MAX_VALUE_LEN, NOOP_VALUE, PAXOS_ACCEPTOR_PORT,
+    PAXOS_CLIENT_PORT, PAXOS_LEADER_PORT, PAXOS_LEARNER_PORT,
 };
 pub use node::{AddressBook, HostConfig, PaxosNode, PaxosNodeStats, Platform, RoleEngine};
 pub use roles::{Acceptor, AcceptorStorage, Dest, InstanceState, Leader, Learner};

@@ -5,6 +5,15 @@
 //! bounded value. Values carry opaque client commands; this crate gives
 //! them a canonical `(client, sequence, payload)` encoding so learners can
 //! answer clients and tests can verify end-to-end delivery.
+//!
+//! This codec is the boundary of the sans-IO contract: both role
+//! pipelines — the single-sequencer [`crate::roles`] machines and the
+//! ballot-numbered [`crate::multi`] machines — speak exclusively in
+//! [`PaxosMsg`] values, so one `encode`/`decode` pair covers software
+//! hosts, P4 dataplanes and every test harness. `decode` is total over
+//! arbitrary bytes (it returns [`MsgError`], never panics); `encode`
+//! panics loudly if a value exceeds [`MAX_VALUE_LEN`] rather than
+//! silently truncating the 16-bit length field.
 
 /// Paxos message types.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -78,6 +87,13 @@ impl std::error::Error for MsgError {}
 /// The special value proposed to fill gaps (§9.2: "they learn a no-op").
 pub const NOOP_VALUE: &[u8] = b"";
 
+/// Largest value a [`PaxosMsg`] can carry: the wire format's length
+/// field is 16 bits. [`PaxosMsg::encode`] asserts this bound — before
+/// it did, an oversized value encoded a *truncated length* and the
+/// full bytes, so `decode` returned `Ok` with a silently corrupted
+/// value instead of failing loudly.
+pub const MAX_VALUE_LEN: usize = u16::MAX as usize;
+
 /// A Paxos protocol message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PaxosMsg {
@@ -118,7 +134,18 @@ impl PaxosMsg {
     }
 
     /// Encodes to bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value exceeds [`MAX_VALUE_LEN`]: the length field
+    /// is 16-bit, and truncating it silently would corrupt the value
+    /// on decode.
     pub fn encode(&self) -> Vec<u8> {
+        assert!(
+            self.value.len() <= MAX_VALUE_LEN,
+            "paxos value ({} bytes) exceeds the 16-bit wire length field",
+            self.value.len()
+        );
         let mut out = Vec::with_capacity(self.encoded_len());
         out.push(self.mtype.to_byte());
         out.extend_from_slice(&self.instance.to_be_bytes());
@@ -266,5 +293,21 @@ mod tests {
         let m = PaxosMsg::new(MsgType::Phase1a, 5, 2, vec![]);
         let got = PaxosMsg::decode(&m.encode()).unwrap();
         assert!(got.value.is_empty());
+    }
+
+    #[test]
+    fn max_value_round_trips() {
+        let m = PaxosMsg::new(MsgType::Phase2a, 1, 1, vec![0xAB; MAX_VALUE_LEN]);
+        let got = PaxosMsg::decode(&m.encode()).unwrap();
+        assert_eq!(got, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-bit wire length field")]
+    fn oversized_value_panics_instead_of_corrupting() {
+        // Before the MAX_VALUE_LEN assert, this encoded a wrapped
+        // length and decode returned Ok with a truncated value.
+        let m = PaxosMsg::new(MsgType::Phase2a, 1, 1, vec![0; MAX_VALUE_LEN + 1]);
+        let _ = m.encode();
     }
 }

@@ -29,8 +29,11 @@ const GAP_PROBE_PERIOD: Nanos = Nanos::from_millis(25);
 pub struct AddressBook {
     /// This node's own endpoint.
     pub own: Endpoint,
-    /// The *virtual* leader endpoint ([`crate::PAXOS_LEADER_PORT`]); the switch
-    /// steers it to whichever node is currently leader (§9.2).
+    /// The leader *service* endpoint ([`crate::PAXOS_LEADER_PORT`]): a
+    /// virtual address the switch steers to whichever node the
+    /// coordinator has made leader (§9.2). Leadership here is assigned
+    /// by the deployment, not elected — ballot-based election between
+    /// competing leaders lives in [`crate::multi`].
     pub leader: Endpoint,
     /// All acceptor endpoints.
     pub acceptors: Vec<Endpoint>,

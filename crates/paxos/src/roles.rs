@@ -1,15 +1,24 @@
-//! The Paxos role state machines (leader, acceptor, learner).
+//! The single-sequencer Paxos role machines (leader, acceptor, learner)
+//! — the pipeline the paper measures.
 //!
-//! These are pure, host-agnostic engines: the same code runs inside the
-//! libpaxos-style software nodes, the DPDK variant, and the P4xos
-//! FPGA/ASIC devices — only storage bounds, timing and power differ. That
-//! sharing is what makes the leader shift of §9.2 possible.
+//! These are pure, host-agnostic, sans-IO engines: a machine consumes a
+//! [`PaxosMsg`] via its `handle` method and returns an [`Outbox`] of
+//! `(Dest, PaxosMsg)` pairs; it never owns a socket, a clock, or an
+//! address. The same code therefore runs inside the libpaxos-style
+//! software nodes, the DPDK variant, and the P4xos FPGA/ASIC devices —
+//! only storage bounds, timing and power differ. That sharing is what
+//! makes the leader shift of §9.2 possible.
 //!
-//! The leader implements the paper's handover recovery: a newly activated
-//! leader starts from instance 1, learns the highest used instance from
-//! the `last_voted` field acceptors attach to every response, and fills
-//! delivery gaps with no-ops via a full per-instance phase 1 when a
-//! learner requests it (§9.2).
+//! There is exactly one leader at a time here: the deployment (the
+//! switch steering the leader VIP, see
+//! [`AddressBook`](crate::AddressBook)) decides who it is, and a newly
+//! activated leader recovers by *handover* — it starts from instance 1,
+//! learns the highest used instance from the `last_voted` field
+//! acceptors attach to every response, and fills delivery gaps with
+//! no-ops via a full per-instance phase 1 when a learner requests it
+//! (§9.2). For competing leaders with ballot-numbered phases and
+//! timeout-driven *election* (what the chaos suite kills and
+//! partitions), see [`crate::multi`].
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -23,7 +32,9 @@ pub enum Dest {
     /// Every learner, plus the current leader (2b traffic, which also
     /// carries the `last_voted` feedback the leader needs).
     AllLearners,
-    /// The (virtual) leader address.
+    /// The leader service: the coordinator-steered virtual address in
+    /// this pipeline, or every competing leader in [`crate::multi`]
+    /// (stale ones ignore traffic for ballots they no longer hold).
     Leader,
     /// A specific client.
     Client(u32),

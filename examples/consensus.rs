@@ -1,0 +1,80 @@
+//! The consensus chaos suite as a CI artifact: runs the three failure
+//! scenarios (device kill, ToR partition, power-budget flap) from
+//! `inc_bench::consensus` and emits `consensus.json` — per-scenario
+//! safety verdicts, recovery deadlines in controller intervals, and
+//! quorum availability — for the bench-smoke perf-trajectory artifact.
+//!
+//! The same scenario runners are pinned by
+//! `tests/failure_injection.rs`; this binary exists so the recovery
+//! trajectory is *recorded* across commits, not just asserted.
+//!
+//! Run with: `cargo run --release --example consensus`
+
+use inc_bench::consensus::{run_budget_flap, run_device_kill, run_tor_partition, ScenarioReport};
+
+fn describe(r: &ScenarioReport) {
+    println!("\n=== {} ===", r.name);
+    println!(
+        "  safety: single-value-per-slot {}, log prefixes {}",
+        if r.safe { "HELD" } else { "VIOLATED" },
+        if r.prefix_ok { "AGREE" } else { "DIVERGED" },
+    );
+    println!(
+        "  recovery: {} controller intervals (sustain window {})",
+        r.recovery_intervals, r.sustain_window
+    );
+    println!(
+        "  quorum availability {:.3}, {} commands executed",
+        r.quorum_availability, r.commands_executed
+    );
+    println!(
+        "  shifts: {} total, {} DeviceLoss, {} during fast flap",
+        r.total_shifts, r.device_loss_shifts, r.fast_flap_shifts
+    );
+}
+
+fn main() {
+    let kill = run_device_kill(11);
+    let partition = run_tor_partition(12);
+    let flap = run_budget_flap(13);
+
+    for r in [&kill, &partition, &flap] {
+        describe(r);
+    }
+
+    let bool_m = |b: bool| if b { 1.0 } else { 0.0 };
+    inc_bench::emit_metrics(
+        "consensus",
+        &[
+            ("device_kill_safe", bool_m(kill.safe && kill.prefix_ok)),
+            (
+                "device_kill_recovery_intervals",
+                kill.recovery_intervals as f64,
+            ),
+            ("device_kill_quorum_availability", kill.quorum_availability),
+            (
+                "tor_partition_safe",
+                bool_m(partition.safe && partition.prefix_ok),
+            ),
+            (
+                "tor_partition_recovery_intervals",
+                partition.recovery_intervals as f64,
+            ),
+            (
+                "tor_partition_quorum_availability",
+                partition.quorum_availability,
+            ),
+            ("budget_flap_safe", bool_m(flap.safe && flap.prefix_ok)),
+            (
+                "budget_flap_recovery_intervals",
+                flap.recovery_intervals as f64,
+            ),
+            ("budget_flap_fast_flap_shifts", flap.fast_flap_shifts as f64),
+            (
+                "commands_executed_total",
+                (kill.commands_executed + partition.commands_executed + flap.commands_executed)
+                    as f64,
+            ),
+        ],
+    );
+}

@@ -31,6 +31,7 @@ cargo run --release --example topology
 cargo run --release --example mega_fabric
 cargo run --release --example heavy_traffic
 cargo run --release --example economics
+cargo run --release --example consensus
 
 echo "== release-mode scheduling e2e tests =="
 cargo test --release -q --test shared_device
@@ -40,6 +41,9 @@ cargo test --release -q --test topology
 cargo test --release -q --test mega_fabric
 cargo test --release -q --test streaming_equivalence
 cargo test --release -q --test economics
+
+echo "== consensus chaos suite =="
+cargo test --release -q --test failure_injection chaos
 
 echo "== criterion smoke targets =="
 cargo bench -p inc-bench --bench codecs
@@ -66,6 +70,7 @@ required_artifacts=(
   mega_fabric.json
   heavy_traffic.json
   economics.json
+  consensus.json
 )
 missing=0
 for f in "${required_artifacts[@]}"; do
@@ -108,3 +113,24 @@ check_floor heavy_traffic.json speedup 8
 # tariff reproduces the joule schedule bit-for-bit.
 check_floor economics.json placement_sets_differ 1
 check_floor economics.json uniform_matches_joules 1
+
+# Consensus chaos floors: every scenario must be safe (both invariants
+# held → 1.0) with an always-available acceptor quorum, and the
+# fast budget flap must move nothing. Recovery deadlines are recorded
+# in the artifact for the trajectory; the release-mode chaos tests
+# above already pin their upper bounds.
+check_floor consensus.json device_kill_safe 1
+check_floor consensus.json tor_partition_safe 1
+check_floor consensus.json budget_flap_safe 1
+check_floor consensus.json device_kill_quorum_availability 1
+check_floor consensus.json tor_partition_quorum_availability 1
+flap_shifts="$(sed -n 's/^ *"budget_flap_fast_flap_shifts": \([0-9.eE+-]*\),*$/\1/p' "$INC_METRICS_DIR/consensus.json")"
+if [[ -z "$flap_shifts" ]]; then
+  echo "bench smoke failed: budget_flap_fast_flap_shifts missing from consensus.json" >&2
+  exit 1
+fi
+if ! awk -v v="$flap_shifts" 'BEGIN { exit !(v == 0) }'; then
+  echo "bench smoke failed: fast budget flap moved $flap_shifts tenants (must be 0)" >&2
+  exit 1
+fi
+echo "consensus.json budget_flap_fast_flap_shifts = $flap_shifts (must be 0)"

@@ -1,6 +1,10 @@
 //! Failure injection: the full application stacks running over lossy
-//! links. Consensus must stay safe and live (via retries); the KVS client
-//! must never observe corruption, only loss.
+//! links, plus the chaos scenario suite coupling Multi-Paxos role
+//! machines to the fleet controller (device death, ToR partition,
+//! power-budget flap). Consensus must stay safe and live (via
+//! retries); the KVS client must never observe corruption, only loss;
+//! every chaos scenario must satisfy both consensus safety properties
+//! and recover within its deadline (measured in controller intervals).
 
 use inc::hw::HOST_DMA_PORT;
 use inc::kvs::{
@@ -177,4 +181,76 @@ fn kvs_under_loss_never_corrupts() {
     assert!((0.85..0.95).contains(&ratio), "delivery ratio {ratio}");
     assert_eq!(stats.corrupt, 0);
     assert_eq!(stats.not_found, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos scenario suite: Multi-Paxos roles as fleet tenants under device
+// death, ToR partition and power-budget flap. The scenario logic lives
+// in `inc_bench::consensus` (shared with `examples/consensus.rs`, which
+// emits the same runs as the consensus.json CI artifact); the tests pin
+// the contract — safety always, recovery within the deadline.
+// ---------------------------------------------------------------------------
+
+use inc_bench::consensus::{run_budget_flap, run_device_kill, run_tor_partition};
+
+#[test]
+fn chaos_device_kill_recovers_within_deadline() {
+    let report = run_device_kill(11);
+    assert!(report.safe, "two values chosen for one slot");
+    assert!(report.prefix_ok, "replica logs diverged");
+    // The runner already asserts eviction within one sustain window; the
+    // full re-offload (software fallback → spare pod-0 ToR) must land
+    // within two sustain windows plus admission slack.
+    assert!(
+        report.recovery_intervals <= 2 * report.sustain_window + 2,
+        "re-placement took {} intervals",
+        report.recovery_intervals
+    );
+    // One acceptor of three was lost: quorum never unavailable.
+    assert!(
+        (report.quorum_availability - 1.0).abs() < 1e-9,
+        "quorum availability {}",
+        report.quorum_availability
+    );
+    assert!(report.device_loss_shifts >= 1);
+    assert!(report.commands_executed > 0);
+}
+
+#[test]
+fn chaos_tor_partition_keeps_quorum_and_moves_leadership() {
+    let report = run_tor_partition(12);
+    assert!(report.safe, "two values chosen for one slot");
+    assert!(report.prefix_ok, "replica logs diverged");
+    // Leader 1's election countdown plus a sustain window of metered
+    // activity: bounded by four sustain windows end to end.
+    assert!(
+        report.recovery_intervals <= 4 * report.sustain_window + 4,
+        "leadership + placement recovery took {} intervals",
+        report.recovery_intervals
+    );
+    // Two of three acceptors stay on the majority side throughout.
+    assert!(
+        (report.quorum_availability - 1.0).abs() < 1e-9,
+        "quorum availability {}",
+        report.quorum_availability
+    );
+    assert!(report.device_loss_shifts >= 1);
+    assert!(report.commands_executed > 0);
+}
+
+#[test]
+fn chaos_budget_flap_is_hysteresis_stable() {
+    let report = run_budget_flap(13);
+    assert!(report.safe, "two values chosen for one slot");
+    assert!(report.prefix_ok, "replica logs diverged");
+    // No failures in this scenario: quorum is always up, and the
+    // fast flap (shorter than the sustain window) moves nothing.
+    assert!((report.quorum_availability - 1.0).abs() < 1e-9);
+    assert_eq!(report.fast_flap_shifts, 0, "fast flap must not churn");
+    assert!(
+        report.recovery_intervals <= 2 * report.sustain_window + 2,
+        "re-offload after budget relax took {} intervals",
+        report.recovery_intervals
+    );
+    assert!(report.commands_executed > 0);
 }
