@@ -1,0 +1,507 @@
+//! A minimal Rust tokenizer: just enough lexical structure to run the
+//! determinism rules without a full parser.
+//!
+//! The lexer understands exactly the constructs that would otherwise
+//! produce false positives in a grep-style scan:
+//!
+//! - string literals (`"…"`, `b"…"`, `c"…"`) with escapes, so
+//!   `"HashMap"` inside a string is data, not an identifier;
+//! - raw strings (`r"…"`, `r#"…"#`, any hash depth) where escapes are
+//!   inert;
+//! - char literals vs lifetimes (`'a'` vs `'a`), including escaped
+//!   quotes (`'\''`);
+//! - line comments and **nested** block comments (`/* /* */ */`),
+//!   captured as [`Comment`]s so waiver annotations can be parsed;
+//! - numeric literals, classified int vs float (`1.0`, `1e9`, `1f64`
+//!   are floats; `0x1f`, `0..8` range endpoints are not).
+//!
+//! Everything else becomes an [`TokKind::Ident`] or a (possibly
+//! two-character) [`TokKind::Punct`] token.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `in`, `fn` are idents here).
+    Ident,
+    /// Numeric literal.
+    Number {
+        /// `true` for float literals (`1.0`, `2e9`, `3f64`).
+        float: bool,
+    },
+    /// Any string literal (regular, byte, C, or raw).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Punctuation; `::`, `==`, `!=`, `->`, `=>`, `..`, `..=` are kept
+    /// as single tokens, everything else is one character.
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text (for strings: the raw source slice).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` if this is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// `true` if this is a float literal.
+    pub fn is_float(&self) -> bool {
+        matches!(self.kind, TokKind::Number { float: true })
+    }
+}
+
+/// One comment (line or block) with the line it starts on. Block
+/// comment text keeps interior newlines.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/* */` delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Total: unterminated literals
+/// simply end at EOF rather than erroring (the tool lints source that
+/// `rustc` already accepted; robustness beats strictness).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances `idx` over one char, updating the line counter.
+    macro_rules! bump {
+        ($idx:expr) => {{
+            if b[$idx] == '\n' {
+                line += 1;
+            }
+            $idx += 1;
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(i);
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if b[i + 1] == '/' {
+                let start_line = line;
+                let mut j = i + 2;
+                let mut text = String::new();
+                while j < n && b[j] != '\n' {
+                    text.push(b[j]);
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text,
+                });
+                i = j;
+                continue;
+            }
+            if b[i + 1] == '*' {
+                // Nested block comment.
+                let start_line = line;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let mut text = String::new();
+                while j < n && depth > 0 {
+                    if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        bump!(j);
+                        bump!(j);
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                        bump!(j);
+                        bump!(j);
+                    } else {
+                        text.push(b[j]);
+                        bump!(j);
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Raw strings: r"…", r#"…"#, br"…", br#"…"#.
+        if (c == 'r' || c == 'b' || c == 'c') && i + 1 < n {
+            let (r_at, prefix_len) = if c == 'r' {
+                (i, 1)
+            } else if b[i + 1] == 'r' {
+                (i + 1, 2)
+            } else {
+                (usize::MAX, 0)
+            };
+            if r_at != usize::MAX && r_at + 1 < n {
+                let mut hashes = 0usize;
+                let mut j = r_at + 1;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    // Confirmed raw string; scan to `"` + `#`*hashes.
+                    let start_line = line;
+                    let tok_start = i;
+                    i += prefix_len;
+                    while i < n && b[i] == '#' {
+                        i += 1;
+                    }
+                    bump!(i); // Opening quote.
+                    loop {
+                        if i >= n {
+                            break;
+                        }
+                        if b[i] == '"' {
+                            let mut k = i + 1;
+                            let mut seen = 0usize;
+                            while k < n && seen < hashes && b[k] == '#' {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        bump!(i);
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: b[tok_start..i.min(n)].iter().collect(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+        }
+        // Regular / byte / C strings.
+        if c == '"' || ((c == 'b' || c == 'c') && i + 1 < n && b[i + 1] == '"') {
+            let start_line = line;
+            let tok_start = i;
+            if c != '"' {
+                i += 1;
+            }
+            bump!(i); // Opening quote.
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    bump!(i);
+                    bump!(i);
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                bump!(i);
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: b[tok_start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let start_line = line;
+            // Escaped char: '\…'.
+            if i + 1 < n && b[i + 1] == '\\' {
+                let mut j = i + 2;
+                if j < n {
+                    j += 1; // The escaped char.
+                }
+                // Unicode escapes: '\u{…}'.
+                while j < n && b[j] != '\'' && b[j] != '\n' {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: b[i..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            // Plain char: 'x'.
+            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: b[i..i + 3].iter().collect(),
+                    line: start_line,
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime or label: 'ident.
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lifetime,
+                text: b[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let start = i;
+            let mut float = false;
+            if c == '0' && i + 1 < n && (b[i + 1] == 'x' || b[i + 1] == 'o' || b[i + 1] == 'b') {
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part — only if followed by a digit, so `0..8`
+                // and `1.max(2)` keep their dots.
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    float = true;
+                    i += 1;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < n
+                    && (b[i] == 'e' || b[i] == 'E')
+                    && (i + 1 < n
+                        && (b[i + 1].is_ascii_digit()
+                            || ((b[i + 1] == '+' || b[i + 1] == '-')
+                                && i + 2 < n
+                                && b[i + 2].is_ascii_digit())))
+                {
+                    float = true;
+                    i += 1;
+                    if b[i] == '+' || b[i] == '-' {
+                        i += 1;
+                    }
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // Suffix (u8, i64, f32, f64, usize…).
+                let suffix_start = i;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let suffix: String = b[suffix_start..i].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    float = true;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Number { float },
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifiers / keywords (including raw identifiers `r#ident`;
+        // the raw-string branch above already claimed `r#"`).
+        if is_ident_start(c) {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            if c == 'r' && i < n && b[i] == '#' && i + 1 < n && is_ident_start(b[i + 1]) {
+                i += 1; // The `#` of a raw identifier.
+            }
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Punctuation, combining the pairs the rules care about.
+        let start_line = line;
+        let two: Option<&str> = if i + 1 < n {
+            match (c, b[i + 1]) {
+                (':', ':') => Some("::"),
+                ('=', '=') => Some("=="),
+                ('!', '=') => Some("!="),
+                ('-', '>') => Some("->"),
+                ('=', '>') => Some("=>"),
+                ('.', '.') => Some(".."),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(t) = two {
+            let mut text = t.to_string();
+            i += 2;
+            // `..=` as one token so it is never mistaken for `=`.
+            if t == ".." && i < n && b[i] == '=' {
+                text.push('=');
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        bump!(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let src = r##"let s = "HashMap.iter()"; let r = r#"HashSet "quoted" inside"#;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"HashSet".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_hide_identifiers() {
+        let src = "/* outer /* HashMap.iter() */ still comment */ fn ok() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "ok"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("HashMap.iter()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(c: char) { let q = '\\''; let x = 'x'; let _: &'a str; }";
+        let lexed = lex(src);
+        let chars: Vec<&Token> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+        let lifetimes: Vec<&Token> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+    }
+
+    #[test]
+    fn float_classification() {
+        let lexed = lex("let a = 1.0; let b = 1e9; let c = 3f64; let d = 0x1f; let e = 0..8;");
+        let floats: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_float())
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e9", "3f64"]);
+        // The range `0..8` must lex as number, `..`, number.
+        let texts: Vec<String> = lexed.tokens.iter().map(|t| t.text.clone()).collect();
+        assert!(texts
+            .windows(3)
+            .any(|w| w[0] == "0" && w[1] == ".." && w[2] == "8"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n  c /* x\ny */ d");
+        let find = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| t.line)
+        };
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(2));
+        assert_eq!(find("c"), Some(3));
+        assert_eq!(find("d"), Some(4));
+    }
+
+    #[test]
+    fn waiver_comments_are_captured_with_lines() {
+        let src = "fn f() {}\n// inc-lint: allow(wall-clock): bench timing\nfn g() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(wall-clock)"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Fixture suite for the five rules, the waiver grammar, and the
+//! tokenizer's blind spots, plus the self-check that the workspace
+//! itself lints clean.
+//!
+//! Each fixture under `tests/fixtures/` is a deliberately-broken (or
+//! deliberately-tricky) source file fed through [`scan_source`] under a
+//! synthetic in-scope path. The directory is named `fixtures` exactly
+//! so the workspace walk skips it — which the self-check test proves:
+//! if the exclusion broke, the fixtures' violations would dirty the
+//! workspace report.
+
+use inc_lint::{lint_workspace, scan_source, FileReport};
+
+/// Lines on which `rule` fired, in order.
+fn lines(report: &FileReport, rule: &str) -> Vec<u32> {
+    report
+        .violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+fn unwaived(report: &FileReport) -> usize {
+    report.violations.iter().filter(|v| !v.waived).count()
+}
+
+#[test]
+fn unordered_iter_catches_hash_traversals() {
+    let src = include_str!("fixtures/unordered_iter.rs");
+    let report = scan_source("crates/sim/src/fixture.rs", src);
+    assert_eq!(lines(&report, "unordered-iter"), vec![7, 10, 13]);
+    assert_eq!(unwaived(&report), 3, "{:#?}", report.violations);
+}
+
+#[test]
+fn unordered_iter_is_scoped_to_decision_crates() {
+    let src = include_str!("fixtures/unordered_iter.rs");
+    for path in ["crates/bench/src/fixture.rs", "crates/kvs/src/fixture.rs"] {
+        let report = scan_source(path, src);
+        assert_eq!(
+            lines(&report, "unordered-iter"),
+            Vec::<u32>::new(),
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn wall_clock_catches_clock_reads_but_not_instant_values() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let report = scan_source("crates/sim/src/fixture.rs", src);
+    // Line 8 passes an `Instant` as data without reading the clock and
+    // must stay legal.
+    assert_eq!(lines(&report, "wall-clock"), vec![3, 4]);
+}
+
+#[test]
+fn wall_clock_is_legal_in_bench_and_examples() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    for path in ["crates/bench/src/fixture.rs", "examples/fixture.rs"] {
+        let report = scan_source(path, src);
+        assert_eq!(lines(&report, "wall-clock"), Vec::<u32>::new(), "{path}");
+    }
+}
+
+#[test]
+fn ambient_rng_catches_unseeded_randomness() {
+    let src = include_str!("fixtures/ambient_rng.rs");
+    let report = scan_source("crates/hw/src/fixture.rs", src);
+    assert_eq!(lines(&report, "ambient-rng"), vec![3, 4, 5]);
+}
+
+#[test]
+fn panicking_decode_catches_panics_only_in_decode_fns() {
+    let src = include_str!("fixtures/panicking_decode.rs");
+    let report = scan_source("crates/net/src/wire.rs", src);
+    // Line 3: slice indexing; line 4: unwrap; line 6: panic!. The
+    // `encode_frame` indexing/unwrap (lines 19–20) is out of scope.
+    assert_eq!(lines(&report, "panicking-decode"), vec![3, 4, 6]);
+}
+
+#[test]
+fn panicking_decode_is_scoped_to_codec_modules() {
+    let src = include_str!("fixtures/panicking_decode.rs");
+    let report = scan_source("crates/net/src/switch.rs", src);
+    assert_eq!(lines(&report, "panicking-decode"), Vec::<u32>::new());
+}
+
+#[test]
+fn float_eq_catches_exact_compares_but_not_to_bits_or_tests() {
+    let src = include_str!("fixtures/float_eq.rs");
+    let report = scan_source("crates/sim/src/fixture.rs", src);
+    // Line 3: `== 0.0`; line 6: `!= 1.5`; line 7: `as f32 ==` cast
+    // comparison. `to_bits() ==` (line 9), integer `==` (line 11) and
+    // the `#[cfg(test)]` module stay legal.
+    assert_eq!(lines(&report, "float-eq"), vec![3, 6, 7]);
+}
+
+#[test]
+fn waiver_with_reason_waives_on_own_line_and_line_below() {
+    let src = include_str!("fixtures/waivers.rs");
+    let report = scan_source("src/fixture.rs", src);
+    let wall: Vec<(u32, bool)> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "wall-clock")
+        .map(|v| (v.line, v.waived))
+        .collect();
+    // Full-line waiver covers line 5, trailing waiver covers line 6;
+    // the reasonless waiver on line 7 covers nothing, so line 8 stays
+    // dirty.
+    assert_eq!(wall, vec![(5, true), (6, true), (8, false)]);
+    let waived: Vec<&str> = report
+        .violations
+        .iter()
+        .filter(|v| v.waived)
+        .map(|v| v.waiver_reason.as_deref().unwrap_or(""))
+        .collect();
+    assert_eq!(
+        waived,
+        vec![
+            "fixture exercises a reasoned full-line waiver",
+            "trailing form"
+        ]
+    );
+}
+
+#[test]
+fn waiver_without_reason_is_malformed_and_flagged() {
+    let src = include_str!("fixtures/waivers.rs");
+    let report = scan_source("src/fixture.rs", src);
+    assert_eq!(lines(&report, "bad-waiver"), vec![7]);
+    assert_eq!(report.malformed_waivers.len(), 1);
+    assert_eq!(report.malformed_waivers[0].rule, "wall-clock");
+}
+
+#[test]
+fn stale_waiver_is_reported_unused() {
+    let src = include_str!("fixtures/waivers.rs");
+    let report = scan_source("src/fixture.rs", src);
+    assert_eq!(
+        report.unused_waivers.len(),
+        1,
+        "{:#?}",
+        report.unused_waivers
+    );
+    assert_eq!(report.unused_waivers[0].rule, "ambient-rng");
+    assert_eq!(report.unused_waivers[0].line, 9);
+}
+
+#[test]
+fn tokenizer_never_fires_on_strings_chars_or_comments() {
+    let src = include_str!("fixtures/tokenizer_edges.rs");
+    // `crates/paxos/src/msg.rs` puts all five rules in scope at once.
+    let report = scan_source("crates/paxos/src/msg.rs", src);
+    assert!(
+        report.violations.is_empty(),
+        "rule-triggering names inside strings/comments must be inert: {:#?}",
+        report.violations
+    );
+    assert!(report.unused_waivers.is_empty());
+    assert!(report.malformed_waivers.is_empty());
+}
+
+#[test]
+fn workspace_lints_clean_with_no_decision_crate_waivers() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let dirty: Vec<_> = report.violations.iter().filter(|v| !v.waived).collect();
+    assert!(dirty.is_empty(), "unwaived violations: {dirty:#?}");
+    assert_eq!(
+        report.decision_crate_waivers(),
+        0,
+        "decision crates must be clean, not quiet"
+    );
+    assert!(report.is_clean());
+}

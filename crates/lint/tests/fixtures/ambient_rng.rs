@@ -1,0 +1,8 @@
+// Fixture: ambient (unseeded) randomness in decision code.
+fn rolls() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    let state = std::collections::hash_map::RandomState::new();
+    let _ = (&mut rng, state);
+    x
+}

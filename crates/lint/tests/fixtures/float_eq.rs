@@ -1,0 +1,22 @@
+// Fixture: exact float comparisons outside tests.
+fn compares(x: f64, y: f64) -> bool {
+    if x == 0.0 {
+        return false;
+    }
+    let ne = x != 1.5;
+    let cast = x as f32 == y as f32;
+    // The sanctioned exact comparison: bit patterns, not float `==`.
+    let bits = x.to_bits() == y.to_bits();
+    // Integer equality is not this rule's business.
+    let ints = (1 + 1) == 2;
+    ne || cast || bits || ints
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_comparison_is_legal_in_tests() {
+        assert!(1.0 == 1.0);
+        assert!(super::compares(0.5, 0.5));
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: token forms that must NOT fire any rule — rule-triggering
+// names buried in strings, raw strings, char literals and nested
+// comments are data, not code.
+fn edges() -> usize {
+    let s = "HashMap::new() and thread_rng() live in a string == 0.0";
+    let r = r#"Instant::now() and a quote " inside a raw string"#;
+    let r2 = r##"SystemTime with "# inside"##;
+    /* nested /* comment: SystemTime, panic!(, table.iter() */ still a comment */
+    let bracket = '[';
+    let quote = '\'';
+    let lifetime: &'static str = "x";
+    // A lifetime tick must not open a char literal: 'a here.
+    fn with_lifetime<'a>(v: &'a str) -> &'a str {
+        v
+    }
+    s.len()
+        + r.len()
+        + r2.len()
+        + bracket as usize
+        + quote as usize
+        + lifetime.len()
+        + with_lifetime("y").len()
+}

@@ -1,0 +1,22 @@
+// Fixture: every hash-ordered traversal form the rule must catch.
+use std::collections::{HashMap, HashSet};
+
+fn traversals() -> Vec<u32> {
+    let table: HashMap<String, u32> = HashMap::new();
+    let mut out = Vec::new();
+    for (_k, v) in table.iter() {
+        out.push(*v);
+    }
+    let keys: Vec<&String> = table.keys().collect();
+    out.push(keys.len() as u32);
+    let seen = HashSet::new();
+    for v in &seen {
+        out.push(*v);
+    }
+    // Point lookups and inserts are order-independent and stay legal.
+    let mut legal: HashMap<u64, u64> = HashMap::new();
+    legal.insert(1, 2);
+    let _ = legal.get(&1);
+    let _ = legal.len();
+    out
+}

@@ -1,0 +1,11 @@
+// Fixture: waiver forms — reasoned (line above and trailing),
+// reasonless (malformed), and stale (unused).
+fn timed() {
+    // inc-lint: allow(wall-clock): fixture exercises a reasoned full-line waiver
+    let a = std::time::Instant::now();
+    let b = std::time::Instant::now(); // inc-lint: allow(wall-clock): trailing form
+    // inc-lint: allow(wall-clock)
+    let c = std::time::Instant::now();
+    // inc-lint: allow(ambient-rng): stale waiver, nothing below draws randomness
+    let _ = (a, b, c);
+}

@@ -1,0 +1,10 @@
+// Fixture: host-clock reads in decision code.
+fn now_pair() {
+    let a = std::time::Instant::now();
+    let b = std::time::SystemTime::now();
+    let _ = (a, b);
+    // A plain `Instant` mention (no `::now`) is legal: passing one in
+    // as data is fine, *reading* the clock is not.
+    fn stamp(_at: std::time::Instant) {}
+    let _ = stamp;
+}

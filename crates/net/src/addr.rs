@@ -98,6 +98,7 @@ impl FromStr for MacAddr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 mod tests {
     use super::*;
 

@@ -109,10 +109,13 @@ impl Classifier {
     /// Removes all rules assigning `class`.
     pub fn remove_class(&mut self, class: Class) {
         let keep: Vec<bool> = self.rules.iter().map(|&(_, c)| c != class).collect();
+        // `retain` visits exactly `keep.len()` elements, so the
+        // iterator never runs dry; `unwrap_or(false)` keeps the path
+        // panic-free under `clippy::unwrap_used` all the same.
         let mut it = keep.iter();
-        self.rules.retain(|_| *it.next().unwrap());
+        self.rules.retain(|_| it.next().copied().unwrap_or(false));
         let mut it = keep.iter();
-        self.hits.retain(|_| *it.next().unwrap());
+        self.hits.retain(|_| it.next().copied().unwrap_or(false));
     }
 
     /// Classifies a packet, updating hit counters.
@@ -170,6 +173,7 @@ impl Classifier {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 mod tests {
     use super::*;
     use crate::packet::{build_udp, Endpoint};

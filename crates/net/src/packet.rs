@@ -183,6 +183,7 @@ pub fn build_reply(request: &UdpFrame<'_>, payload: &[u8]) -> Packet {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 mod tests {
     use super::*;
 

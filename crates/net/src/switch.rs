@@ -158,6 +158,7 @@ impl Node<Packet> for L2Switch {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 mod tests {
     use super::*;
     use crate::packet::{build_udp, Endpoint};

@@ -61,6 +61,18 @@ pub const UDP_HLEN: usize = 8;
 /// Combined length of the three headers this stack uses.
 pub const UDP_STACK_HLEN: usize = ETH_HLEN + IPV4_HLEN + UDP_HLEN;
 
+/// Reads `N` bytes of `buf` starting at `at` as a fixed-size array.
+///
+/// The decode paths below are panic-free by contract (`inc-lint`
+/// rule `panicking-decode`): every access goes through `get`, and a
+/// short buffer surfaces as [`WireError::Truncated`] rather than an
+/// out-of-bounds slice panic.
+fn take<const N: usize>(buf: &[u8], at: usize) -> Result<[u8; N], WireError> {
+    buf.get(at..at + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(WireError::Truncated)
+}
+
 /// A parsed Ethernet II header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EthernetHeader {
@@ -82,21 +94,17 @@ impl EthernetHeader {
 
     /// Decodes a header from the front of `buf`.
     pub fn decode(buf: &[u8]) -> Result<(Self, &[u8]), WireError> {
-        if buf.len() < ETH_HLEN {
-            return Err(WireError::Truncated);
-        }
-        let mut dst = [0u8; 6];
-        dst.copy_from_slice(&buf[0..6]);
-        let mut src = [0u8; 6];
-        src.copy_from_slice(&buf[6..12]);
-        let ethertype = u16::from_be_bytes([buf[12], buf[13]]);
+        let dst = MacAddr(take::<6>(buf, 0)?);
+        let src = MacAddr(take::<6>(buf, 6)?);
+        let ethertype = u16::from_be_bytes(take::<2>(buf, 12)?);
+        let rest = buf.get(ETH_HLEN..).ok_or(WireError::Truncated)?;
         Ok((
             EthernetHeader {
-                dst: MacAddr(dst),
-                src: MacAddr(src),
+                dst,
+                src,
                 ethertype,
             },
-            &buf[ETH_HLEN..],
+            rest,
         ))
     }
 }
@@ -154,29 +162,32 @@ impl Ipv4Header {
 
     /// Decodes and checksum-verifies a header from the front of `buf`.
     pub fn decode(buf: &[u8]) -> Result<(Self, &[u8]), WireError> {
-        if buf.len() < IPV4_HLEN {
-            return Err(WireError::Truncated);
+        let header = buf.get(..IPV4_HLEN).ok_or(WireError::Truncated)?;
+        let v_ihl = *header.first().ok_or(WireError::Truncated)?;
+        let ihl = v_ihl & 0x0f;
+        if v_ihl >> 4 != 4 || ihl != 5 {
+            return Err(WireError::BadIhl(v_ihl));
         }
-        let ihl = buf[0] & 0x0f;
-        if buf[0] >> 4 != 4 || ihl != 5 {
-            return Err(WireError::BadIhl(buf[0]));
-        }
-        if internet_checksum(&buf[..IPV4_HLEN]) != 0 {
+        if internet_checksum(header) != 0 {
             return Err(WireError::BadIpChecksum);
         }
-        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        let total_len = u16::from_be_bytes(take::<2>(header, 2)?);
         if (total_len as usize) < IPV4_HLEN || total_len as usize > buf.len() {
             return Err(WireError::BadLength);
         }
+        let [ttl, protocol] = take::<2>(header, 8)?;
         let hdr = Ipv4Header {
-            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
-            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
-            protocol: buf[9],
-            ttl: buf[8],
+            src: Ipv4Addr::from(take::<4>(header, 12)?),
+            dst: Ipv4Addr::from(take::<4>(header, 16)?),
+            protocol,
+            ttl,
             total_len,
-            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            ident: u16::from_be_bytes(take::<2>(header, 4)?),
         };
-        Ok((hdr, &buf[IPV4_HLEN..total_len as usize]))
+        let payload = buf
+            .get(IPV4_HLEN..total_len as usize)
+            .ok_or(WireError::BadLength)?;
+        Ok((hdr, payload))
     }
 }
 
@@ -225,23 +236,23 @@ impl UdpHeader {
         dst_ip: Ipv4Addr,
         buf: &[u8],
     ) -> Result<(Self, &[u8]), WireError> {
-        if buf.len() < UDP_HLEN {
-            return Err(WireError::Truncated);
-        }
-        let length = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        let header = buf.get(..UDP_HLEN).ok_or(WireError::Truncated)?;
+        let length = u16::from_be_bytes(take::<2>(header, 4)?) as usize;
         if length < UDP_HLEN || length > buf.len() {
             return Err(WireError::BadLength);
         }
         let hdr = UdpHeader {
-            src_port: u16::from_be_bytes([buf[0], buf[1]]),
-            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            src_port: u16::from_be_bytes(take::<2>(header, 0)?),
+            dst_port: u16::from_be_bytes(take::<2>(header, 2)?),
             length: length as u16,
-            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+            checksum: u16::from_be_bytes(take::<2>(header, 6)?),
         };
-        if hdr.checksum != 0 && udp_checksum(src_ip, dst_ip, &buf[..length]) != 0 {
+        let datagram = buf.get(..length).ok_or(WireError::BadLength)?;
+        if hdr.checksum != 0 && udp_checksum(src_ip, dst_ip, datagram) != 0 {
             return Err(WireError::BadUdpChecksum);
         }
-        Ok((hdr, &buf[UDP_HLEN..length]))
+        let payload = buf.get(UDP_HLEN..length).ok_or(WireError::BadLength)?;
+        Ok((hdr, payload))
     }
 }
 
@@ -257,6 +268,7 @@ fn udp_checksum(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, datagram: &[u8]) -> u16 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 mod tests {
     use super::*;
 

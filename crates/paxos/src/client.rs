@@ -153,7 +153,9 @@ impl PaxosClient {
     /// The time the next open-loop command is due: one inter-arrival gap
     /// after the previous issue, or never at rate zero.
     fn pace_due(&self) -> Option<Nanos> {
-        let rate = self.paced.expect("pacing only runs in open-loop mode");
+        // Pacing only runs in open-loop mode; in closed-loop mode there
+        // is simply no paced command due.
+        let rate = self.paced?;
         // Clamp the gap to 1 ns: an absurd rate must not round it to
         // zero and spin the simulator at one instant forever.
         (rate > 0.0)
@@ -254,6 +256,7 @@ impl Node<Packet> for PaxosClient {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 mod tests {
     use super::*;
     use inc_sim::Simulator;

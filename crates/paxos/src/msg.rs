@@ -159,20 +159,28 @@ impl PaxosMsg {
     }
 
     /// Decodes from bytes.
+    ///
+    /// Panic-free by contract (`inc-lint` rule `panicking-decode`):
+    /// malformed input maps to a [`MsgError`], never an out-of-bounds
+    /// slice panic.
     pub fn decode(buf: &[u8]) -> Result<PaxosMsg, MsgError> {
+        fn arr<const N: usize>(buf: &[u8], at: usize) -> Result<[u8; N], MsgError> {
+            buf.get(at..at + N)
+                .and_then(|s| <[u8; N]>::try_from(s).ok())
+                .ok_or(MsgError::Truncated)
+        }
         if buf.len() < 24 {
             return Err(MsgError::Truncated);
         }
-        let mtype = MsgType::from_byte(buf[0]).ok_or(MsgError::BadType(buf[0]))?;
-        let instance = u64::from_be_bytes(buf[1..9].try_into().expect("sized"));
-        let round = u16::from_be_bytes([buf[9], buf[10]]);
-        let vround = u16::from_be_bytes([buf[11], buf[12]]);
-        let acceptor = buf[13];
-        let last_voted = u64::from_be_bytes(buf[14..22].try_into().expect("sized"));
-        let vlen = u16::from_be_bytes([buf[22], buf[23]]) as usize;
-        if buf.len() < 24 + vlen {
-            return Err(MsgError::BadLength);
-        }
+        let t0 = *buf.first().ok_or(MsgError::Truncated)?;
+        let mtype = MsgType::from_byte(t0).ok_or(MsgError::BadType(t0))?;
+        let instance = u64::from_be_bytes(arr::<8>(buf, 1)?);
+        let round = u16::from_be_bytes(arr::<2>(buf, 9)?);
+        let vround = u16::from_be_bytes(arr::<2>(buf, 11)?);
+        let acceptor = *buf.get(13).ok_or(MsgError::Truncated)?;
+        let last_voted = u64::from_be_bytes(arr::<8>(buf, 14)?);
+        let vlen = u16::from_be_bytes(arr::<2>(buf, 22)?) as usize;
+        let value = buf.get(24..24 + vlen).ok_or(MsgError::BadLength)?;
         Ok(PaxosMsg {
             mtype,
             instance,
@@ -180,7 +188,7 @@ impl PaxosMsg {
             vround,
             acceptor,
             last_voted,
-            value: buf[24..24 + vlen].to_vec(),
+            value: value.to_vec(),
         })
     }
 }
@@ -209,13 +217,13 @@ impl ClientCommand {
 
     /// Decodes from a Paxos value; `None` for no-ops/foreign values.
     pub fn decode(value: &[u8]) -> Option<ClientCommand> {
-        if value.len() < 12 {
-            return None;
-        }
+        let client = u32::from_be_bytes(value.get(0..4)?.try_into().ok()?);
+        let seq = u64::from_be_bytes(value.get(4..12)?.try_into().ok()?);
+        let payload = value.get(12..)?.to_vec();
         Some(ClientCommand {
-            client: u32::from_be_bytes(value[0..4].try_into().ok()?),
-            seq: u64::from_be_bytes(value[4..12].try_into().ok()?),
-            payload: value[12..].to_vec(),
+            client,
+            seq,
+            payload,
         })
     }
 }
@@ -231,6 +239,7 @@ pub const PAXOS_LEARNER_PORT: u16 = 8602;
 pub const PAXOS_CLIENT_PORT: u16 = 8603;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 mod tests {
     use super::*;
 

@@ -64,7 +64,7 @@
 //!
 //! [`PaxosMsg`]: crate::msg::PaxosMsg
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::msg::{ClientCommand, MsgType, PaxosMsg, MAX_VALUE_LEN};
 use crate::roles::{Dest, Outbox};
@@ -178,16 +178,25 @@ pub fn encode_pvalues(accepted: &BTreeMap<u64, (Ballot, Vec<u8>)>) -> Vec<u8> {
 /// indistinguishable from a shorter promise and is covered by quorum
 /// intersection exactly like a dropped message.
 pub fn decode_pvalues(mut buf: &[u8]) -> Vec<PValue> {
+    fn arr<const N: usize>(buf: &[u8], at: usize) -> Option<[u8; N]> {
+        buf.get(at..at + N)
+            .and_then(|s| <[u8; N]>::try_from(s).ok())
+    }
     let mut out = Vec::new();
-    while buf.len() >= 12 {
-        let slot = u64::from_be_bytes(buf[0..8].try_into().expect("sized"));
-        let ballot = Ballot::from_wire(u16::from_be_bytes([buf[8], buf[9]]));
-        let len = u16::from_be_bytes([buf[10], buf[11]]) as usize;
-        if buf.len() < 12 + len {
+    while let (Some(slot_b), Some(ballot_b), Some(len_b)) =
+        (arr::<8>(buf, 0), arr::<2>(buf, 8), arr::<2>(buf, 10))
+    {
+        let slot = u64::from_be_bytes(slot_b);
+        let ballot = Ballot::from_wire(u16::from_be_bytes(ballot_b));
+        let len = u16::from_be_bytes(len_b) as usize;
+        let Some(value) = buf.get(12..12 + len) else {
             break;
-        }
-        out.push((slot, ballot, buf[12..12 + len].to_vec()));
-        buf = &buf[12 + len..];
+        };
+        out.push((slot, ballot, value.to_vec()));
+        let Some(rest) = buf.get(12 + len..) else {
+            break;
+        };
+        buf = rest;
     }
     out
 }
@@ -312,7 +321,7 @@ impl Acceptor {
 #[derive(Clone, Debug, Default)]
 struct Scout {
     /// Acceptors that promised this ballot.
-    promised: HashSet<u8>,
+    promised: BTreeSet<u8>,
     /// Highest-ballot pvalue learned per slot.
     pvalues: BTreeMap<u64, (Ballot, Vec<u8>)>,
     /// Ticks since the phase-1a was last sent (retransmit under loss).
@@ -323,7 +332,7 @@ struct Scout {
 #[derive(Clone, Debug)]
 struct Commander {
     /// Acceptors that voted for this ballot at this slot.
-    voters: HashSet<u8>,
+    voters: BTreeSet<u8>,
     /// The value being pushed.
     value: Vec<u8>,
     /// Ticks since the phase-2a was last sent (retransmit under loss).
@@ -362,7 +371,7 @@ pub struct Leader {
     commanders: BTreeMap<u64, Commander>,
     /// Slots whose commander reached a quorum (kept so duplicate
     /// proposals do not respawn finished commanders).
-    decided: HashSet<u64>,
+    decided: BTreeSet<u64>,
     /// Ticks a passive leader waits before scouting.
     backoff: u32,
     /// Ticks between retransmits of an unanswered phase-1a/2a.
@@ -412,7 +421,7 @@ impl Leader {
             proposals: BTreeMap::new(),
             scout: None,
             commanders: BTreeMap::new(),
-            decided: HashSet::new(),
+            decided: BTreeSet::new(),
             backoff,
             retransmit: Self::RETRANSMIT_TICKS,
             countdown: (u32::from(id) + 1) * backoff,
@@ -494,7 +503,7 @@ impl Leader {
                     self.commanders.insert(
                         slot,
                         Commander {
-                            voters: HashSet::new(),
+                            voters: BTreeSet::new(),
                             value: value.clone(),
                             age: 0,
                         },
@@ -550,7 +559,7 @@ impl Leader {
                     self.commanders.insert(
                         slot,
                         Commander {
-                            voters: HashSet::new(),
+                            voters: BTreeSet::new(),
                             value: value.clone(),
                             age: 0,
                         },
@@ -649,11 +658,11 @@ pub struct Replica {
     /// Our in-flight assignments: slot → command.
     proposals: BTreeMap<u64, Vec<u8>>,
     /// Vote accumulation per slot: (ballot wire, voters, value).
-    votes: HashMap<u64, (u16, HashSet<u8>, Vec<u8>)>,
+    votes: BTreeMap<u64, (u16, BTreeSet<u8>, Vec<u8>)>,
     /// Decided but not necessarily executed: slot → value.
     decisions: BTreeMap<u64, Vec<u8>>,
     /// Commands already executed (at-most-once bookkeeping).
-    executed: HashSet<(u32, u64)>,
+    executed: BTreeSet<(u32, u64)>,
     /// Executed log in slot order (what prefix agreement is asserted
     /// on).
     pub log: Vec<(u64, Vec<u8>)>,
@@ -688,9 +697,9 @@ impl Replica {
             slot_out: 1,
             requests: VecDeque::new(),
             proposals: BTreeMap::new(),
-            votes: HashMap::new(),
+            votes: BTreeMap::new(),
             decisions: BTreeMap::new(),
-            executed: HashSet::new(),
+            executed: BTreeSet::new(),
             log: Vec::new(),
             executed_count: 0,
             duplicates: 0,
@@ -737,7 +746,9 @@ impl Replica {
                 self.slot_in += 1;
                 continue;
             }
-            let command = self.requests.pop_front().expect("checked non-empty");
+            let Some(command) = self.requests.pop_front() else {
+                break;
+            };
             self.proposals.insert(self.slot_in, command.clone());
             out.push((
                 Dest::Leader,
@@ -764,10 +775,10 @@ impl Replica {
         let entry = self
             .votes
             .entry(msg.instance)
-            .or_insert_with(|| (msg.round, HashSet::new(), msg.value.clone()));
+            .or_insert_with(|| (msg.round, BTreeSet::new(), msg.value.clone()));
         if msg.round > entry.0 {
             // A newer ballot supersedes the accumulated votes.
-            *entry = (msg.round, HashSet::new(), msg.value.clone());
+            *entry = (msg.round, BTreeSet::new(), msg.value.clone());
         }
         if msg.round < entry.0 {
             return Vec::new();
@@ -847,6 +858,7 @@ impl Replica {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 mod tests {
     use super::*;
 

@@ -20,7 +20,7 @@
 //! timeout-driven *election* (what the chaos suite kills and
 //! partitions), see [`crate::multi`].
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::msg::{ClientCommand, MsgType, PaxosMsg, NOOP_VALUE};
 
@@ -62,8 +62,10 @@ pub struct InstanceState {
 /// code for memory accesses" of §6).
 #[derive(Clone, Debug)]
 pub enum AcceptorStorage {
-    /// Hash-map backed, effectively unbounded.
-    Unbounded(HashMap<u64, InstanceState>),
+    /// Ordered-map backed, effectively unbounded. `BTreeMap` rather
+    /// than `HashMap` so every traversal of acceptor state is
+    /// deterministic (`inc-lint` rule `unordered-iter`).
+    Unbounded(BTreeMap<u64, InstanceState>),
     /// Fixed ring of `slots.len()` instances; a newer instance landing on
     /// an occupied slot recycles it.
     Ring {
@@ -77,7 +79,7 @@ pub enum AcceptorStorage {
 impl AcceptorStorage {
     /// Unbounded storage.
     pub fn unbounded() -> Self {
-        AcceptorStorage::Unbounded(HashMap::new())
+        AcceptorStorage::Unbounded(BTreeMap::new())
     }
 
     /// Ring storage with `size` slots.
@@ -183,7 +185,7 @@ impl Acceptor {
 #[derive(Clone, Debug, Default)]
 struct GapRecovery {
     /// Promises received: acceptor → (vround, value).
-    promises: HashMap<u8, (u16, Vec<u8>)>,
+    promises: BTreeMap<u8, (u16, Vec<u8>)>,
     proposed: bool,
 }
 
@@ -196,7 +198,7 @@ pub struct Leader {
     next_instance: u64,
     /// Synchronising with acceptors after activation (§9.2).
     recovering: bool,
-    sync_promises: HashSet<u8>,
+    sync_promises: BTreeSet<u8>,
     /// Requests dropped while recovering (§9.2: "the new leader fails to
     /// propose until it learns the latest Paxos instance"; clients retry).
     pub dropped_while_recovering: u64,
@@ -215,7 +217,7 @@ impl Leader {
             quorum: n_acceptors / 2 + 1,
             next_instance: 1,
             recovering: false,
-            sync_promises: HashSet::new(),
+            sync_promises: BTreeSet::new(),
             dropped_while_recovering: 0,
             gaps: BTreeMap::new(),
             proposals: 0,
@@ -338,13 +340,13 @@ impl Leader {
 pub struct Learner {
     quorum: usize,
     /// Vote accumulation per instance: round → voters.
-    votes: HashMap<u64, (u16, HashSet<u8>, Vec<u8>)>,
+    votes: BTreeMap<u64, (u16, BTreeSet<u8>, Vec<u8>)>,
     /// Decided but not yet delivered (out of order).
     decided: BTreeMap<u64, Vec<u8>>,
     /// Next instance to deliver.
     next_deliver: u64,
     /// Commands already executed (at-most-once bookkeeping).
-    executed: HashSet<(u32, u64)>,
+    executed: BTreeSet<(u32, u64)>,
     /// Delivered values in order (bounded tail kept for verification).
     pub delivered: Vec<(u64, Vec<u8>)>,
     /// Number of delivered instances (including no-ops).
@@ -361,10 +363,10 @@ impl Learner {
     pub fn new(n_acceptors: usize) -> Self {
         Learner {
             quorum: n_acceptors / 2 + 1,
-            votes: HashMap::new(),
+            votes: BTreeMap::new(),
             decided: BTreeMap::new(),
             next_deliver: 1,
-            executed: HashSet::new(),
+            executed: BTreeSet::new(),
             delivered: Vec::new(),
             delivered_count: 0,
             duplicates: 0,
@@ -393,10 +395,10 @@ impl Learner {
         let entry = self
             .votes
             .entry(msg.instance)
-            .or_insert_with(|| (msg.round, HashSet::new(), msg.value.clone()));
+            .or_insert_with(|| (msg.round, BTreeSet::new(), msg.value.clone()));
         if msg.round > entry.0 {
             // Newer round supersedes accumulated votes.
-            *entry = (msg.round, HashSet::new(), msg.value.clone());
+            *entry = (msg.round, BTreeSet::new(), msg.value.clone());
         }
         if msg.round < entry.0 {
             return Vec::new();
@@ -457,6 +459,7 @@ impl Learner {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 mod tests {
     use super::*;
 

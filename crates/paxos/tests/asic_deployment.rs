@@ -2,6 +2,7 @@
 //! wraparound (§6's "architecture-specific changes to the code for memory
 //! accesses"), running the full protocol end to end.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 use inc_net::{Endpoint, L2Switch, Match, Packet};
 use inc_paxos::{
     Acceptor, AcceptorStorage, AddressBook, HostConfig, Leader, Learner, PaxosClient, PaxosNode,

@@ -7,6 +7,7 @@
 //! timeout; the new leader recovers the instance counter; throughput
 //! resumes (higher) with no safety violation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
 use inc_net::{Endpoint, L2Switch, Match, Packet};
 use inc_paxos::{
     Acceptor, AcceptorStorage, AddressBook, HostConfig, Leader, Learner, PaxosClient, PaxosNode,

@@ -159,7 +159,7 @@ impl PlacementComparison {
         } else {
             (self.network_j, self.software_j)
         };
-        if hi == 0.0 {
+        if hi <= 0.0 {
             0.0
         } else {
             1.0 - lo / hi

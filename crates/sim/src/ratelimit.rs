@@ -71,7 +71,7 @@ impl TokenBucket {
         if self.tokens + 1e-9 >= n {
             return now;
         }
-        if self.rate_per_sec == 0.0 || n > self.burst + 1e-9 {
+        if self.rate_per_sec <= 0.0 || n > self.burst + 1e-9 {
             // No refill, or a request larger than the bucket can ever
             // hold: it will never be satisfiable.
             return Nanos::MAX;

@@ -148,7 +148,7 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        if q == 0.0 {
+        if q <= 0.0 {
             // The 0-quantile is the minimum, which is tracked exactly.
             // The bucket walk below would clamp the target rank to 1 and
             // return the first occupied bucket's *upper* bound — above
@@ -477,7 +477,7 @@ impl TimeSeries {
             return 0.0;
         }
         let span = (self.points.last().unwrap().0 - self.points[0].0).as_secs_f64();
-        if span == 0.0 {
+        if span <= 0.0 {
             return 0.0;
         }
         self.integrate() / span
@@ -596,7 +596,7 @@ impl WindowRate {
         let elapsed = now.saturating_sub(self.current_epoch_start);
         let total = self.ring.iter().take(self.filled).sum::<u64>() + self.current_count;
         let span = (self.epoch.mul(self.filled as u64) + elapsed).as_secs_f64();
-        if span == 0.0 {
+        if span <= 0.0 {
             return 0.0;
         }
         total as f64 / span

@@ -19,6 +19,9 @@ mkdir -p "$INC_METRICS_DIR"
 echo "== build all bench targets =="
 cargo build --release --benches --workspace
 
+echo "== determinism & sans-IO contract check (inc-lint) =="
+cargo run --release -p inc-lint -- --check --json "$INC_METRICS_DIR/lint.json"
+
 echo "== paper-figure binaries =="
 cargo run --release -p inc-bench --bin fig3a
 cargo run --release -p inc-bench --bin fig6 | tee "$INC_METRICS_DIR/fig6.csv"
@@ -71,6 +74,7 @@ required_artifacts=(
   heavy_traffic.json
   economics.json
   consensus.json
+  lint.json
 )
 missing=0
 for f in "${required_artifacts[@]}"; do
@@ -134,3 +138,13 @@ if ! awk -v v="$flap_shifts" 'BEGIN { exit !(v == 0) }'; then
   exit 1
 fi
 echo "consensus.json budget_flap_fast_flap_shifts = $flap_shifts (must be 0)"
+
+# The lint artifact must record a clean tree: `--check` above already
+# failed the run on violations, but verify the uploaded artifact agrees
+# so a stale or truncated lint.json cannot masquerade as a clean scan.
+unwaived="$(sed -n 's/^ *"unwaived": \([0-9]*\),*$/\1/p' "$INC_METRICS_DIR/lint.json")"
+if [[ "$unwaived" != "0" ]]; then
+  echo "bench smoke failed: lint.json reports unwaived=${unwaived:-missing} (must be 0)" >&2
+  exit 1
+fi
+echo "lint.json unwaived = $unwaived (must be 0)"

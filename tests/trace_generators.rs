@@ -23,6 +23,7 @@ fn etc_draws_one_million_samples_in_bounded_time() {
     let mut w = EtcWorkload::new(1_000_000);
     let mut rng = Rng::new(11);
     let mut key = [0u8; EtcWorkload::KEY_LEN];
+    // inc-lint: allow(wall-clock): throughput smoke gate on the host clock, not simulated time
     let start = Instant::now();
     let (mut gets, mut set_bytes, mut key_bytes) = (0u64, 0u64, 0u64);
     for _ in 0..SAMPLES {
@@ -47,6 +48,7 @@ fn etc_draws_one_million_samples_in_bounded_time() {
 fn dynamo_walks_one_million_steps_in_bounded_time() {
     let mut rng = Rng::new(12);
     let mut walk = PowerWalk::new(WorkloadClass::Rack);
+    // inc-lint: allow(wall-clock): throughput smoke gate on the host clock, not simulated time
     let start = Instant::now();
     let mut acc = 0.0;
     for _ in 0..SAMPLES {
@@ -78,6 +80,7 @@ fn google_candidate_scan_streams_one_million_tasks_in_bounded_time() {
     let mut rng = Rng::new(13);
     let trace = GoogleTrace::synthesize(&mut rng, 1_000, Nanos::from_secs(24 * 3600), 1_000);
     assert_eq!(trace.tasks.len(), 1_000_000);
+    // inc-lint: allow(wall-clock): throughput smoke gate on the host clock, not simulated time
     let start = Instant::now();
     let mut candidates = 0u64;
     for _ in 0..8 {
